@@ -1,0 +1,82 @@
+//===- BenchUtil.h - shared harness helpers ---------------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction harnesses: run a
+/// workload on a configured heap and collect the workload result, the
+/// per-cycle records and their aggregates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_BENCH_BENCHUTIL_H
+#define CGC_BENCH_BENCHUTIL_H
+
+#include "runtime/GcHeap.h"
+#include "support/TablePrinter.h"
+#include "workloads/Compiler.h"
+#include "workloads/Warehouse.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace cgc::bench {
+
+/// Everything a table row needs from one run.
+struct RunOutcome {
+  WorkloadResult Workload;
+  std::vector<CycleRecord> Cycles;
+  GcAggregates Agg;
+  PacketPoolStats Pool;
+  size_t HeapBytes = 0;
+};
+
+/// Runs the warehouse workload on a fresh heap with \p Options.
+inline RunOutcome runWarehouse(const GcOptions &Options,
+                               const WarehouseConfig &Config) {
+  auto Heap = GcHeap::create(Options);
+  WarehouseWorkload Workload(*Heap, Config);
+  RunOutcome Out;
+  Out.Workload = Workload.run();
+  Out.Cycles = Heap->stats().snapshot();
+  Out.Agg = GcAggregates::compute(Out.Cycles);
+  Out.Pool = Heap->core().Pool.stats();
+  Out.HeapBytes = Heap->core().Heap.sizeBytes();
+  return Out;
+}
+
+/// Runs the compiler workload on a fresh heap with \p Options.
+inline RunOutcome runCompiler(const GcOptions &Options,
+                              const CompilerConfig &Config) {
+  auto Heap = GcHeap::create(Options);
+  CompilerWorkload Workload(*Heap, Config);
+  RunOutcome Out;
+  Out.Workload = Workload.run();
+  Out.Cycles = Heap->stats().snapshot();
+  Out.Agg = GcAggregates::compute(Out.Cycles);
+  Out.Pool = Heap->core().Pool.stats();
+  Out.HeapBytes = Heap->core().Heap.sizeBytes();
+  return Out;
+}
+
+/// Warehouse config sized for ~\p Occupancy of \p Options' heap.
+inline WarehouseConfig warehouseFor(const GcOptions &Options,
+                                    unsigned Threads, uint64_t Millis,
+                                    double Occupancy = 0.6) {
+  WarehouseConfig Config;
+  Config.Threads = Threads;
+  Config.DurationMs = Millis;
+  Config.sizeLiveSet(
+      static_cast<size_t>(Occupancy * static_cast<double>(Options.HeapBytes)));
+  return Config;
+}
+
+/// Prints the standard bench banner.
+inline void banner(const char *Title, const char *PaperRef) {
+  std::printf("== %s ==\n", Title);
+  std::printf("reproduces: %s\n", PaperRef);
+  std::printf("host note: single-core reproduction host; shapes (who "
+              "wins, ratios), not absolute ms, are the comparison.\n\n");
+}
+
+} // namespace cgc::bench
+
+#endif // CGC_BENCH_BENCHUTIL_H

@@ -1,0 +1,54 @@
+//===- ablation_lazy_sweep.cpp - Section 7's first future-work item ---------------//
+///
+/// The paper's pause analysis (Fig. 2 discussion and Section 7) finds
+/// sweep to be a dominant share of the remaining CGC pause (42% at 80
+/// warehouses) and proposes lazy sweep: defer sweeping out of the pause
+/// and spread it between mutators at allocation time. This ablation runs
+/// the same workload with eager vs lazy sweep and reports the pause
+/// decomposition — the expected shape is the sweep share vanishing from
+/// the pause with little throughput change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+using namespace cgc;
+using namespace cgc::bench;
+
+int main() {
+  banner("Lazy sweep ablation",
+         "Section 7 future work; Fig. 2 discussion (sweep = 42% of the "
+         "remaining pause)");
+
+  constexpr size_t HeapBytes = 64u << 20;
+  constexpr uint64_t Millis = 2500;
+
+  TablePrinter Table({"sweep mode", "max pause ms", "avg pause ms",
+                      "avg mark ms", "avg sweep ms", "sweep share",
+                      "tx/s", "GCs"});
+
+  for (bool Lazy : {false, true}) {
+    GcOptions Cgc;
+    Cgc.Kind = CollectorKind::MostlyConcurrent;
+    Cgc.HeapBytes = HeapBytes;
+    Cgc.LazySweep = Lazy;
+    WarehouseConfig Config = warehouseFor(Cgc, 6, Millis, 0.7);
+    RunOutcome Run = runWarehouse(Cgc, Config);
+    double Share = Run.Agg.AvgPauseMs > 0
+                       ? Run.Agg.AvgSweepMs / Run.Agg.AvgPauseMs
+                       : 0;
+    Table.addRow({Lazy ? "lazy" : "eager",
+                  TablePrinter::num(Run.Agg.MaxPauseMs, 2),
+                  TablePrinter::num(Run.Agg.AvgPauseMs, 2),
+                  TablePrinter::num(Run.Agg.AvgMarkMs, 2),
+                  TablePrinter::num(Run.Agg.AvgSweepMs, 2),
+                  TablePrinter::percent(Share, 0),
+                  TablePrinter::num(Run.Workload.throughput(), 0),
+                  TablePrinter::num(
+                      static_cast<uint64_t>(Run.Agg.NumCycles))});
+  }
+  Table.print();
+  std::printf("\nexpected shape: the sweep component (a large share of "
+              "the eager pause) disappears from the lazy pause.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+//===- micro_ops.cpp - micro-operation costs (google-benchmark) -------------------//
+///
+/// Costs of the collector's hot operations: the allocation fast path,
+/// the fence-free card-marking write barrier, allocation-bit flushing,
+/// mark-bit test-and-set, and work-packet get/put. These are the
+/// per-operation overheads the paper's design minimizes (Sections 1.1
+/// and 5): the write barrier is two plain stores; the allocation fast
+/// path is a bump pointer; fences are batched out of both.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cgc;
+
+namespace {
+
+GcOptions microOptions(CollectorKind Kind) {
+  GcOptions Opts;
+  Opts.Kind = Kind;
+  Opts.HeapBytes = 64u << 20;
+  Opts.BackgroundThreads = 0;
+  return Opts;
+}
+
+void BM_AllocateSmall(benchmark::State &State) {
+  auto Heap = GcHeap::create(microOptions(CollectorKind::MostlyConcurrent));
+  MutatorContext &Ctx = Heap->attachThread();
+  for (auto _ : State) {
+    Object *Obj = Heap->allocate(Ctx, 32, 2);
+    benchmark::DoNotOptimize(Obj);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          Object::requiredSize(32, 2));
+  Heap->detachThread(Ctx);
+}
+BENCHMARK(BM_AllocateSmall);
+
+void BM_AllocateSmallStwNoBarrier(benchmark::State &State) {
+  auto Heap = GcHeap::create(microOptions(CollectorKind::StopTheWorld));
+  MutatorContext &Ctx = Heap->attachThread();
+  for (auto _ : State) {
+    Object *Obj = Heap->allocate(Ctx, 32, 2);
+    benchmark::DoNotOptimize(Obj);
+  }
+  Heap->detachThread(Ctx);
+}
+BENCHMARK(BM_AllocateSmallStwNoBarrier);
+
+void BM_WriteBarrier(benchmark::State &State) {
+  auto Heap = GcHeap::create(microOptions(CollectorKind::MostlyConcurrent));
+  MutatorContext &Ctx = Heap->attachThread();
+  Ctx.reserveRoots(2);
+  Object *Holder = Heap->allocate(Ctx, 0, 2);
+  Object *Value = Heap->allocate(Ctx, 16, 0);
+  Ctx.setRoot(0, Holder);
+  Ctx.setRoot(1, Value);
+  unsigned Slot = 0;
+  for (auto _ : State) {
+    Heap->writeRef(Ctx, Holder, Slot & 1, Value);
+    ++Slot;
+  }
+  Heap->detachThread(Ctx);
+}
+BENCHMARK(BM_WriteBarrier);
+
+void BM_RefLoad(benchmark::State &State) {
+  auto Heap = GcHeap::create(microOptions(CollectorKind::MostlyConcurrent));
+  MutatorContext &Ctx = Heap->attachThread();
+  Ctx.reserveRoots(1);
+  Object *Holder = Heap->allocate(Ctx, 0, 2);
+  Heap->writeRef(Ctx, Holder, 0, Holder);
+  Ctx.setRoot(0, Holder);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(GcHeap::readRef(Holder, 0));
+  Heap->detachThread(Ctx);
+}
+BENCHMARK(BM_RefLoad);
+
+void BM_MarkBitTestAndSet(benchmark::State &State) {
+  HeapSpace Heap(16u << 20);
+  size_t NumGranules = Heap.sizeBytes() / GranuleBytes;
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        Heap.markBits().testAndSet(Heap.base() + (I % NumGranules) * 8));
+    ++I;
+  }
+}
+BENCHMARK(BM_MarkBitTestAndSet);
+
+void BM_PacketGetPut(benchmark::State &State) {
+  PacketPool Pool(64);
+  for (auto _ : State) {
+    WorkPacket *Packet = Pool.getOutput();
+    Pool.put(Packet);
+  }
+}
+BENCHMARK(BM_PacketGetPut);
+
+void BM_PacketPushPopEntry(benchmark::State &State) {
+  PacketPool Pool(64);
+  TraceContext Ctx(Pool);
+  Object *Fake = reinterpret_cast<Object *>(0x10000);
+  size_t N = 0;
+  for (auto _ : State) {
+    if ((N & 255) < 128) {
+      benchmark::DoNotOptimize(Ctx.pushWork(Fake));
+    } else {
+      benchmark::DoNotOptimize(Ctx.popWork());
+    }
+    ++N;
+  }
+  while (Ctx.popWork())
+    ;
+  Ctx.release();
+}
+BENCHMARK(BM_PacketPushPopEntry);
+
+void BM_CacheFlushPer64Objects(benchmark::State &State) {
+  HeapSpace Heap(16u << 20);
+  AllocationCache Cache;
+  for (auto _ : State) {
+    State.PauseTiming();
+    Cache.reset();
+    Cache.assignRange(Heap.base(), 64u << 10);
+    for (int I = 0; I < 64; ++I)
+      Cache.allocate(64, 1, 0);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(Cache.flushAllocBits(Heap.allocBits()));
+  }
+}
+BENCHMARK(BM_CacheFlushPer64Objects);
+
+} // namespace
+
+BENCHMARK_MAIN();

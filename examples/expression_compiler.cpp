@@ -1,0 +1,230 @@
+//===- expression_compiler.cpp - a compiler hosted on the GC heap --------------//
+///
+/// \file
+/// A small arithmetic-expression compiler whose ASTs and emitted code
+/// objects live on the garbage-collected heap — the javac-like scenario
+/// of the paper's evaluation, as a user-facing program.
+///
+/// Pass expressions as arguments (variables a..h are bound to 1..8):
+///
+///   expression_compiler '1+2*3' '(a+b)*c-4'
+///
+/// Without arguments it compiles a built-in set, then stress-compiles
+/// generated expressions to show the collector at work.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+enum NodeKind : uint16_t { KNum = 1, KVar, KAdd, KSub, KMul };
+
+/// AST nodes: classId = NodeKind, two ref slots, 8-byte payload holding
+/// the literal value or variable index.
+class ExprCompiler {
+public:
+  ExprCompiler(GcHeap &Heap, MutatorContext &Ctx) : Heap(Heap), Ctx(Ctx) {}
+
+  /// Parses \p Source into a GC-hosted AST; nullptr on syntax error.
+  /// The AST is anchored on the shadow stack; the caller pops
+  /// anchorCount() roots when done with it.
+  Object *parse(const std::string &Source) {
+    Src = Source.c_str();
+    Anchors = 0;
+    Object *Ast = parseSum();
+    if (*Src != '\0') {
+      std::fprintf(stderr, "error: trailing input at '%s'\n", Src);
+      return nullptr;
+    }
+    return Ast;
+  }
+
+  size_t anchorCount() const { return Anchors; }
+
+  /// Emits a postfix "bytecode" string for display.
+  static void disassemble(const Object *Node, std::string &Out) {
+    int64_t V;
+    std::memcpy(&V, Node->payload(), 8);
+    switch (Node->classId()) {
+    case KNum:
+      Out += std::to_string(V) + " ";
+      return;
+    case KVar:
+      Out += static_cast<char>('a' + V);
+      Out += " ";
+      return;
+    case KAdd:
+    case KSub:
+    case KMul:
+      disassemble(GcHeap::readRef(Node, 0), Out);
+      disassemble(GcHeap::readRef(Node, 1), Out);
+      Out += Node->classId() == KAdd ? "add "
+             : Node->classId() == KSub ? "sub "
+                                       : "mul ";
+      return;
+    }
+  }
+
+  /// Evaluates the AST with variables a..h bound to 1..8.
+  static int64_t eval(const Object *Node) {
+    int64_t V;
+    std::memcpy(&V, Node->payload(), 8);
+    switch (Node->classId()) {
+    case KNum:
+      return V;
+    case KVar:
+      return V + 1;
+    case KAdd:
+      return eval(GcHeap::readRef(Node, 0)) + eval(GcHeap::readRef(Node, 1));
+    case KSub:
+      return eval(GcHeap::readRef(Node, 0)) - eval(GcHeap::readRef(Node, 1));
+    case KMul:
+      return eval(GcHeap::readRef(Node, 0)) * eval(GcHeap::readRef(Node, 1));
+    }
+    return 0;
+  }
+
+private:
+  Object *makeNode(NodeKind Kind, int64_t Value, Object *Lhs, Object *Rhs) {
+    Object *Node = Heap.allocate(Ctx, 8, 2, Kind);
+    if (!Node)
+      return nullptr;
+    std::memcpy(Node->payload(), &Value, 8);
+    if (Lhs)
+      Heap.writeRef(Ctx, Node, 0, Lhs);
+    if (Rhs)
+      Heap.writeRef(Ctx, Node, 1, Rhs);
+    Ctx.pushRoot(Node); // Anchor partial trees against the collector.
+    ++Anchors;
+    return Node;
+  }
+
+  Object *parseSum() {
+    Object *Lhs = parseProduct();
+    while (Lhs && (*Src == '+' || *Src == '-')) {
+      char Op = *Src++;
+      Object *Rhs = parseProduct();
+      if (!Rhs)
+        return nullptr;
+      Lhs = makeNode(Op == '+' ? KAdd : KSub, 0, Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  Object *parseProduct() {
+    Object *Lhs = parseAtom();
+    while (Lhs && *Src == '*') {
+      ++Src;
+      Object *Rhs = parseAtom();
+      if (!Rhs)
+        return nullptr;
+      Lhs = makeNode(KMul, 0, Lhs, Rhs);
+    }
+    return Lhs;
+  }
+
+  Object *parseAtom() {
+    if (*Src == '(') {
+      ++Src;
+      Object *Inner = parseSum();
+      if (!Inner || *Src != ')') {
+        std::fprintf(stderr, "error: expected ')' at '%s'\n", Src);
+        return nullptr;
+      }
+      ++Src;
+      return Inner;
+    }
+    if (*Src >= '0' && *Src <= '9') {
+      int64_t V = 0;
+      while (*Src >= '0' && *Src <= '9')
+        V = V * 10 + (*Src++ - '0');
+      return makeNode(KNum, V, nullptr, nullptr);
+    }
+    if (*Src >= 'a' && *Src <= 'h')
+      return makeNode(KVar, *Src++ - 'a', nullptr, nullptr);
+    std::fprintf(stderr, "error: unexpected character '%c'\n", *Src);
+    return nullptr;
+  }
+
+  GcHeap &Heap;
+  MutatorContext &Ctx;
+  const char *Src = nullptr;
+  size_t Anchors = 0;
+};
+
+std::string randomExpression(Random &Rng, int Depth) {
+  if (Depth == 0 || Rng.nextBool(0.35))
+    return Rng.nextBool(0.5)
+               ? std::to_string(Rng.nextBelow(100))
+               : std::string(1, static_cast<char>('a' + Rng.nextBelow(8)));
+  const char *Ops[] = {"+", "-", "*"};
+  return "(" + randomExpression(Rng, Depth - 1) +
+         Ops[Rng.nextBelow(3)] + randomExpression(Rng, Depth - 1) + ")";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  GcOptions Options;
+  Options.HeapBytes = 24u << 20;
+  Options.BackgroundThreads = 1; // The paper's uniprocessor javac setup.
+  auto Heap = GcHeap::create(Options);
+  MutatorContext &Ctx = Heap->attachThread();
+
+  std::vector<std::string> Sources;
+  for (int I = 1; I < argc; ++I)
+    Sources.push_back(argv[I]);
+  if (Sources.empty())
+    Sources = {"1+2*3", "(a+b)*c", "10*(h-3)+f*f"};
+
+  ExprCompiler Compiler(*Heap, Ctx);
+  for (const std::string &Source : Sources) {
+    Object *Ast = Compiler.parse(Source);
+    if (!Ast) {
+      Ctx.popRoots(Compiler.anchorCount());
+      continue;
+    }
+    std::string Code;
+    ExprCompiler::disassemble(Ast, Code);
+    std::printf("%-20s => [%s] = %lld   (a..h = 1..8)\n", Source.c_str(),
+                Code.c_str(),
+                static_cast<long long>(ExprCompiler::eval(Ast)));
+    Ctx.popRoots(Compiler.anchorCount()); // AST becomes garbage.
+  }
+
+  // Stress phase: compile generated expressions until the collector has
+  // run a few cycles, verifying each result against a re-evaluation.
+  std::printf("\nstress-compiling generated expressions...\n");
+  Random Rng(2026);
+  uint64_t Compiled = 0;
+  while (Heap->completedCycles() < 3) {
+    std::string Source = randomExpression(Rng, 6);
+    Object *Ast = Compiler.parse(Source);
+    if (!Ast)
+      break;
+    int64_t First = ExprCompiler::eval(Ast);
+    int64_t Second = ExprCompiler::eval(Ast);
+    if (First != Second) {
+      std::fprintf(stderr, "MISCOMPILE: AST changed under GC!\n");
+      return 1;
+    }
+    Ctx.popRoots(Compiler.anchorCount());
+    ++Compiled;
+  }
+  std::printf("compiled %llu expressions across %llu GC cycles; "
+              "all results stable\n",
+              static_cast<unsigned long long>(Compiled),
+              static_cast<unsigned long long>(Heap->completedCycles()));
+
+  Heap->detachThread(Ctx);
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- pause_timeline.cpp - visualize cycles and pause decomposition -----------//
+///
+/// \file
+/// Runs a bursty server load and renders a text timeline of every
+/// collection cycle: when it ran, how the pause decomposes (stop /
+/// card cleaning / stack rescan / mark / sweep / compaction), how long
+/// the concurrent phase lasted, and the pause percentiles an operator
+/// would alert on. A compact way to *see* the paper's claim: the
+/// mostly-concurrent collector turns a few long bars into many short
+/// ones.
+///
+/// Usage: pause_timeline [stw|cgc] [seconds] [heap-mb]
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+#include "support/SampleSeries.h"
+#include "workloads/Warehouse.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace cgc;
+
+namespace {
+
+/// A proportional bar of width <= MaxCols.
+std::string bar(double Value, double FullScale, int MaxCols, char Fill) {
+  int Cols = FullScale > 0
+                 ? static_cast<int>(Value / FullScale * MaxCols + 0.5)
+                 : 0;
+  if (Cols > MaxCols)
+    Cols = MaxCols;
+  return std::string(static_cast<size_t>(Cols), Fill);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool UseCgc = argc < 2 || std::strcmp(argv[1], "stw") != 0;
+  uint64_t Millis = (argc > 2 ? std::atoi(argv[2]) : 3) * 1000ull;
+  size_t HeapBytes = static_cast<size_t>(argc > 3 ? std::atoi(argv[3]) : 48)
+                     << 20;
+
+  GcOptions Options;
+  Options.Kind =
+      UseCgc ? CollectorKind::MostlyConcurrent : CollectorKind::StopTheWorld;
+  Options.HeapBytes = HeapBytes;
+  Options.BackgroundThreads = UseCgc ? 1 : 0;
+  auto Heap = GcHeap::create(Options);
+
+  WarehouseConfig Config;
+  Config.Threads = 6;
+  Config.DurationMs = Millis;
+  Config.sizeLiveSet(static_cast<size_t>(0.6 * HeapBytes));
+  WarehouseWorkload Workload(*Heap, Config);
+  WorkloadResult Result = Workload.run();
+
+  auto Records = Heap->stats().snapshot();
+  std::printf("%s collector, %zu MB heap: %llu cycles over %.1f s, "
+              "%.0f tx/s\n\n",
+              UseCgc ? "mostly-concurrent" : "stop-the-world",
+              HeapBytes >> 20,
+              static_cast<unsigned long long>(Records.size()),
+              Result.DurationMs / 1000.0, Result.throughput());
+
+  double MaxPause = 0;
+  for (const CycleRecord &R : Records)
+    if (R.PauseMs > MaxPause)
+      MaxPause = R.PauseMs;
+
+  std::printf("cycle  conc-phase  pause(ms)  "
+              "|stop|cards|stacks|mark|sweep|compact|  scaled to max "
+              "%.1f ms\n",
+              MaxPause);
+  SampleSeries Pauses;
+  for (const CycleRecord &R : Records) {
+    Pauses.add(R.PauseMs);
+    std::string Bars;
+    Bars += bar(R.StopMs, MaxPause, 40, 's');
+    Bars += bar(R.FinalCardCleanMs, MaxPause, 40, 'c');
+    Bars += bar(R.StackRescanMs, MaxPause, 40, 'r');
+    Bars += bar(R.FinalMarkMs, MaxPause, 40, 'M');
+    Bars += bar(R.SweepMs, MaxPause, 40, 'W');
+    Bars += bar(R.CompactionMs, MaxPause, 40, 'X');
+    std::printf("%5llu  %7.1f ms  %8.2f   %s\n",
+                static_cast<unsigned long long>(R.CycleNumber),
+                R.ConcurrentPhaseMs, R.PauseMs, Bars.c_str());
+  }
+
+  std::printf("\npause percentiles: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, "
+              "max %.2f ms\n",
+              Pauses.percentile(0.50), Pauses.percentile(0.95),
+              Pauses.percentile(0.99), MaxPause);
+  std::printf("legend: s=stop the world, c=final card cleaning, r=stack "
+              "rescan, M=final mark, W=sweep, X=compaction\n");
+  return 0;
+}

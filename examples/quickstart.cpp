@@ -1,0 +1,78 @@
+//===- quickstart.cpp - smallest end-to-end GcHeap program ---------------------//
+///
+/// \file
+/// Walks through the whole public API in one page: create a heap running
+/// the mostly-concurrent collector, attach the thread, allocate objects,
+/// wire references through the write barrier, pin data via the simulated
+/// stack, let the collector reclaim garbage, and read the per-cycle
+/// statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+
+#include <cstdio>
+
+using namespace cgc;
+
+int main() {
+  // 1. Configure and create the heap. The defaults mirror the paper's
+  //    measurement setup: tracing rate 8, 1000 work packets, 4
+  //    background threads, one concurrent card-cleaning pass.
+  GcOptions Options;
+  Options.HeapBytes = 32u << 20;
+  Options.Kind = CollectorKind::MostlyConcurrent;
+  auto Heap = GcHeap::create(Options);
+
+  // 2. Attach the current thread and give it a simulated stack of four
+  //    root slots. Anything referenced (directly or transitively) from a
+  //    root survives collection.
+  MutatorContext &Ctx = Heap->attachThread();
+  Ctx.reserveRoots(4);
+
+  // 3. Allocate a little linked list. allocate() takes payload bytes and
+  //    a reference-slot count; reference stores go through writeRef (the
+  //    card-marking write barrier).
+  Object *Head = nullptr;
+  for (int I = 0; I < 5; ++I) {
+    Object *Node = Heap->allocate(Ctx, /*PayloadBytes=*/8, /*NumRefs=*/1);
+    Node->payload()[0] = static_cast<uint8_t>('A' + I);
+    if (Head)
+      Heap->writeRef(Ctx, Node, 0, Head);
+    Head = Node;
+    Ctx.setRoot(0, Head); // Keep the list rooted while building it.
+  }
+
+  std::printf("list:");
+  for (Object *N = Ctx.getRoot(0); N; N = GcHeap::readRef(N, 0))
+    std::printf(" %c", N->payload()[0]);
+  std::printf("\n");
+
+  // 4. Churn garbage until the collector has to work. Allocation slow
+  //    paths drive the concurrent cycle automatically (kickoff +
+  //    incremental tracing increments).
+  while (Heap->completedCycles() < 2)
+    Heap->allocate(Ctx, 64, 0);
+
+  // 5. The rooted list survived every collection.
+  std::printf("after %llu collection cycles the list is still:",
+              static_cast<unsigned long long>(Heap->completedCycles()));
+  for (Object *N = Ctx.getRoot(0); N; N = GcHeap::readRef(N, 0))
+    std::printf(" %c", N->payload()[0]);
+  std::printf("\n");
+
+  // 6. Inspect per-cycle statistics (the same records the benchmark
+  //    harnesses aggregate into the paper's tables).
+  auto Records = Heap->stats().snapshot();
+  for (const CycleRecord &R : Records)
+    std::printf("cycle %llu: %s pause %.2f ms (mark %.2f, sweep %.2f), "
+                "live after %.1f MB\n",
+                static_cast<unsigned long long>(R.CycleNumber),
+                R.Concurrent ? "concurrent" : "stw       ", R.PauseMs,
+                R.FinalCardCleanMs + R.StackRescanMs + R.FinalMarkMs,
+                R.SweepMs,
+                static_cast<double>(R.LiveBytesAfter) / (1 << 20));
+
+  Heap->detachThread(Ctx);
+  return 0;
+}

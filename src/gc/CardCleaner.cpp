@@ -1,0 +1,136 @@
+//===- CardCleaner.cpp - Dirty-card registration and cleaning -----------------//
+
+#include "gc/CardCleaner.h"
+
+#include "mutator/ThreadRegistry.h"
+#include "support/Fences.h"
+
+#include <cassert>
+#include <mutex>
+
+using namespace cgc;
+
+void CardCleaner::beginCycle(unsigned ConcurrentPasses) {
+  std::lock_guard<SpinLock> Guard(RegistrarLock);
+  Registered.clear();
+  RegisteredCount.store(0, std::memory_order_relaxed);
+  NextIndex.store(0, std::memory_order_relaxed);
+  Cleaned.store(0, std::memory_order_relaxed);
+  PassBudget = ConcurrentPasses;
+  PassesStarted.store(0, std::memory_order_relaxed);
+  FinalMode.store(false, std::memory_order_relaxed);
+  CleanedConcurrent.store(0, std::memory_order_relaxed);
+  CleanedFinal.store(0, std::memory_order_relaxed);
+  TotalRegistered.store(0, std::memory_order_relaxed);
+}
+
+bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
+  if (FinalMode.load(std::memory_order_relaxed))
+    return false;
+  if (PassesStarted.load(std::memory_order_acquire) >= PassBudget)
+    return false;
+  // try_lock, never block: a spinning registrar-in-waiting would stall
+  // the current registrar's fence handshake.
+  if (!RegistrarLock.try_lock())
+    return false;
+  std::lock_guard<SpinLock> Guard(RegistrarLock, std::adopt_lock);
+  if (FinalMode.load(std::memory_order_relaxed) ||
+      PassesStarted.load(std::memory_order_relaxed) >= PassBudget ||
+      !currentPassDrained())
+    return false;
+
+  // Step 1: register and clear dirty indicators.
+  Registered.clear();
+  Cleaned.store(0, std::memory_order_relaxed);
+  NextIndex.store(0, std::memory_order_relaxed);
+  RegisteredCount.store(0, std::memory_order_release);
+  Heap.cards().registerAndClearDirty(Registered);
+  TotalRegistered.fetch_add(Registered.size(), std::memory_order_relaxed);
+
+  bool HaveWork = !Registered.empty();
+  if (HaveWork) {
+    // Step 2: force all mutators to execute a fence before any cleaner
+    // scans the registered cards.
+    Registry.requestFenceHandshake(Self, Heap.allocBits());
+    RegisteredCount.store(Registered.size(), std::memory_order_release);
+  }
+  PassesStarted.fetch_add(1, std::memory_order_release);
+  return HaveWork;
+}
+
+size_t CardCleaner::beginFinalPass() {
+  std::lock_guard<SpinLock> Guard(RegistrarLock);
+  // May be called repeatedly: overflows during the final drain re-dirty
+  // cards, and the caller loops until none remain.
+  FinalMode.store(true, std::memory_order_relaxed);
+
+  // Cards registered by an interrupted concurrent pass were cleared from
+  // the table but never cleaned — carry them over (world is stopped, so
+  // no cleaner is mid-card).
+  size_t Count = RegisteredCount.load(std::memory_order_relaxed);
+  size_t Claimed = NextIndex.load(std::memory_order_relaxed);
+  if (Claimed > Count)
+    Claimed = Count;
+  std::vector<uint32_t> Leftover(Registered.begin() + Claimed,
+                                 Registered.begin() + Count);
+
+  Registered = std::move(Leftover);
+  Cleaned.store(0, std::memory_order_relaxed);
+  NextIndex.store(0, std::memory_order_relaxed);
+  RegisteredCount.store(0, std::memory_order_release);
+  Heap.cards().registerAndClearDirty(Registered);
+  TotalRegistered.fetch_add(Registered.size(), std::memory_order_relaxed);
+  // Mutators are parked (each fenced on its way in); the collector-side
+  // fence completes the protocol.
+  fence(FenceSite::CardTableHandshake);
+  RegisteredCount.store(Registered.size(), std::memory_order_release);
+  return Registered.size();
+}
+
+size_t CardCleaner::cleanSome(TraceContext &Ctx, size_t MaxCards) {
+  size_t Done = 0;
+  bool Final = FinalMode.load(std::memory_order_relaxed);
+  while (Done < MaxCards) {
+    // Bounded CAS claim: NextIndex must never pass RegisteredCount.
+    // An unconditional fetch_add would let cleaners invoked while no
+    // pass is active (or during registration, while the count is still
+    // zero) burn indices, permanently skipping cards whose dirty flags
+    // the registration already cleared.
+    size_t Count = RegisteredCount.load(std::memory_order_acquire);
+    size_t I = NextIndex.load(std::memory_order_relaxed);
+    for (;;) {
+      if (I >= Count)
+        break;
+      if (NextIndex.compare_exchange_weak(I, I + 1,
+                                          std::memory_order_relaxed))
+        break;
+    }
+    if (I >= Count)
+      break;
+    cleanCard(Ctx, Registered[I]);
+    Cleaned.fetch_add(1, std::memory_order_release);
+    if (Final)
+      CleanedFinal.fetch_add(1, std::memory_order_relaxed);
+    else
+      CleanedConcurrent.fetch_add(1, std::memory_order_relaxed);
+    ++Done;
+  }
+  return Done;
+}
+
+void CardCleaner::cleanCard(TraceContext &Ctx, uint32_t Index) {
+  uint8_t *Start = Heap.cards().cardStart(Index);
+  uint8_t *End = Heap.cards().cardEnd(Index);
+  // Step 3: retrace the marked objects on the card by pushing them back
+  // onto the work packets (card cleaning "collects roots for further
+  // tracing", Section 2.1).
+  Heap.markBits().forEachSetInRange(Start, End, [&](uint8_t *Granule) {
+    Object *Obj = reinterpret_cast<Object *>(Granule);
+    if (Ctx.pushWork(Obj) == PushResult::Overflow) {
+      // Packet pool exhausted: leave the object's card dirty so a later
+      // pass (or the final one) retraces it.
+      Heap.cards().dirty(Obj);
+    }
+    return true;
+  });
+}

@@ -1,0 +1,45 @@
+//===- Collector.h - Abstract collector interface ---------------*- C++ -*-===//
+///
+/// \file
+/// The interface the runtime's allocation paths program against. Two
+/// implementations exist: StwCollector (the paper's baseline parallel
+/// stop-the-world mark-sweep) and ConcurrentCollector (the paper's
+/// parallel incremental mostly-concurrent collector).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_COLLECTOR_H
+#define CGC_GC_COLLECTOR_H
+
+#include <cstddef>
+
+namespace cgc {
+
+class MutatorContext;
+
+/// Abstract collector driven by the runtime's allocation slow paths.
+class Collector {
+public:
+  virtual ~Collector();
+
+  /// Called on every allocation-cache refill and large-object allocation
+  /// BEFORE memory is taken, with the number of bytes about to be
+  /// allocated. This is where kickoff checks and incremental tracing
+  /// increments happen (Section 3).
+  virtual void onAllocationSlowPath(MutatorContext &Ctx, size_t Bytes) = 0;
+
+  /// Allocation failed: run (or finish) a full collection cycle.
+  /// Collapses onto an already-running collection when one completes in
+  /// the meantime. \p Ctx may be null for non-mutator callers.
+  virtual void collectNow(MutatorContext *Ctx) = 0;
+
+  /// Whether the concurrent tracing phase is currently active.
+  virtual bool concurrentPhaseActive() const { return false; }
+
+  /// Stops helper threads; must be called before tearing down GcCore.
+  virtual void shutdown() {}
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_COLLECTOR_H

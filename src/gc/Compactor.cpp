@@ -1,0 +1,145 @@
+//===- Compactor.cpp - Incremental (area) compaction ---------------------------//
+
+#include "gc/Compactor.h"
+
+#include "mutator/ThreadRegistry.h"
+
+#include <cassert>
+
+using namespace cgc;
+
+void Compactor::armForCycle() {
+  assert(!Armed.load(std::memory_order_relaxed) &&
+         "previous evacuation not finished");
+  if (AreaBytes == 0 || AreaBytes >= Heap.sizeBytes())
+    return;
+  uint8_t *Start = Heap.base() + NextAreaOffset;
+  uint8_t *End = Start + AreaBytes;
+  if (End > Heap.limit())
+    End = Heap.limit();
+  NextAreaOffset += AreaBytes;
+  if (NextAreaOffset >= Heap.sizeBytes())
+    NextAreaOffset = 0;
+
+  {
+    std::lock_guard<SpinLock> Guard(SlotsLock);
+    Slots.clear();
+  }
+  AreaStart.store(Start, std::memory_order_relaxed);
+  AreaEnd.store(End, std::memory_order_relaxed);
+  Armed.store(true, std::memory_order_release);
+}
+
+void Compactor::disarm() {
+  Armed.store(false, std::memory_order_release);
+  AreaStart.store(nullptr, std::memory_order_relaxed);
+  AreaEnd.store(nullptr, std::memory_order_relaxed);
+  std::lock_guard<SpinLock> Guard(SlotsLock);
+  Slots.clear();
+}
+
+Compactor::Stats Compactor::evacuate(ThreadRegistry &Registry) {
+  Stats Result;
+  uint8_t *Lo = AreaStart.load(std::memory_order_relaxed);
+  uint8_t *Hi = AreaEnd.load(std::memory_order_relaxed);
+  if (!Lo) {
+    disarm();
+    return Result;
+  }
+
+  // Evacuation targets must lie outside the area.
+  Heap.freeList().withdrawWithin(Lo, Hi);
+
+  // 1. Pin every area object referenced from a (conservatively scanned)
+  //    thread stack: those slots cannot be updated.
+  std::unordered_set<Object *> Pinned;
+  Registry.forEach([&](MutatorContext &Ctx) {
+    Ctx.withRoots([&](const std::vector<uintptr_t> &Roots) {
+      for (uintptr_t Word : Roots) {
+        if (!Heap.isPlausibleObject(Word))
+          continue;
+        uint8_t *P = reinterpret_cast<uint8_t *>(Word);
+        if (P >= Lo && P < Hi)
+          Pinned.insert(reinterpret_cast<Object *>(P));
+      }
+    });
+  });
+  Result.PinnedObjects = Pinned.size();
+
+  // 2. Choose targets for every live (marked) unpinned object in the
+  //    area. Nothing is copied yet: the recorded slots still point at
+  //    the old locations, including slots inside objects that will
+  //    themselves move.
+  std::unordered_map<Object *, Object *> Forwarding;
+  Heap.markBits().forEachSetInRange(Lo, Hi, [&](uint8_t *Granule) {
+    Object *Obj = reinterpret_cast<Object *>(Granule);
+    assert(Heap.allocBits().test(Obj) && "marked non-object in evac area");
+    if (Pinned.count(Obj))
+      return true;
+    // Objects straddling the area's end still move as a whole (their
+    // header is inside).
+    uint8_t *Target = Heap.freeList().allocate(Obj->sizeBytes());
+    if (!Target) {
+      ++Result.FailedObjects;
+      return true;
+    }
+    assert(!(Target >= Lo && Target < Hi) &&
+           "evacuation target inside the area");
+    Forwarding.emplace(Obj, reinterpret_cast<Object *>(Target));
+    return true;
+  });
+
+  // 3. Fix up the recorded slots in place (before any copy, so moving
+  //    holders copy already-fixed slot values).
+  {
+    std::lock_guard<SpinLock> Guard(SlotsLock);
+    Result.SlotRecords = Slots.size();
+    for (auto [Holder, Index] : Slots) {
+      if (!Heap.markBits().test(Holder))
+        continue; // The holder died; its memory was already swept.
+      Object *Value = Holder->loadRef(Index);
+      auto It = Forwarding.find(Value);
+      if (It == Forwarding.end())
+        continue; // Null, rewritten, pinned, or failed-to-move.
+      Holder->storeRefRaw(Index, It->second);
+      ++Result.SlotsFixed;
+    }
+  }
+
+  // 4. Copy the objects and transfer their bitmap bits.
+  for (auto [Old, New] : Forwarding) {
+    uint32_t Size = Old->sizeBytes();
+    std::memcpy(New, Old, Size);
+    Heap.allocBits().set(New);
+    Heap.markBits().set(New);
+    Heap.allocBits().clear(Old);
+    Heap.markBits().clear(Old);
+    Result.EvacuatedBytes += Size;
+    ++Result.EvacuatedObjects;
+  }
+
+  // 5. Rebuild the area's free space: everything except the objects
+  //    that stayed (pinned or failed) is free now. A mini bitwise sweep
+  //    over the area derives the maximal runs; a live object straddling
+  //    in from before the area keeps its extent.
+  uint8_t *Pos = Lo;
+  if (uint8_t *PrevMarked = Heap.markBits().findPrevSet(Lo)) {
+    uint8_t *PrevEnd = reinterpret_cast<Object *>(PrevMarked)->end();
+    if (PrevEnd > Pos)
+      Pos = PrevEnd;
+  }
+  while (Pos < Hi) {
+    uint8_t *NextLive = Heap.markBits().findNextSet(Pos, Hi);
+    uint8_t *RunEnd = NextLive ? NextLive : Hi;
+    if (RunEnd > Pos) {
+      Heap.allocBits().clearRange(Pos, RunEnd);
+      Heap.freeList().addRange(Pos, static_cast<size_t>(RunEnd - Pos));
+    }
+    if (!NextLive)
+      break;
+    Pos = reinterpret_cast<Object *>(NextLive)->end();
+  }
+
+  disarm();
+  return Result;
+}

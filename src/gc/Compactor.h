@@ -1,0 +1,112 @@
+//===- Compactor.h - Incremental (area) compaction --------------*- C++ -*-===//
+///
+/// \file
+/// Incremental compaction (Section 2.3): full compaction of a large
+/// heap cannot fit in a short pause, but one area per cycle can be
+/// evacuated while the world is already stopped. Following the paper:
+///
+///  - an area is chosen before the start of the (concurrent) mark
+///    phase;
+///  - all pointers into the area are tracked during marking, both in
+///    the concurrent and the stop-the-world phases (the tracer calls
+///    recordSlot for every reference it scans that lands in the area);
+///  - after sweep, the live objects are evacuated out of the area and
+///    the recorded references are fixed up.
+///
+/// Objects referenced from thread stacks are pinned in place: the
+/// stacks are scanned conservatively, so their slots cannot be updated
+/// (the Lang-Dupont heritage the paper cites [24]).
+///
+/// Area selection rotates through the heap (the production system
+/// picks fragmented areas; rotation keeps this reproduction simple and
+/// still bounds per-pause compaction work).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_COMPACTOR_H
+#define CGC_GC_COMPACTOR_H
+
+#include "heap/HeapSpace.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace cgc {
+
+class ThreadRegistry;
+
+/// Evacuates one heap area per collection cycle.
+class Compactor {
+public:
+  Compactor(HeapSpace &Heap, size_t AreaBytes)
+      : Heap(Heap), AreaBytes(AreaBytes) {}
+
+  /// Selects the next evacuation area (called at cycle initialization,
+  /// before any marking).
+  void armForCycle();
+
+  /// Drops the area without evacuating (cycle ended abnormally).
+  void disarm();
+
+  /// Whether an evacuation area is active this cycle.
+  bool armed() const { return Armed.load(std::memory_order_acquire); }
+
+  /// Hot-path filter used by the tracer: true when tracking is on and
+  /// \p Addr lies in the evacuation area.
+  bool inEvacArea(const void *Addr) const {
+    // AreaStart stays null while disarmed, so the two compares suffice.
+    const uint8_t *P = static_cast<const uint8_t *>(Addr);
+    return P >= AreaStart.load(std::memory_order_relaxed) &&
+           P < AreaEnd.load(std::memory_order_relaxed);
+  }
+
+  /// Records that slot \p Index of \p Holder held a reference into the
+  /// area when the tracer scanned it. Thread-safe; duplicates are fine
+  /// (fix-up re-validates every slot).
+  void recordSlot(Object *Holder, uint32_t Index) {
+    std::lock_guard<SpinLock> Guard(SlotsLock);
+    Slots.emplace_back(Holder, Index);
+  }
+
+  /// Outcome of one evacuation.
+  struct Stats {
+    uint64_t EvacuatedObjects = 0;
+    uint64_t EvacuatedBytes = 0;
+    uint64_t PinnedObjects = 0;
+    uint64_t FailedObjects = 0; ///< No space outside the area.
+    uint64_t SlotRecords = 0;
+    uint64_t SlotsFixed = 0;
+  };
+
+  /// Evacuates the armed area. Must run with the world stopped, after
+  /// the sweep (the free list is the source of target memory and the
+  /// mark bits identify the area's live objects). Disarms afterwards.
+  Stats evacuate(ThreadRegistry &Registry);
+
+  /// The area armed for this cycle (tests).
+  std::pair<uint8_t *, uint8_t *> area() const {
+    return {AreaStart.load(std::memory_order_relaxed),
+            AreaEnd.load(std::memory_order_relaxed)};
+  }
+
+private:
+  HeapSpace &Heap;
+  const size_t AreaBytes;
+  size_t NextAreaOffset = 0;
+
+  std::atomic<uint8_t *> AreaStart{nullptr};
+  std::atomic<uint8_t *> AreaEnd{nullptr};
+  std::atomic<bool> Armed{false};
+
+  SpinLock SlotsLock;
+  std::vector<std::pair<Object *, uint32_t>> Slots;
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_COMPACTOR_H

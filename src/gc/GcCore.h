@@ -1,0 +1,82 @@
+//===- GcCore.h - Shared collector machinery bundle -------------*- C++ -*-===//
+///
+/// \file
+/// Owns every subsystem both collectors build on: the heap, the packet
+/// pool, the thread registry, the tracer, the card cleaner, the sweeper,
+/// the STW worker pool, the pacer and the statistics sink — plus the
+/// collection lock and cycle counters that serialize collection cycles
+/// against each other and against thread attach/detach.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_GCCORE_H
+#define CGC_GC_GCCORE_H
+
+#include "gc/CardCleaner.h"
+#include "gc/Compactor.h"
+#include "gc/GcOptions.h"
+#include "gc/GcStats.h"
+#include "gc/Pacer.h"
+#include "gc/Sweeper.h"
+#include "gc/Tracer.h"
+#include "gc/WorkerPool.h"
+#include "heap/HeapSpace.h"
+#include "mutator/ThreadRegistry.h"
+#include "workpackets/PacketPool.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace cgc {
+
+/// Phase of the mostly-concurrent cycle state machine.
+enum class GcPhase : int {
+  /// No cycle in progress.
+  Idle,
+  /// Concurrent tracing phase is active.
+  Concurrent
+};
+
+/// Bundle of all collector subsystems (one per GcHeap).
+struct GcCore {
+  explicit GcCore(const GcOptions &Opts)
+      : Options(Opts), Heap(Opts.HeapBytes), Pool(Opts.NumWorkPackets),
+        Compact(Heap, Opts.EvacuationAreaBytes),
+        Trace(Heap, Pool, Registry, &Compact, Opts.NaiveFenceAccounting),
+        Cleaner(Heap, Registry), Sweep(Heap), Workers(Opts.GcWorkerThreads),
+        Pace(Opts, Heap.sizeBytes()) {}
+
+  GcOptions Options;
+  HeapSpace Heap;
+  PacketPool Pool;
+  ThreadRegistry Registry;
+  Compactor Compact;
+  Tracer Trace;
+  CardCleaner Cleaner;
+  Sweeper Sweep;
+  WorkerPool Workers;
+  Pacer Pace;
+  GcStatsCollector Stats;
+
+  /// Serializes collection cycles, thread attach/detach and heap
+  /// teardown. Waiters must keep polling (they may have to park).
+  std::mutex CollectMutex;
+
+  /// Number of the cycle currently (or last) started; 0 = none yet.
+  std::atomic<uint64_t> CycleNumber{0};
+  /// Cycles fully completed (sweep done).
+  std::atomic<uint64_t> CompletedCycles{0};
+  /// Current phase.
+  std::atomic<int> Phase{static_cast<int>(GcPhase::Idle)};
+
+  GcPhase phase() const {
+    return static_cast<GcPhase>(Phase.load(std::memory_order_acquire));
+  }
+  void setPhase(GcPhase P) {
+    Phase.store(static_cast<int>(P), std::memory_order_release);
+  }
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_GCCORE_H

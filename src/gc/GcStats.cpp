@@ -1,0 +1,34 @@
+//===- GcStats.cpp - Per-cycle collection statistics -------------------------//
+
+#include "gc/GcStats.h"
+
+using namespace cgc;
+
+GcAggregates GcAggregates::compute(const std::vector<CycleRecord> &Records) {
+  GcAggregates A;
+  A.NumCycles = Records.size();
+  if (Records.empty())
+    return A;
+  for (const CycleRecord &R : Records) {
+    double MarkMs = R.FinalCardCleanMs + R.StackRescanMs + R.FinalMarkMs;
+    A.AvgPauseMs += R.PauseMs;
+    A.AvgMarkMs += MarkMs;
+    A.AvgSweepMs += R.SweepMs;
+    A.AvgLiveBytesAfter += static_cast<double>(R.LiveBytesAfter);
+    A.AvgCardsCleanedFinal += static_cast<double>(R.CardsCleanedFinal);
+    A.AvgCardsCleanedConcurrent +=
+        static_cast<double>(R.CardsCleanedConcurrent);
+    if (R.PauseMs > A.MaxPauseMs)
+      A.MaxPauseMs = R.PauseMs;
+    if (MarkMs > A.MaxMarkMs)
+      A.MaxMarkMs = MarkMs;
+  }
+  double N = static_cast<double>(Records.size());
+  A.AvgPauseMs /= N;
+  A.AvgMarkMs /= N;
+  A.AvgSweepMs /= N;
+  A.AvgLiveBytesAfter /= N;
+  A.AvgCardsCleanedFinal /= N;
+  A.AvgCardsCleanedConcurrent /= N;
+  return A;
+}

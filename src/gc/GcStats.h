@@ -1,0 +1,142 @@
+//===- GcStats.h - Per-cycle collection statistics --------------*- C++ -*-===//
+///
+/// \file
+/// Per-cycle measurement records and their aggregation. Every metric in
+/// the paper's evaluation (Section 6) is computed from these records:
+/// pause times and their mark/sweep decomposition, cards cleaned
+/// concurrently vs in the pause, premature-completion free space, cards
+/// left at allocation failure, per-cycle allocation rates, tracing
+/// factors and their fairness, and synchronization costs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_GCSTATS_H
+#define CGC_GC_GCSTATS_H
+
+#include "support/SampleSeries.h"
+#include "support/SpinLock.h"
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cgc {
+
+/// Everything measured about one collection cycle.
+struct CycleRecord {
+  uint64_t CycleNumber = 0;
+  /// True for a mostly-concurrent cycle, false for a pure STW cycle.
+  bool Concurrent = false;
+  /// True when concurrent tracing terminated before memory ran out.
+  bool CompletedConcurrently = false;
+
+  /// Total final stop-the-world pause, and its decomposition (ms).
+  double PauseMs = 0;
+  double StopMs = 0;
+  double FinalCardCleanMs = 0;
+  double StackRescanMs = 0;
+  double FinalMarkMs = 0;
+  double SweepMs = 0;
+
+  /// Duration of the concurrent phase and of the preceding quiet period.
+  double ConcurrentPhaseMs = 0;
+  double PreConcurrentMs = 0;
+
+  /// Card-cleaning work split.
+  uint64_t CardsCleanedConcurrent = 0;
+  uint64_t CardsCleanedFinal = 0;
+  /// Cards the concurrent phase still had to clean when it was halted by
+  /// an allocation failure ("Cards Left", Section 6.2).
+  uint64_t CardsLeftAtFailure = 0;
+
+  /// Free space remaining when concurrent tracing completed all its work
+  /// ("Premature GC Free Space", Section 6.2). Zero if halted by failure.
+  uint64_t FreeAtConcurrentCompletion = 0;
+
+  /// Tracing volumes (bytes of objects scanned).
+  uint64_t BytesTracedConcurrent = 0;
+  uint64_t BytesTracedFinal = 0;
+  uint64_t BytesTracedByBackground = 0;
+
+  /// Allocation volumes in the two windows (bytes).
+  uint64_t BytesAllocatedPreConcurrent = 0;
+  uint64_t BytesAllocatedConcurrent = 0;
+
+  /// Heap state after the sweep.
+  uint64_t LiveBytesAfter = 0;
+  uint64_t FreeBytesAfter = 0;
+  uint64_t LargestFreeRangeAfter = 0;
+  uint64_t HeapBytes = 0;
+
+  /// Incremental compaction (when an area was evacuated this cycle).
+  double CompactionMs = 0;
+  uint64_t EvacuatedObjects = 0;
+  uint64_t EvacuatedBytes = 0;
+  uint64_t PinnedObjects = 0;
+  uint64_t CompactionSlotsFixed = 0;
+
+  /// Weak-ordering / packet events.
+  uint64_t DeferredObjects = 0;
+  uint64_t Overflows = 0;
+  uint64_t SyncOps = 0;
+
+  /// Load-balancing quality of the cycle's tracing increments
+  /// (Section 6.3): mean tracing factor and its standard deviation.
+  double TracingFactorMean = 0;
+  double TracingFactorStddev = 0;
+  uint64_t TracingIncrements = 0;
+};
+
+/// Thread-safe container of cycle records.
+class GcStatsCollector {
+public:
+  /// Appends a finished cycle's record.
+  void addCycle(const CycleRecord &Record) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    Cycles.push_back(Record);
+  }
+
+  /// Copies out all records.
+  std::vector<CycleRecord> snapshot() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return Cycles;
+  }
+
+  /// Number of completed cycles.
+  size_t numCycles() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return Cycles.size();
+  }
+
+  /// Clears all records.
+  void reset() {
+    std::lock_guard<SpinLock> Guard(Lock);
+    Cycles.clear();
+  }
+
+private:
+  mutable SpinLock Lock;
+  std::vector<CycleRecord> Cycles;
+};
+
+/// Aggregates over a set of cycle records (helper for the benches).
+struct GcAggregates {
+  size_t NumCycles = 0;
+  double AvgPauseMs = 0;
+  double MaxPauseMs = 0;
+  /// Mark component of the pause: final card cleaning + stack rescan +
+  /// final marking.
+  double AvgMarkMs = 0;
+  double MaxMarkMs = 0;
+  double AvgSweepMs = 0;
+  double AvgLiveBytesAfter = 0;
+  double AvgCardsCleanedFinal = 0;
+  double AvgCardsCleanedConcurrent = 0;
+
+  /// Computes aggregates over \p Records.
+  static GcAggregates compute(const std::vector<CycleRecord> &Records);
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_GCSTATS_H

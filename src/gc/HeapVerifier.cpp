@@ -1,0 +1,113 @@
+//===- HeapVerifier.cpp - Reachability and invariant checks -------------------//
+
+#include "gc/HeapVerifier.h"
+
+#include "mutator/ThreadRegistry.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace cgc;
+
+bool HeapVerifier::checkObject(const Object *Obj,
+                               VerifyResult &Result) const {
+  char Buf[160];
+  if (!Heap.contains(Obj) ||
+      reinterpret_cast<uintptr_t>(Obj) % GranuleBytes != 0) {
+    std::snprintf(Buf, sizeof(Buf), "object %p outside heap or misaligned",
+                  static_cast<const void *>(Obj));
+    Result.Error = Buf;
+    return false;
+  }
+  if (!Heap.allocBits().test(Obj)) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "reachable object %p has no allocation bit",
+                  static_cast<const void *>(Obj));
+    Result.Error = Buf;
+    return false;
+  }
+  size_t Size = Obj->sizeBytes();
+  const uint8_t *ObjAddr = reinterpret_cast<const uint8_t *>(Obj);
+  if (Size < Object::MinObjectBytes || Size % GranuleBytes != 0 ||
+      ObjAddr + Size > Heap.limit()) {
+    std::snprintf(Buf, sizeof(Buf), "object %p has corrupt size %zu",
+                  static_cast<const void *>(Obj), Size);
+    Result.Error = Buf;
+    return false;
+  }
+  if (Object::HeaderBytes + Obj->numRefs() * 8ull > Size) {
+    std::snprintf(Buf, sizeof(Buf), "object %p refs overflow its size",
+                  static_cast<const void *>(Obj));
+    Result.Error = Buf;
+    return false;
+  }
+  return true;
+}
+
+VerifyResult HeapVerifier::verify(ThreadRegistry &Registry, bool CheckMarks) {
+  VerifyResult Result;
+  BitVector8 Visited(Heap.base(), Heap.sizeBytes());
+  // Each entry carries its referrer (null for roots) so a failure can
+  // report where the missed object hangs.
+  std::vector<std::pair<Object *, Object *>> Worklist;
+
+  Registry.forEach([&](MutatorContext &Ctx) {
+    Ctx.withRoots([&](const std::vector<uintptr_t> &Roots) {
+      for (uintptr_t Word : Roots)
+        if (Heap.isPlausibleObject(Word)) {
+          Object *Obj = reinterpret_cast<Object *>(Word);
+          if (Visited.testAndSet(Obj))
+            Worklist.push_back({Obj, nullptr});
+        }
+    });
+  });
+
+  while (!Worklist.empty()) {
+    auto [Obj, Parent] = Worklist.back();
+    Worklist.pop_back();
+    if (!checkObject(Obj, Result)) {
+      Result.Ok = false;
+      return Result;
+    }
+    if (CheckMarks && !Heap.markBits().test(Obj)) {
+      char Buf[256];
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "reachable object %p is unmarked (size=%u refs=%u class=%u "
+          "alloc=%d; parent=%p parent-mark=%d parent-class=%u "
+          "parent-card-dirty=%d)",
+          static_cast<void *>(Obj), Obj->sizeBytes(), Obj->numRefs(),
+          Obj->classId(), Heap.allocBits().test(Obj),
+          static_cast<void *>(Parent),
+          Parent ? Heap.markBits().test(Parent) : 0,
+          Parent ? Parent->classId() : 0,
+          Parent ? Heap.cards().isDirty(Heap.cards().cardIndexFor(Parent))
+                 : 0);
+      Result.Error = Buf;
+      Result.Ok = false;
+      return Result;
+    }
+    ++Result.ReachableObjects;
+    Result.ReachableBytes += Obj->sizeBytes();
+    for (unsigned I = 0, N = Obj->numRefs(); I < N; ++I) {
+      Object *Child = Obj->loadRef(I);
+      if (Child && Visited.testAndSet(Child))
+        Worklist.push_back({Child, Obj});
+    }
+  }
+
+  // Free ranges must carry no allocation bits (nothing reachable can
+  // live there given the check above).
+  for (auto [Start, Size] : Heap.freeList().snapshotRanges()) {
+    if (Heap.allocBits().countInRange(Start, Start + Size) != 0) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf),
+                    "free range %p+%zu contains allocation bits",
+                    static_cast<void *>(Start), Size);
+      Result.Error = Buf;
+      Result.Ok = false;
+      return Result;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===- HeapVerifier.h - Reachability and invariant checks -------*- C++ -*-===//
+///
+/// \file
+/// Heap invariant checker used by tests and (optionally) inside every
+/// final pause. Computes the reachable set from every thread's roots and
+/// checks:
+///  - every reachable object lies in the heap, is granule aligned, has a
+///    published allocation bit and a sane header;
+///  - (post-mark) every reachable object is marked;
+///  - free-list ranges carry no allocation bits and never overlap
+///    reachable objects.
+///
+/// Must run while the world is quiescent (inside a pause, or in
+/// single-threaded tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_HEAPVERIFIER_H
+#define CGC_GC_HEAPVERIFIER_H
+
+#include "heap/HeapSpace.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cgc {
+
+class ThreadRegistry;
+
+/// Outcome of a verification run.
+struct VerifyResult {
+  bool Ok = true;
+  std::string Error;
+  uint64_t ReachableObjects = 0;
+  uint64_t ReachableBytes = 0;
+};
+
+/// Stateless verifier over a quiescent heap.
+class HeapVerifier {
+public:
+  explicit HeapVerifier(HeapSpace &Heap) : Heap(Heap) {}
+
+  /// Full check from all roots. \p CheckMarks requires every reachable
+  /// object to be marked (valid between mark completion and the next
+  /// cycle's initialization).
+  VerifyResult verify(ThreadRegistry &Registry, bool CheckMarks);
+
+private:
+  bool checkObject(const Object *Obj, VerifyResult &Result) const;
+
+  HeapSpace &Heap;
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_HEAPVERIFIER_H

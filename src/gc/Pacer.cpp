@@ -1,0 +1,87 @@
+//===- Pacer.cpp - Kickoff and progress formulas ------------------------------//
+
+#include "gc/Pacer.h"
+
+#include <algorithm>
+
+using namespace cgc;
+
+Pacer::Pacer(const GcOptions &Options, size_t HeapBytes)
+    : K0(Options.TracingRate), Kmax(Options.kmax()), C(Options.CorrectiveC),
+      LEst(Options.SeedLFraction * static_cast<double>(HeapBytes),
+           Options.SmoothingAlpha),
+      MEst(Options.SeedMFraction * static_cast<double>(HeapBytes),
+           Options.SmoothingAlpha),
+      BestEst(0.0, Options.SmoothingAlpha) {}
+
+size_t Pacer::kickoffThresholdBytes() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  double Threshold = (LEst.value() + MEst.value()) / K0;
+  return Threshold <= 0 ? 0 : static_cast<size_t>(Threshold);
+}
+
+double Pacer::currentRate(uint64_t TracedBytes, uint64_t FreeBytes) const {
+  double L, M, Best;
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    L = LEst.value();
+    M = MEst.value();
+    Best = BestEst.value();
+  }
+  double F = static_cast<double>(std::max<uint64_t>(FreeBytes, 1));
+  double K = (M + L - static_cast<double>(TracedBytes)) / F;
+  // Negative numerator: L or M were underestimated; use Kmax.
+  if (K < 0)
+    K = Kmax;
+  // Background threads may already be covering the schedule.
+  K -= Best;
+  if (K <= 0)
+    return 0.0;
+  // Behind schedule: apply the corrective term.
+  if (K > K0)
+    K = K + (K - K0) * C;
+  return std::min(K, Kmax);
+}
+
+void Pacer::noteAllocation(size_t Bytes) {
+  uint64_t Total =
+      WindowAllocated.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  if (Total < WindowBytes)
+    return;
+  // Close the window: compute B = background traced / allocated and fold
+  // it into Best. Racy double-closing only produces an extra (harmless)
+  // sample.
+  uint64_t Allocated = WindowAllocated.exchange(0, std::memory_order_relaxed);
+  uint64_t BgTraced = WindowBgTraced.exchange(0, std::memory_order_relaxed);
+  if (Allocated == 0)
+    return;
+  double B = static_cast<double>(BgTraced) / static_cast<double>(Allocated);
+  std::lock_guard<SpinLock> Guard(Lock);
+  BestEst.addSample(B);
+}
+
+void Pacer::noteBackgroundTrace(size_t Bytes) {
+  WindowBgTraced.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+void Pacer::endCycle(uint64_t ActualTracedBytes,
+                     uint64_t ActualDirtyCardBytes) {
+  std::lock_guard<SpinLock> Guard(Lock);
+  LEst.addSample(static_cast<double>(ActualTracedBytes));
+  MEst.addSample(static_cast<double>(ActualDirtyCardBytes));
+}
+
+double Pacer::estimateL() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return LEst.value();
+}
+
+double Pacer::estimateM() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return MEst.value();
+}
+
+double Pacer::estimateBest() const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return BestEst.value();
+}

@@ -1,0 +1,91 @@
+//===- Pacer.h - Kickoff and progress formulas ------------------*- C++ -*-===//
+///
+/// \file
+/// The metering of concurrent collection work (Section 3).
+///
+/// Kickoff (once per cycle): a new concurrent phase starts when free
+/// memory drops below (L + M) / K0, where L predicts the memory to be
+/// traced, M predicts the memory on dirty cards to be rescanned, and K0
+/// is the desired allocator tracing rate. L and M are exponential
+/// smoothing averages of their actual values in past cycles.
+///
+/// Progress (each allocation-cache refill / large allocation): the
+/// current rate is K = (M + L - T) / F with T the bytes traced so far and
+/// F the current free memory; a negative numerator means the predictions
+/// were too low and K is clamped to Kmax (typically 2 K0). The smoothed
+/// background tracing rate Best is subtracted (background threads may be
+/// doing the work for free), and when K still exceeds K0 — tracing is
+/// behind schedule — the corrective term C inflates it:
+/// K + (K - K0) * C.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_PACER_H
+#define CGC_GC_PACER_H
+
+#include "gc/GcOptions.h"
+#include "support/Smoothing.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace cgc {
+
+/// Implements the kickoff and progress formulas plus Best accounting.
+class Pacer {
+public:
+  Pacer(const GcOptions &Options, size_t HeapBytes);
+
+  /// Free-memory threshold that triggers a new concurrent phase:
+  /// (L + M) / K0.
+  size_t kickoffThresholdBytes() const;
+
+  /// The current tracing rate K for a mutator increment, given \p
+  /// TracedBytes traced so far this cycle and \p FreeBytes currently
+  /// free. Applies the Kmax clamp, the Best subtraction and the
+  /// corrective term. Never negative.
+  double currentRate(uint64_t TracedBytes, uint64_t FreeBytes) const;
+
+  /// Tracing work (bytes) a mutator owes for allocating \p AllocBytes.
+  size_t workFor(size_t AllocBytes, uint64_t TracedBytes,
+                 uint64_t FreeBytes) const {
+    return static_cast<size_t>(currentRate(TracedBytes, FreeBytes) *
+                               static_cast<double>(AllocBytes));
+  }
+
+  /// Records mutator allocation (feeds the Best measurement window).
+  void noteAllocation(size_t Bytes);
+
+  /// Records background tracing progress (feeds Best).
+  void noteBackgroundTrace(size_t Bytes);
+
+  /// Folds the cycle's actual traced volume and dirty-card volume into
+  /// the L and M predictions.
+  void endCycle(uint64_t ActualTracedBytes, uint64_t ActualDirtyCardBytes);
+
+  /// Current smoothed predictions (for tests and logging).
+  double estimateL() const;
+  double estimateM() const;
+  double estimateBest() const;
+
+private:
+  const double K0;
+  const double Kmax;
+  const double C;
+  mutable SpinLock Lock;
+  ExponentialAverage LEst;
+  ExponentialAverage MEst;
+  ExponentialAverage BestEst;
+
+  /// Best measurement window (Section 3.2): B is re-evaluated every time
+  /// mutators allocate WindowBytes.
+  static constexpr uint64_t WindowBytes = 256u << 10;
+  std::atomic<uint64_t> WindowAllocated{0};
+  std::atomic<uint64_t> WindowBgTraced{0};
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_PACER_H

@@ -1,0 +1,23 @@
+//===- StwCollector.cpp - Baseline parallel stop-the-world GC ------------------//
+
+#include "gc/StwCollector.h"
+
+#include "support/Timing.h"
+
+using namespace cgc;
+
+void StwCollector::onAllocationSlowPath(MutatorContext &Ctx, size_t Bytes) {
+  // The baseline does no work on allocation; it collects on failure.
+}
+
+void StwCollector::collectNow(MutatorContext *Ctx) {
+  uint64_t Observed = C.CompletedCycles.load(std::memory_order_acquire);
+  if (!acquireCollectLock(Ctx, Observed))
+    return;
+  if (C.CompletedCycles.load(std::memory_order_acquire) != Observed) {
+    C.CollectMutex.unlock();
+    return;
+  }
+  runFullStwCycle(Ctx);
+  C.CollectMutex.unlock();
+}

@@ -1,0 +1,126 @@
+//===- Sweeper.cpp - Parallel bitwise sweep -----------------------------------//
+
+#include "gc/Sweeper.h"
+
+#include "gc/WorkerPool.h"
+
+#include <cassert>
+
+using namespace cgc;
+
+/// Free ranges smaller than this stay dark (their allocation bits are
+/// still cleared, so they can never be resurrected by a conservative
+/// scan); they are reclaimed once a neighbouring object dies.
+static constexpr size_t MinFreeRangeBytes = 64;
+
+Sweeper::Sweeper(HeapSpace &Heap)
+    : Heap(Heap),
+      NumChunks((Heap.sizeBytes() + ChunkBytes - 1) / ChunkBytes) {}
+
+uint8_t *Sweeper::chunkSweepStart(size_t Index) const {
+  uint8_t *ChunkStart = Heap.base() + Index * ChunkBytes;
+  if (Index == 0)
+    return ChunkStart;
+  uint8_t *PrevMarked = Heap.markBits().findPrevSet(ChunkStart);
+  if (!PrevMarked)
+    return ChunkStart;
+  Object *Prev = reinterpret_cast<Object *>(PrevMarked);
+  uint8_t *PrevEnd = Prev->end();
+  return PrevEnd > ChunkStart ? PrevEnd : ChunkStart;
+}
+
+Sweeper::ChunkResult Sweeper::sweepChunk(size_t Index) {
+  ChunkResult Result;
+  uint8_t *ChunkEnd = Heap.base() + (Index + 1) * ChunkBytes;
+  if (ChunkEnd > Heap.limit())
+    ChunkEnd = Heap.limit();
+  uint8_t *Pos = chunkSweepStart(Index);
+
+  auto reclaim = [&](uint8_t *From, uint8_t *To) {
+    if (From >= To)
+      return;
+    Heap.allocBits().clearRange(From, To);
+    size_t Size = static_cast<size_t>(To - From);
+    if (Size >= MinFreeRangeBytes) {
+      Heap.freeList().addRange(From, Size);
+      Result.FreedBytes += Size;
+    }
+  };
+
+  while (Pos < ChunkEnd) {
+    uint8_t *NextMarked = Heap.markBits().findNextSet(Pos, ChunkEnd);
+    if (!NextMarked) {
+      reclaim(Pos, ChunkEnd);
+      break;
+    }
+    reclaim(Pos, NextMarked);
+    Object *Live = reinterpret_cast<Object *>(NextMarked);
+    Result.LiveBytes += Live->sizeBytes();
+    Pos = Live->end(); // May extend past ChunkEnd; the next chunk's
+                       // leading-edge resolution accounts for it.
+  }
+  return Result;
+}
+
+uint64_t Sweeper::sweepAll(WorkerPool *Workers) {
+  Heap.freeList().clear();
+  Cursor.store(0, std::memory_order_relaxed);
+  LiveBytesFound.store(0, std::memory_order_relaxed);
+  LazyActive.store(false, std::memory_order_relaxed);
+
+  auto SweepJob = [this](unsigned) {
+    uint64_t Live = 0;
+    for (;;) {
+      size_t Index = Cursor.fetch_add(1, std::memory_order_relaxed);
+      if (Index >= NumChunks)
+        break;
+      Live += sweepChunk(Index).LiveBytes;
+    }
+    LiveBytesFound.fetch_add(Live, std::memory_order_relaxed);
+  };
+
+  if (Workers)
+    Workers->runParallel(SweepJob);
+  else
+    SweepJob(0);
+  return LiveBytesFound.load(std::memory_order_relaxed);
+}
+
+void Sweeper::armLazySweep() {
+  Heap.freeList().clear();
+  Cursor.store(0, std::memory_order_relaxed);
+  LiveBytesFound.store(0, std::memory_order_relaxed);
+  LazyActive.store(true, std::memory_order_release);
+}
+
+uint64_t Sweeper::sweepUntilFree(size_t FreeBytesWanted) {
+  if (!LazyActive.load(std::memory_order_acquire))
+    return 0;
+  ActiveSweepers.fetch_add(1, std::memory_order_acquire);
+  uint64_t Freed = 0;
+  uint64_t Live = 0;
+  for (;;) {
+    size_t Index = Cursor.fetch_add(1, std::memory_order_relaxed);
+    if (Index >= NumChunks) {
+      LazyActive.store(false, std::memory_order_release);
+      break;
+    }
+    ChunkResult R = sweepChunk(Index);
+    Freed += R.FreedBytes;
+    Live += R.LiveBytes;
+    if (Freed >= FreeBytesWanted)
+      break;
+  }
+  LiveBytesFound.fetch_add(Live, std::memory_order_relaxed);
+  ActiveSweepers.fetch_sub(1, std::memory_order_release);
+  return Freed;
+}
+
+void Sweeper::finishLazySweep() {
+  while (LazyActive.load(std::memory_order_acquire))
+    sweepUntilFree(SIZE_MAX);
+  // A laggard sweeper may still be mid-chunk reading mark bits; the next
+  // cycle must not clear them underneath it.
+  while (ActiveSweepers.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+}

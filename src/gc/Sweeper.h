@@ -1,0 +1,91 @@
+//===- Sweeper.h - Parallel bitwise sweep -----------------------*- C++ -*-===//
+///
+/// \file
+/// Bitwise sweep (Section 2.2): reclaims unused storage in time
+/// essentially proportional to the number of live objects by finding
+/// ranges of unmarked memory in the mark bit vector. The heap is divided
+/// into fixed chunks claimed by workers through an atomic cursor; a
+/// sweeping thread resolves objects spanning its chunk's leading edge by
+/// scanning the mark bits backwards. Free ranges coalesce across chunk
+/// boundaries in the address-ordered free list. Allocation bits of
+/// reclaimed ranges are cleared so conservative scanning cannot
+/// resurrect dead memory.
+///
+/// Lazy sweep (the paper's future work, Section 7): the sweep is taken
+/// out of the pause and performed incrementally at allocation time, with
+/// completion forced before the next cycle begins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_SWEEPER_H
+#define CGC_GC_SWEEPER_H
+
+#include "heap/HeapSpace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace cgc {
+
+class WorkerPool;
+
+/// Parallel / lazy bitwise sweeper over a HeapSpace.
+class Sweeper {
+public:
+  /// Heap bytes swept as one unit.
+  static constexpr size_t ChunkBytes = 1u << 20;
+
+  explicit Sweeper(HeapSpace &Heap);
+
+  /// Full STW sweep: clears the free list and rebuilds it from the mark
+  /// bit vector, in parallel on \p Workers (may be null for serial).
+  /// Returns the total live bytes found.
+  uint64_t sweepAll(WorkerPool *Workers);
+
+  /// Arms lazy sweeping: clears the free list and resets the chunk
+  /// cursor; chunks are swept on demand by sweepUntilFree.
+  void armLazySweep();
+
+  /// Whether lazily swept chunks remain.
+  bool lazySweepPending() const {
+    return LazyActive.load(std::memory_order_acquire);
+  }
+
+  /// Lazy-sweeps chunks until at least \p FreeBytesWanted have been
+  /// reclaimed by this call or the heap is fully swept. Returns bytes
+  /// reclaimed by this call.
+  uint64_t sweepUntilFree(size_t FreeBytesWanted);
+
+  /// Sweeps all remaining chunks (forced completion before a new cycle).
+  void finishLazySweep();
+
+  /// Live bytes found by the last completed sweep.
+  uint64_t liveBytes() const {
+    return LiveBytesFound.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// Sweeps chunk \p Index; adds free ranges to the free list; returns
+  /// {freed bytes, live bytes}.
+  struct ChunkResult {
+    uint64_t FreedBytes = 0;
+    uint64_t LiveBytes = 0;
+  };
+  ChunkResult sweepChunk(size_t Index);
+
+  /// First position in chunk \p Index not covered by a live object
+  /// spanning in from an earlier chunk.
+  uint8_t *chunkSweepStart(size_t Index) const;
+
+  HeapSpace &Heap;
+  size_t NumChunks;
+  std::atomic<size_t> Cursor{0};
+  std::atomic<bool> LazyActive{false};
+  std::atomic<int> ActiveSweepers{0};
+  std::atomic<uint64_t> LiveBytesFound{0};
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_SWEEPER_H

@@ -1,0 +1,58 @@
+//===- WorkerPool.cpp - Persistent GC worker threads --------------------------//
+
+#include "gc/WorkerPool.h"
+
+using namespace cgc;
+
+WorkerPool::WorkerPool(unsigned NumWorkers) {
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerMain(I + 1); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void WorkerPool::runParallel(const std::function<void(unsigned)> &Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    CurrentJob = &Job;
+    Remaining = numWorkers();
+    ++JobGeneration;
+  }
+  WorkCV.notify_all();
+  Job(0); // The caller participates as index 0.
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCV.wait(Lock, [this] { return Remaining == 0; });
+  CurrentJob = nullptr;
+}
+
+void WorkerPool::workerMain(unsigned Index) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *Job = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkCV.wait(Lock, [&] {
+        return ShuttingDown || JobGeneration != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = JobGeneration;
+      Job = CurrentJob;
+    }
+    (*Job)(Index);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Remaining == 0)
+        DoneCV.notify_all();
+    }
+  }
+}

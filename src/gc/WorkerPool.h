@@ -1,0 +1,61 @@
+//===- WorkerPool.h - Persistent GC worker threads --------------*- C++ -*-===//
+///
+/// \file
+/// A small pool of persistent worker threads used for the fully parallel
+/// stop-the-world phases (final card cleaning, marking drain, bitwise
+/// sweep — Section 2.2). Workers sleep between jobs; runParallel runs a
+/// job on every worker plus the calling thread and blocks until all are
+/// done.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_WORKERPOOL_H
+#define CGC_GC_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgc {
+
+/// Persistent thread pool with a fork-join runParallel primitive.
+class WorkerPool {
+public:
+  /// Spawns \p NumWorkers threads (0 is allowed: runParallel then runs
+  /// the job only on the caller).
+  explicit WorkerPool(unsigned NumWorkers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Runs \p Job(ParticipantIndex) on every worker (indices 1..N) and on
+  /// the calling thread (index 0); returns when all invocations finish.
+  /// Not reentrant.
+  void runParallel(const std::function<void(unsigned)> &Job);
+
+  /// Number of worker threads (excluding the caller).
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Total participants in a runParallel call (workers + caller).
+  unsigned numParticipants() const { return numWorkers() + 1; }
+
+private:
+  void workerMain(unsigned Index);
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkCV;
+  std::condition_variable DoneCV;
+  const std::function<void(unsigned)> *CurrentJob = nullptr;
+  uint64_t JobGeneration = 0;
+  unsigned Remaining = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_WORKERPOOL_H

@@ -1,0 +1,102 @@
+//===- BitVector8.cpp - One bit per 8-byte granule --------------------------//
+
+#include "heap/BitVector8.h"
+
+#include <bit>
+
+using namespace cgc;
+
+BitVector8::BitVector8(const void *BaseAddr, size_t SizeBytes)
+    : Base(static_cast<const uint8_t *>(BaseAddr)),
+      NumGranules(SizeBytes / GranuleBytes),
+      NumWords((NumGranules + 63) / 64),
+      Words(new std::atomic<uint64_t>[NumWords]) {
+  assert(SizeBytes % GranuleBytes == 0 && "heap size not granular");
+  clearAll();
+}
+
+void BitVector8::clearAll() {
+  for (size_t I = 0; I < NumWords; ++I)
+    Words[I].store(0, std::memory_order_relaxed);
+}
+
+void BitVector8::clearRange(const void *From, const void *To) {
+  if (From >= To)
+    return;
+  size_t First = granuleIndex(From);
+  // To is exclusive; the last granule cleared starts at To - GranuleBytes.
+  size_t Last = granuleIndex(static_cast<const uint8_t *>(To) - GranuleBytes);
+  size_t FirstWord = First >> 6, LastWord = Last >> 6;
+  if (FirstWord == LastWord) {
+    uint64_t Mask = 0;
+    for (size_t B = First & 63; B <= (Last & 63); ++B)
+      Mask |= 1ull << B;
+    Words[FirstWord].fetch_and(~Mask, std::memory_order_relaxed);
+    return;
+  }
+  uint64_t HeadMask = ~0ull << (First & 63);
+  Words[FirstWord].fetch_and(~HeadMask, std::memory_order_relaxed);
+  for (size_t W = FirstWord + 1; W < LastWord; ++W)
+    Words[W].store(0, std::memory_order_relaxed);
+  uint64_t TailMask = (Last & 63) == 63 ? ~0ull
+                                        : ((1ull << ((Last & 63) + 1)) - 1);
+  Words[LastWord].fetch_and(~TailMask, std::memory_order_relaxed);
+}
+
+size_t BitVector8::countInRange(const void *From, const void *To) const {
+  size_t Count = 0;
+  const uint8_t *Cur = static_cast<const uint8_t *>(From);
+  forEachSetInRange(Cur, To, [&Count](uint8_t *) {
+    ++Count;
+    return true;
+  });
+  return Count;
+}
+
+uint8_t *BitVector8::findPrevSet(const void *Before) const {
+  const uint8_t *P = static_cast<const uint8_t *>(Before);
+  if (P <= Base)
+    return nullptr;
+  size_t Last = granuleIndex(P - GranuleBytes);
+  size_t Word = Last >> 6;
+  uint64_t Bits = Words[Word].load(std::memory_order_relaxed);
+  // Mask off bits above Last.
+  unsigned Shift = static_cast<unsigned>(63 - (Last & 63));
+  Bits = (Bits << Shift) >> Shift;
+  for (;;) {
+    if (Bits) {
+      size_t Index = (Word << 6) + (63 - static_cast<size_t>(
+                                             std::countl_zero(Bits)));
+      return const_cast<uint8_t *>(Base) + Index * GranuleBytes;
+    }
+    if (Word == 0)
+      return nullptr;
+    --Word;
+    Bits = Words[Word].load(std::memory_order_relaxed);
+  }
+}
+
+uint8_t *BitVector8::findNextSet(const void *From, const void *To) const {
+  const uint8_t *FromP = static_cast<const uint8_t *>(From);
+  const uint8_t *ToP = static_cast<const uint8_t *>(To);
+  if (FromP >= ToP)
+    return nullptr;
+  size_t First = granuleIndex(FromP);
+  size_t End = granuleIndex(ToP - GranuleBytes) + 1;
+  size_t Word = First >> 6;
+  uint64_t Bits = Words[Word].load(std::memory_order_relaxed);
+  Bits &= ~0ull << (First & 63);
+  for (;;) {
+    if (Bits) {
+      size_t Index = (Word << 6) +
+                     static_cast<size_t>(std::countr_zero(Bits));
+      if (Index >= End)
+        return nullptr;
+      return const_cast<uint8_t *>(Base) + Index * GranuleBytes;
+    }
+    ++Word;
+    if ((Word << 6) >= End)
+      return nullptr;
+    Bits = Words[Word].load(std::memory_order_relaxed);
+  }
+}

@@ -1,0 +1,127 @@
+//===- BitVector8.h - One bit per 8-byte granule ----------------*- C++ -*-===//
+///
+/// \file
+/// Bit vector mapping one bit to each 8-byte granule of the heap. Used
+/// for both the mark bit vector and the allocation bit vector of the
+/// paper (Section 2.1 and Section 5.2). Bit updates are atomic so that
+/// many tracer and mutator threads can mark concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_BITVECTOR8_H
+#define CGC_HEAP_BITVECTOR8_H
+
+#include "heap/ObjectModel.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+namespace cgc {
+
+/// Atomic bitmap over a fixed heap range, one bit per granule.
+class BitVector8 {
+public:
+  /// Creates a zeroed bitmap covering [Base, Base + SizeBytes).
+  BitVector8(const void *Base, size_t SizeBytes);
+
+  /// Atomically sets the bit for \p Addr; returns true if it was clear
+  /// (i.e. this caller won the race). This is the mark operation.
+  bool testAndSet(const void *Addr) {
+    uint64_t Mask;
+    std::atomic<uint64_t> &W = wordFor(Addr, Mask);
+    if (W.load(std::memory_order_relaxed) & Mask)
+      return false;
+    return (W.fetch_or(Mask, std::memory_order_relaxed) & Mask) == 0;
+  }
+
+  /// Atomically sets the bit for \p Addr.
+  void set(const void *Addr) {
+    uint64_t Mask;
+    wordFor(Addr, Mask).fetch_or(Mask, std::memory_order_relaxed);
+  }
+
+  /// Reads the bit for \p Addr (relaxed).
+  bool test(const void *Addr) const {
+    uint64_t Mask;
+    return wordFor(Addr, Mask).load(std::memory_order_relaxed) & Mask;
+  }
+
+  /// Atomically clears the bit for \p Addr.
+  void clear(const void *Addr) {
+    uint64_t Mask;
+    wordFor(Addr, Mask).fetch_and(~Mask, std::memory_order_relaxed);
+  }
+
+  /// Clears every bit covering [From, To). Boundary words are edited
+  /// atomically so concurrent setters of neighbouring granules are safe.
+  void clearRange(const void *From, const void *To);
+
+  /// Zeroes the whole bitmap (not thread-safe against concurrent edits).
+  void clearAll();
+
+  /// Number of set bits covering [From, To) (relaxed snapshot).
+  size_t countInRange(const void *From, const void *To) const;
+
+  /// Address of the first set bit at or after \p From and before \p To,
+  /// or nullptr when none.
+  uint8_t *findNextSet(const void *From, const void *To) const;
+
+  /// Address of the last set bit strictly before \p Before (and at or
+  /// after the bitmap base), or nullptr when none. Used by the parallel
+  /// sweeper to resolve objects spanning a chunk's leading edge.
+  uint8_t *findPrevSet(const void *Before) const;
+
+  /// Invokes \p Fn with the granule address of every set bit in
+  /// [From, To), in address order. \p Fn returns false to stop early.
+  template <typename FnT>
+  void forEachSetInRange(const void *From, const void *To, FnT Fn) const {
+    const uint8_t *Cur = static_cast<const uint8_t *>(From);
+    const uint8_t *End = static_cast<const uint8_t *>(To);
+    while (Cur < End) {
+      uint8_t *Next = findNextSet(Cur, End);
+      if (!Next)
+        return;
+      if (!Fn(Next))
+        return;
+      Cur = Next + GranuleBytes;
+    }
+  }
+
+  /// The covered base address.
+  const uint8_t *base() const { return Base; }
+
+  /// Number of granules covered.
+  size_t numGranules() const { return NumGranules; }
+
+private:
+  std::atomic<uint64_t> &wordFor(const void *Addr, uint64_t &Mask) {
+    size_t Index = granuleIndex(Addr);
+    Mask = 1ull << (Index & 63);
+    return Words[Index >> 6];
+  }
+  const std::atomic<uint64_t> &wordFor(const void *Addr,
+                                       uint64_t &Mask) const {
+    return const_cast<BitVector8 *>(this)->wordFor(Addr, Mask);
+  }
+
+  size_t granuleIndex(const void *Addr) const {
+    const uint8_t *P = static_cast<const uint8_t *>(Addr);
+    assert(P >= Base && "address below bitmap range");
+    size_t Offset = static_cast<size_t>(P - Base);
+    assert(Offset / GranuleBytes < NumGranules &&
+           "address above bitmap range");
+    assert(Offset % GranuleBytes == 0 && "address not granule aligned");
+    return Offset / GranuleBytes;
+  }
+
+  const uint8_t *Base;
+  size_t NumGranules;
+  size_t NumWords;
+  std::unique_ptr<std::atomic<uint64_t>[]> Words;
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_BITVECTOR8_H

@@ -1,0 +1,41 @@
+//===- CardTable.cpp - Card-marking write-barrier table ---------------------//
+
+#include "heap/CardTable.h"
+
+using namespace cgc;
+
+CardTable::CardTable(const void *BaseAddr, size_t Size)
+    : Base(static_cast<const uint8_t *>(BaseAddr)), SizeBytes(Size),
+      NumCards((Size + CardBytes - 1) / CardBytes),
+      Cards(new std::atomic<uint8_t>[NumCards]) {
+  clearAll();
+}
+
+size_t CardTable::registerAndClearDirty(std::vector<uint32_t> &Registered) {
+  size_t Found = 0;
+  for (size_t I = 0; I < NumCards; ++I) {
+    if (!Cards[I].load(std::memory_order_relaxed))
+      continue;
+    // exchange (not plain store) so a barrier store racing with the
+    // registration is either observed now or leaves the card dirty for
+    // the next pass.
+    if (Cards[I].exchange(0, std::memory_order_relaxed)) {
+      Registered.push_back(static_cast<uint32_t>(I));
+      ++Found;
+    }
+  }
+  return Found;
+}
+
+size_t CardTable::countDirty() const {
+  size_t Count = 0;
+  for (size_t I = 0; I < NumCards; ++I)
+    if (Cards[I].load(std::memory_order_relaxed))
+      ++Count;
+  return Count;
+}
+
+void CardTable::clearAll() {
+  for (size_t I = 0; I < NumCards; ++I)
+    Cards[I].store(0, std::memory_order_relaxed);
+}

@@ -1,0 +1,93 @@
+//===- CardTable.h - Card-marking write-barrier table -----------*- C++ -*-===//
+///
+/// \file
+/// Card table for the mostly-concurrent write barrier (Section 2).
+///
+/// The heap is divided into 512-byte cards (the paper's card size). The
+/// write barrier dirties the card of the written object's header with a
+/// plain byte store and deliberately no fence; the fence-free correctness
+/// protocol of Section 5.3 (register dirty cards, force mutator fences,
+/// then clean the registered cards) is implemented by gc/CardCleaner on
+/// top of the registration primitive provided here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_CARDTABLE_H
+#define CGC_HEAP_CARDTABLE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cgc {
+
+/// Dirty-card table over a fixed heap range.
+class CardTable {
+public:
+  /// Bytes of heap covered by one card (the paper uses 512).
+  static constexpr size_t CardBytes = 512;
+
+  /// Creates a clean table covering [Base, Base + SizeBytes).
+  CardTable(const void *Base, size_t SizeBytes);
+
+  /// Number of cards in the table.
+  size_t numCards() const { return NumCards; }
+
+  /// Index of the card containing \p Addr.
+  size_t cardIndexFor(const void *Addr) const {
+    const uint8_t *P = static_cast<const uint8_t *>(Addr);
+    assert(P >= Base && static_cast<size_t>(P - Base) < SizeBytes &&
+           "address outside card table range");
+    return static_cast<size_t>(P - Base) / CardBytes;
+  }
+
+  /// First heap address covered by card \p Index.
+  uint8_t *cardStart(size_t Index) const {
+    assert(Index < NumCards && "card index out of range");
+    return const_cast<uint8_t *>(Base) + Index * CardBytes;
+  }
+
+  /// One past the last heap address covered by card \p Index.
+  uint8_t *cardEnd(size_t Index) const {
+    size_t EndOffset = (Index + 1) * CardBytes;
+    if (EndOffset > SizeBytes)
+      EndOffset = SizeBytes;
+    return const_cast<uint8_t *>(Base) + EndOffset;
+  }
+
+  /// Write-barrier store: dirties the card containing \p Addr. A plain
+  /// relaxed byte store — no fence, per Section 5.3.
+  void dirty(const void *Addr) {
+    Cards[cardIndexFor(Addr)].store(1, std::memory_order_relaxed);
+  }
+
+  /// Whether card \p Index is currently dirty.
+  bool isDirty(size_t Index) const {
+    return Cards[Index].load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Step 1 of the Section 5.3 cleaning protocol: scans the whole table,
+  /// appends the indices of dirty cards to \p Registered and clears their
+  /// dirty indicators. Returns the number of cards registered. Cards
+  /// dirtied again after this call stay dirty for a later pass.
+  size_t registerAndClearDirty(std::vector<uint32_t> &Registered);
+
+  /// Counts currently dirty cards (relaxed snapshot).
+  size_t countDirty() const;
+
+  /// Clears the entire table (cycle initialization).
+  void clearAll();
+
+private:
+  const uint8_t *Base;
+  size_t SizeBytes;
+  size_t NumCards;
+  std::unique_ptr<std::atomic<uint8_t>[]> Cards;
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_CARDTABLE_H

@@ -1,0 +1,114 @@
+//===- FreeList.h - Segregated free-space manager ---------------*- C++ -*-===//
+///
+/// \file
+/// The heap's free-space manager, feeding allocation-cache refills and
+/// large-object allocation. Bitwise sweep (Section 2.2) rebuilds it
+/// every cycle from the mark bit vector, which shapes the design:
+///
+///  - Large ranges (>= BinThresholdBytes) live in an address-ordered
+///    map (coalescing with adjacent large ranges, so multi-chunk free
+///    spans merge) plus a size index for O(log n) best-fit allocation.
+///  - Small ranges go to segregated per-size-class bins with O(1)
+///    push/pop and no coalescing: fragmentation among small ranges is
+///    transient, because the next sweep re-derives maximal free runs
+///    from the bitmap regardless of how this cycle's list was carved.
+///
+/// This keeps the parallel sweep's insertion cost near O(1) per range
+/// and the refill path away from linear first-fit scans — standing in
+/// for the compaction-avoidance machinery of the paper's base collector.
+///
+/// All operations are guarded by a single lock: the list is only
+/// touched on slow paths (refill, large allocation, sweep), matching
+/// the JVM's global heap lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_FREELIST_H
+#define CGC_HEAP_FREELIST_H
+
+#include "support/SpinLock.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cgc {
+
+/// Segregated, sweep-rebuilt free list.
+class FreeList {
+public:
+  /// Ranges at least this big go to the coalescing address map; smaller
+  /// ones go to the segregated bins.
+  static constexpr size_t BinThresholdBytes = 4096;
+
+  /// Bin granularity; bin I holds ranges of
+  /// [64 * I, 64 * I + 63] bytes (I >= 1).
+  static constexpr size_t BinGranuleBytes = 64;
+  static constexpr size_t NumBins = BinThresholdBytes / BinGranuleBytes;
+
+  /// Inserts [Start, Start + Size). Large ranges merge with adjacent
+  /// large ranges; small ranges are binned unmerged.
+  void addRange(uint8_t *Start, size_t Size);
+
+  /// Allocates exactly \p Size bytes (best fit; the remainder of the
+  /// chosen range stays free). Returns nullptr when no range fits.
+  uint8_t *allocate(size_t Size);
+
+  /// Allocates at least \p MinSize and at most \p MaxSize bytes,
+  /// preferring the full \p MaxSize (allocation-cache refill: a nearly
+  /// full heap can still hand out partial caches). On success stores
+  /// the granted size in \p OutSize.
+  uint8_t *allocateUpTo(size_t MinSize, size_t MaxSize, size_t &OutSize);
+
+  /// Total free bytes currently tracked.
+  size_t freeBytes() const {
+    return FreeByteCount.load(std::memory_order_relaxed);
+  }
+
+  /// Size of the largest single free range.
+  size_t largestRange() const;
+
+  /// Number of discrete free ranges.
+  size_t numRanges() const;
+
+  /// Drops all ranges (start of a sweep rebuild).
+  void clear();
+
+  /// Withdraws every tracked byte inside [Lo, Hi): ranges fully inside
+  /// are dropped; ranges straddling a boundary keep their outside
+  /// part(s). Used by the incremental compactor so evacuation targets
+  /// are never allocated inside the evacuation area. Returns the bytes
+  /// withdrawn.
+  size_t withdrawWithin(uint8_t *Lo, uint8_t *Hi);
+
+  /// Copies out all (start, size) ranges, address ordered (verifier and
+  /// tests).
+  std::vector<std::pair<uint8_t *, size_t>> snapshotRanges() const;
+
+private:
+  static size_t binIndex(size_t Size) { return Size / BinGranuleBytes; }
+
+  /// Takes [Start, Start+Size) out of the map (both indices); caller
+  /// holds the lock and re-adds any remainder.
+  void eraseLargeLocked(std::map<uint8_t *, size_t>::iterator It);
+  void insertLargeLocked(uint8_t *Start, size_t Size);
+  uint8_t *takeLocked(uint8_t *Start, size_t RangeSize, size_t Take);
+
+  mutable SpinLock Lock;
+  /// Start address -> size, ranges >= BinThresholdBytes, coalesced.
+  std::map<uint8_t *, size_t> Large;
+  /// Size -> start address index over Large (multimap: sizes repeat).
+  std::multimap<size_t, uint8_t *> LargeBySize;
+  /// Segregated small ranges: (start, exact size) per size class.
+  std::array<std::vector<std::pair<uint8_t *, uint32_t>>, NumBins> Bins;
+  std::atomic<size_t> FreeByteCount{0};
+  size_t SmallRangeCount = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_FREELIST_H

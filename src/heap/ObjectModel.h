@@ -1,0 +1,129 @@
+//===- ObjectModel.h - Heap object layout -----------------------*- C++ -*-===//
+///
+/// \file
+/// The object model of the simulated Java-like heap.
+///
+/// Every object is 8-byte aligned and laid out as:
+///
+///   [ 8-byte header | NumRefs reference slots (8 bytes each) | payload ]
+///
+/// The header records the total object size, the number of reference
+/// slots and a workload-defined class id. Keeping all references in a
+/// prefix of the object (an explicit reference layout) plays the role of
+/// the JVM's per-class pointer maps: the tracer can enumerate a live
+/// object's outgoing references without any type system.
+///
+/// Reference slots are read and written through std::atomic_ref with
+/// relaxed ordering: during the concurrent phase tracer threads read
+/// slots that mutators are concurrently writing, exactly as in the paper,
+/// and the required orderings are established by the explicit fence
+/// protocols of Section 5, not by the individual accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_OBJECTMODEL_H
+#define CGC_HEAP_OBJECTMODEL_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace cgc {
+
+/// Number of bytes covered by one mark/allocation bit.
+constexpr size_t GranuleBytes = 8;
+
+/// A heap object. Instances live only inside the managed heap; the class
+/// just overlays accessors on the raw memory.
+class Object {
+public:
+  /// Size of the object header in bytes.
+  static constexpr size_t HeaderBytes = 8;
+
+  /// Smallest legal object: header plus one granule.
+  static constexpr size_t MinObjectBytes = HeaderBytes + GranuleBytes;
+
+  /// Total size in bytes needed for an object with \p PayloadBytes of
+  /// non-reference data and \p NumRefs reference slots, rounded up to the
+  /// granule size.
+  static size_t requiredSize(size_t PayloadBytes, unsigned NumRefs) {
+    size_t Raw = HeaderBytes + static_cast<size_t>(NumRefs) * 8 + PayloadBytes;
+    size_t Rounded = (Raw + GranuleBytes - 1) & ~(GranuleBytes - 1);
+    return Rounded < MinObjectBytes ? MinObjectBytes : Rounded;
+  }
+
+  /// Initializes the header of a freshly allocated object and zeroes its
+  /// reference slots (so a concurrent tracer can never read junk refs).
+  void initialize(uint32_t TotalBytes, uint16_t Refs, uint16_t Class) {
+    assert(TotalBytes % GranuleBytes == 0 && "object size not granular");
+    assert(TotalBytes >= HeaderBytes + Refs * 8ull && "refs do not fit");
+    SizeBytes = TotalBytes;
+    NumRefs = Refs;
+    ClassId = Class;
+    std::memset(refArray(), 0, static_cast<size_t>(Refs) * 8);
+  }
+
+  /// Total size of this object in bytes (header + refs + payload).
+  uint32_t sizeBytes() const { return SizeBytes; }
+
+  /// Number of reference slots.
+  uint16_t numRefs() const { return NumRefs; }
+
+  /// Workload-defined class id.
+  uint16_t classId() const { return ClassId; }
+
+  /// Reads reference slot \p I (relaxed; safe against concurrent stores).
+  Object *loadRef(unsigned I) const {
+    assert(I < NumRefs && "ref slot out of range");
+    std::atomic_ref<uintptr_t> Slot(
+        const_cast<Object *>(this)->refArray()[I]);
+    return reinterpret_cast<Object *>(Slot.load(std::memory_order_relaxed));
+  }
+
+  /// Writes reference slot \p I without a write barrier. The runtime's
+  /// writeRef wraps this with the card-dirtying barrier; the raw form is
+  /// for initialization stores before an object is published.
+  void storeRefRaw(unsigned I, Object *Value) {
+    assert(I < NumRefs && "ref slot out of range");
+    std::atomic_ref<uintptr_t> Slot(refArray()[I]);
+    Slot.store(reinterpret_cast<uintptr_t>(Value), std::memory_order_relaxed);
+  }
+
+  /// Start of the non-reference payload.
+  uint8_t *payload() {
+    return reinterpret_cast<uint8_t *>(refArray() + NumRefs);
+  }
+  const uint8_t *payload() const {
+    return const_cast<Object *>(this)->payload();
+  }
+
+  /// Size of the non-reference payload in bytes.
+  size_t payloadBytes() const {
+    return SizeBytes - HeaderBytes - static_cast<size_t>(NumRefs) * 8;
+  }
+
+  /// Address one past the end of the object.
+  uint8_t *end() { return reinterpret_cast<uint8_t *>(this) + SizeBytes; }
+
+private:
+  uintptr_t *refArray() {
+    return reinterpret_cast<uintptr_t *>(reinterpret_cast<uint8_t *>(this) +
+                                         HeaderBytes);
+  }
+  const uintptr_t *refArray() const {
+    return const_cast<Object *>(this)->refArray();
+  }
+
+  uint32_t SizeBytes;
+  uint16_t NumRefs;
+  uint16_t ClassId;
+};
+
+static_assert(sizeof(Object) == Object::HeaderBytes,
+              "object header must be exactly one granule");
+
+} // namespace cgc
+
+#endif // CGC_HEAP_OBJECTMODEL_H

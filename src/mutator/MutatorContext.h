@@ -1,0 +1,139 @@
+//===- MutatorContext.h - Per-mutator-thread state --------------*- C++ -*-===//
+///
+/// \file
+/// Per-thread mutator state: the allocation cache, the simulated thread
+/// stack (a root array scanned conservatively), the work-packet trace
+/// context used when the thread performs an increment of collection
+/// work, safepoint/handshake state, and per-cycle pacing counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_MUTATOR_MUTATORCONTEXT_H
+#define CGC_MUTATOR_MUTATORCONTEXT_H
+
+#include "heap/AllocationCache.h"
+#include "support/SpinLock.h"
+#include "workpackets/TraceContext.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+class Object;
+
+/// Execution state visible to the collector.
+enum class ExecState : uint8_t {
+  /// Executing mutator code; must poll to cooperate with the collector.
+  Running,
+  /// Parked at a safepoint, waiting for the world to resume.
+  AtSafepoint,
+  /// In an idle region (think time, blocking I/O simulation): performs
+  /// no heap accesses and counts as stopped for safepoints/handshakes.
+  Idle
+};
+
+/// All per-thread state the collector interacts with.
+class MutatorContext {
+public:
+  explicit MutatorContext(PacketPool &Pool) : Trace(Pool) {}
+
+  MutatorContext(const MutatorContext &) = delete;
+  MutatorContext &operator=(const MutatorContext &) = delete;
+
+  /// --- Simulated thread stack (conservative roots) -----------------
+
+  /// Sizes the root array to \p N slots (all null).
+  void reserveRoots(size_t N) {
+    std::lock_guard<SpinLock> Guard(RootsLock);
+    Roots.assign(N, 0);
+  }
+
+  /// Stores \p Value in root slot \p I. No write barrier: stacks are
+  /// rescanned during the final stop-the-world phase, exactly as in the
+  /// paper.
+  void setRoot(size_t I, Object *Value) {
+    std::lock_guard<SpinLock> Guard(RootsLock);
+    Roots[I] = reinterpret_cast<uintptr_t>(Value);
+  }
+
+  /// Reads root slot \p I.
+  Object *getRoot(size_t I) const {
+    std::lock_guard<SpinLock> Guard(RootsLock);
+    return reinterpret_cast<Object *>(Roots[I]);
+  }
+
+  /// Number of root slots.
+  size_t numRoots() const {
+    std::lock_guard<SpinLock> Guard(RootsLock);
+    return Roots.size();
+  }
+
+  /// Writes a raw (possibly non-reference) word into a root slot; used by
+  /// tests to exercise the conservative filter.
+  void setRootWord(size_t I, uintptr_t Word) {
+    std::lock_guard<SpinLock> Guard(RootsLock);
+    Roots[I] = Word;
+  }
+
+  /// Shadow-stack style roots appended after the fixed slots: anchors
+  /// objects under construction (e.g. a parser's partial ASTs) exactly
+  /// like values on a real thread stack would.
+  void pushRoot(Object *Value) {
+    std::lock_guard<SpinLock> Guard(RootsLock);
+    Roots.push_back(reinterpret_cast<uintptr_t>(Value));
+  }
+
+  /// Pops the \p N most recently pushed shadow-stack roots.
+  void popRoots(size_t N) {
+    std::lock_guard<SpinLock> Guard(RootsLock);
+    assert(Roots.size() >= N && "popping more roots than pushed");
+    Roots.resize(Roots.size() - N);
+  }
+
+  /// Runs \p Fn over a snapshot of the root words while holding the root
+  /// lock (so a concurrent scanner sees a consistent vector).
+  template <typename FnT> void withRoots(FnT Fn) const {
+    std::lock_guard<SpinLock> Guard(RootsLock);
+    Fn(Roots);
+  }
+
+  /// --- Collector-visible state --------------------------------------
+
+  AllocationCache &cache() { return Cache; }
+  TraceContext &trace() { return Trace; }
+
+  ExecState state() const {
+    return static_cast<ExecState>(State.load(std::memory_order_acquire));
+  }
+  void setState(ExecState S) {
+    State.store(static_cast<uint8_t>(S), std::memory_order_release);
+  }
+
+  /// Handshake epoch this thread has acknowledged.
+  std::atomic<uint64_t> HandshakeAck{0};
+
+  /// Collection cycle number whose stack scan this thread has completed
+  /// (0 = never). Claimed with compare-exchange by whichever participant
+  /// performs the scan.
+  std::atomic<uint64_t> StackScanCycle{0};
+
+  /// Bytes of small-object allocation performed (monotonic).
+  std::atomic<uint64_t> BytesAllocated{0};
+
+  /// Number of transactions/operations completed; maintained by
+  /// workloads for throughput reporting.
+  std::atomic<uint64_t> OpsCompleted{0};
+
+private:
+  AllocationCache Cache;
+  TraceContext Trace;
+  mutable SpinLock RootsLock;
+  std::vector<uintptr_t> Roots;
+  std::atomic<uint8_t> State{static_cast<uint8_t>(ExecState::Running)};
+};
+
+} // namespace cgc
+
+#endif // CGC_MUTATOR_MUTATORCONTEXT_H

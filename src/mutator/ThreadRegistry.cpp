@@ -1,0 +1,159 @@
+//===- ThreadRegistry.cpp - Safepoints and handshakes ------------------------//
+
+#include "mutator/ThreadRegistry.h"
+
+#include "heap/BitVector8.h"
+#include "support/Fences.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+using namespace cgc;
+
+void ThreadRegistry::attach(MutatorContext *Ctx) {
+  std::lock_guard<SpinLock> Guard(ThreadsLock);
+  assert(std::find(Threads.begin(), Threads.end(), Ctx) == Threads.end() &&
+         "context attached twice");
+  // A freshly attached thread has acknowledged everything so far.
+  Ctx->HandshakeAck.store(HandshakeEpoch.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  Threads.push_back(Ctx);
+}
+
+void ThreadRegistry::detach(MutatorContext *Ctx) {
+  std::lock_guard<SpinLock> Guard(ThreadsLock);
+  auto It = std::find(Threads.begin(), Threads.end(), Ctx);
+  assert(It != Threads.end() && "detaching unknown context");
+  Threads.erase(It);
+}
+
+size_t ThreadRegistry::numThreads() const {
+  std::lock_guard<SpinLock> Guard(ThreadsLock);
+  return Threads.size();
+}
+
+void ThreadRegistry::forEach(const std::function<void(MutatorContext &)> &Fn) {
+  std::lock_guard<SpinLock> Guard(ThreadsLock);
+  for (MutatorContext *Ctx : Threads)
+    Fn(*Ctx);
+}
+
+void ThreadRegistry::poll(MutatorContext &Ctx, BitVector8 &AllocBits) {
+  if (Ctx.HandshakeAck.load(std::memory_order_relaxed) !=
+      HandshakeEpoch.load(std::memory_order_acquire))
+    acknowledgeHandshake(Ctx, AllocBits);
+  if (StopRequested.load(std::memory_order_acquire)) {
+    // Publish allocation bits before parking so the collector can treat
+    // every allocated object as visible while the world is stopped.
+    Ctx.cache().flushAllocBits(AllocBits);
+    park(Ctx);
+  }
+}
+
+void ThreadRegistry::acknowledgeHandshake(MutatorContext &Ctx,
+                                          BitVector8 &AllocBits) {
+  uint64_t Epoch = HandshakeEpoch.load(std::memory_order_acquire);
+  Ctx.cache().flushAllocBits(AllocBits);
+  fence(FenceSite::CardTableHandshake);
+  Ctx.HandshakeAck.store(Epoch, std::memory_order_release);
+}
+
+void ThreadRegistry::park(MutatorContext &Ctx) {
+  fence(FenceSite::StopTheWorld);
+  std::unique_lock<std::mutex> Lock(ParkMutex);
+  Ctx.setState(ExecState::AtSafepoint);
+  ParkCV.wait(Lock, [this] {
+    return !StopRequested.load(std::memory_order_acquire);
+  });
+  Ctx.setState(ExecState::Running);
+}
+
+void ThreadRegistry::enterIdle(MutatorContext &Ctx) {
+  assert(Ctx.state() == ExecState::Running && "nested idle region");
+  fence(FenceSite::StopTheWorld);
+  Ctx.setState(ExecState::Idle);
+}
+
+void ThreadRegistry::exitIdle(MutatorContext &Ctx, BitVector8 &AllocBits) {
+  assert(Ctx.state() == ExecState::Idle && "not in an idle region");
+  // Do not come back to life in the middle of a stop-the-world.
+  if (StopRequested.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> Lock(ParkMutex);
+    ParkCV.wait(Lock, [this] {
+      return !StopRequested.load(std::memory_order_acquire);
+    });
+  }
+  Ctx.setState(ExecState::Running);
+  // A stop that began in the race window above is handled by this poll
+  // (and by every later poll the running code performs).
+  poll(Ctx, AllocBits);
+}
+
+void ThreadRegistry::stopTheWorld(MutatorContext *Self,
+                                  BitVector8 &AllocBits) {
+  assert(!StopRequested.load(std::memory_order_relaxed) &&
+         "stop already in progress");
+  StopRequested.store(true, std::memory_order_seq_cst);
+  fence(FenceSite::StopTheWorld);
+  for (;;) {
+    // Keep cooperating with a concurrent fence handshake: its registrar
+    // may be one of the threads we are waiting to see parked.
+    if (Self && Self->HandshakeAck.load(std::memory_order_relaxed) !=
+                    HandshakeEpoch.load(std::memory_order_acquire))
+      acknowledgeHandshake(*Self, AllocBits);
+    bool AllStopped = true;
+    {
+      std::lock_guard<SpinLock> Guard(ThreadsLock);
+      for (MutatorContext *Ctx : Threads) {
+        if (Ctx == Self)
+          continue;
+        if (Ctx->state() == ExecState::Running) {
+          AllStopped = false;
+          break;
+        }
+      }
+    }
+    if (AllStopped)
+      return;
+    std::this_thread::yield();
+  }
+}
+
+void ThreadRegistry::resumeTheWorld() {
+  assert(StopRequested.load(std::memory_order_relaxed) &&
+         "no stop in progress");
+  {
+    std::lock_guard<std::mutex> Lock(ParkMutex);
+    StopRequested.store(false, std::memory_order_seq_cst);
+  }
+  ParkCV.notify_all();
+}
+
+void ThreadRegistry::requestFenceHandshake(MutatorContext *Self,
+                                           BitVector8 &AllocBits) {
+  uint64_t Epoch = HandshakeEpoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+  fence(FenceSite::CardTableHandshake);
+  if (Self)
+    acknowledgeHandshake(*Self, AllocBits);
+  for (;;) {
+    bool Done = true;
+    {
+      std::lock_guard<SpinLock> Guard(ThreadsLock);
+      for (MutatorContext *Ctx : Threads) {
+        if (Ctx->HandshakeAck.load(std::memory_order_acquire) >= Epoch)
+          continue;
+        // Parked and idle threads performed a fence on their way out of
+        // Running and do no stores until they return; they count as
+        // acknowledged.
+        if (Ctx->state() != ExecState::Running)
+          continue;
+        Done = false;
+        break;
+      }
+    }
+    if (Done)
+      return;
+    std::this_thread::yield();
+  }
+}

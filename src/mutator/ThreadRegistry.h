@@ -1,0 +1,109 @@
+//===- ThreadRegistry.h - Safepoints and handshakes -------------*- C++ -*-===//
+///
+/// \file
+/// Tracks attached mutator threads and implements the two cooperation
+/// protocols the collector needs:
+///
+///  1. Stop-the-world safepoints: no safe points are required for
+///     correctness of the write barrier or stack scanning (Section 2.2),
+///     so mutators simply park at their next poll; threads in Idle
+///     regions count as stopped immediately.
+///
+///  2. The ragged fence handshake of Section 5.3 step 2 ("force all
+///     mutators to execute a fence, e.g., stop each one individually"):
+///     a global epoch is bumped; each running thread fences and
+///     acknowledges at its next poll; threads that are parked or idle
+///     are quiescent (their last transition fenced) and count as
+///     acknowledged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_MUTATOR_THREADREGISTRY_H
+#define CGC_MUTATOR_THREADREGISTRY_H
+
+#include "mutator/MutatorContext.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace cgc {
+
+class BitVector8;
+
+/// Registry of attached mutators plus the safepoint/handshake machinery.
+class ThreadRegistry {
+public:
+  /// Adds \p Ctx to the registry. Caller must ensure no collection is in
+  /// progress (the runtime holds the collection lock).
+  void attach(MutatorContext *Ctx);
+
+  /// Removes \p Ctx. Same locking requirement as attach().
+  void detach(MutatorContext *Ctx);
+
+  /// Number of attached threads.
+  size_t numThreads() const;
+
+  /// Runs \p Fn on every attached context (under the registry lock).
+  void forEach(const std::function<void(MutatorContext &)> &Fn);
+
+  /// --- Polling (mutator side) ----------------------------------------
+
+  /// Cooperation point called by mutators on every allocation and inside
+  /// workload loops. Acknowledges pending fence handshakes (flushing the
+  /// allocation cache first so deferred objects become traceable) and
+  /// parks while a stop-the-world is in progress. \p AllocBits is the
+  /// heap's allocation bit vector.
+  void poll(MutatorContext &Ctx, BitVector8 &AllocBits);
+
+  /// Marks the start of an idle region (no heap access allowed inside).
+  void enterIdle(MutatorContext &Ctx);
+
+  /// Ends an idle region; parks first if a stop-the-world is active.
+  void exitIdle(MutatorContext &Ctx, BitVector8 &AllocBits);
+
+  /// --- Stop the world (collector side) -------------------------------
+
+  /// Requests a stop and blocks until every attached thread except
+  /// \p Self is parked or idle. \p Self may be null (collector-internal
+  /// thread). Only one stop may be in progress (the runtime's collection
+  /// lock serializes initiators). While waiting, \p Self keeps
+  /// acknowledging fence handshakes so a concurrent card-cleaning
+  /// registrar cannot deadlock against the initiator.
+  void stopTheWorld(MutatorContext *Self, BitVector8 &AllocBits);
+
+  /// Releases a stop; parked threads resume.
+  void resumeTheWorld();
+
+  /// Whether a stop is currently requested.
+  bool stopRequested() const {
+    return StopRequested.load(std::memory_order_acquire);
+  }
+
+  /// --- Ragged fence handshake (collector side) ------------------------
+
+  /// Bumps the handshake epoch and blocks until every attached thread
+  /// has fenced (directly, or implicitly by being parked/idle).
+  /// \p Self (may be null) acknowledges inline.
+  void requestFenceHandshake(MutatorContext *Self, BitVector8 &AllocBits);
+
+private:
+  void acknowledgeHandshake(MutatorContext &Ctx, BitVector8 &AllocBits);
+  void park(MutatorContext &Ctx);
+
+  mutable SpinLock ThreadsLock;
+  std::vector<MutatorContext *> Threads;
+
+  std::atomic<bool> StopRequested{false};
+  std::atomic<uint64_t> HandshakeEpoch{0};
+
+  std::mutex ParkMutex;
+  std::condition_variable ParkCV;
+};
+
+} // namespace cgc
+
+#endif // CGC_MUTATOR_THREADREGISTRY_H

@@ -1,0 +1,174 @@
+//===- GcHeap.cpp - Public heap runtime API ------------------------------------//
+
+#include "runtime/GcHeap.h"
+
+#include "gc/ConcurrentCollector.h"
+#include "gc/StwCollector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+using namespace cgc;
+
+GcHeap::GcHeap(const GcOptions &Options)
+    : Core(Options),
+      BarrierEnabled(Options.Kind == CollectorKind::MostlyConcurrent) {
+  if (Options.Kind == CollectorKind::MostlyConcurrent)
+    Col = std::make_unique<ConcurrentCollector>(Core);
+  else
+    Col = std::make_unique<StwCollector>(Core);
+}
+
+std::unique_ptr<GcHeap> GcHeap::create(const GcOptions &Options) {
+  assert(Options.HeapBytes >= (1u << 20) && "heap too small");
+  assert(Options.LargeObjectBytes <= Options.AllocCacheBytes &&
+         "large-object threshold must fit in a cache");
+  assert(Options.AllocCacheBytes < Options.HeapBytes / 4 &&
+         "allocation cache too large for the heap");
+  assert(Options.NumWorkPackets >= 4 && "too few work packets");
+  return std::unique_ptr<GcHeap>(new GcHeap(Options));
+}
+
+GcHeap::~GcHeap() {
+  Col->shutdown();
+  assert(Core.Registry.numThreads() == 0 &&
+         "threads still attached at heap teardown");
+}
+
+MutatorContext &GcHeap::attachThread() {
+  auto Owned = std::make_unique<MutatorContext>(Core.Pool);
+  MutatorContext *Ctx = Owned.get();
+  // Appear stopped while blocking on the collection lock: a running GC
+  // must not wait for a thread that is not cooperating yet.
+  Ctx->setState(ExecState::Idle);
+  {
+    std::lock_guard<std::mutex> Lock(Core.CollectMutex);
+    Core.Registry.attach(Ctx);
+    std::lock_guard<SpinLock> Guard(ContextsLock);
+    Contexts.push_back(std::move(Owned));
+  }
+  Core.Registry.exitIdle(*Ctx, Core.Heap.allocBits());
+  return *Ctx;
+}
+
+void GcHeap::detachThread(MutatorContext &Ctx) {
+  Core.Registry.poll(Ctx, Core.Heap.allocBits());
+  // As with attach: count as stopped while waiting for the lock.
+  Core.Registry.enterIdle(Ctx);
+  {
+    std::lock_guard<std::mutex> Lock(Core.CollectMutex);
+    Ctx.cache().flushAllocBits(Core.Heap.allocBits());
+    Ctx.cache().retire(Core.Heap.freeList());
+    Core.Registry.detach(&Ctx);
+    std::lock_guard<SpinLock> Guard(ContextsLock);
+    auto It = std::find_if(
+        Contexts.begin(), Contexts.end(),
+        [&](const std::unique_ptr<MutatorContext> &P) { return P.get() == &Ctx; });
+    assert(It != Contexts.end() && "detaching a context this heap does not own");
+    Contexts.erase(It);
+  }
+}
+
+bool GcHeap::refillCache(MutatorContext &Ctx, size_t MinBytes) {
+  for (int Attempt = 0; Attempt < 3; ++Attempt) {
+    size_t Granted = 0;
+    uint8_t *Range = Core.Heap.freeList().allocateUpTo(
+        MinBytes, Core.Options.AllocCacheBytes, Granted);
+    if (!Range && Core.Sweep.lazySweepPending()) {
+      Core.Sweep.sweepUntilFree(Core.Options.AllocCacheBytes);
+      Range = Core.Heap.freeList().allocateUpTo(
+          MinBytes, Core.Options.AllocCacheBytes, Granted);
+    }
+    if (Range) {
+      // Assign BEFORE the pacing hook: the hook can run a full
+      // collection, and memory not yet owned by a cache would be swept
+      // back onto the free list (double ownership).
+      Ctx.cache().assignRange(Range, Granted);
+      // Pacing hook (Section 3): the kickoff check and the incremental
+      // tracing increment are driven by the bytes actually granted — a
+      // nearly full heap hands out partial caches, and each one only
+      // owes tracing for its real size.
+      Col->onAllocationSlowPath(Ctx, Granted);
+      if (Ctx.cache().hasRange())
+        return true;
+      // A collection inside the hook reclaimed the fresh cache; retry.
+      continue;
+    }
+    // Allocation failure: run (or finish) a collection and retry.
+    Col->collectNow(&Ctx);
+  }
+  return false;
+}
+
+Object *GcHeap::allocate(MutatorContext &Ctx, size_t PayloadBytes,
+                         uint16_t NumRefs, uint16_t ClassId) {
+  Core.Registry.poll(Ctx, Core.Heap.allocBits());
+  size_t Total = Object::requiredSize(PayloadBytes, NumRefs);
+  if (Core.Options.NaiveFenceAccounting)
+    recordNaiveFence(FenceSite::NaivePerObjectAlloc);
+  if (Total >= Core.Options.LargeObjectBytes)
+    return allocateLarge(Ctx, Total, NumRefs, ClassId);
+
+  if (Object *Obj = Ctx.cache().allocate(Total, NumRefs, ClassId)) {
+    Ctx.BytesAllocated.fetch_add(Total, std::memory_order_relaxed);
+    return Obj;
+  }
+
+  // Cache exhausted: publish its allocation bits (ONE fence for the
+  // whole block of objects, Section 5.2), return the tail, refill.
+  Ctx.cache().flushAllocBits(Core.Heap.allocBits());
+  Ctx.cache().retire(Core.Heap.freeList());
+  if (!refillCache(Ctx, Total))
+    return nullptr; // Heap exhausted even after full collection.
+
+  Object *Obj = Ctx.cache().allocate(Total, NumRefs, ClassId);
+  assert(Obj && "fresh cache cannot satisfy the allocation it was sized for");
+  Ctx.BytesAllocated.fetch_add(Total, std::memory_order_relaxed);
+  return Obj;
+}
+
+Object *GcHeap::allocateLarge(MutatorContext &Ctx, size_t TotalBytes,
+                              uint16_t NumRefs, uint16_t ClassId) {
+  // Large allocations also drive the pacer (Section 3.1: increments run
+  // "on allocations of large objects and allocation caches").
+  Col->onAllocationSlowPath(Ctx, TotalBytes);
+  uint8_t *Mem = nullptr;
+  for (int Attempt = 0; Attempt < 3 && !Mem; ++Attempt) {
+    Mem = Core.Heap.freeList().allocate(TotalBytes);
+    if (!Mem && Core.Sweep.lazySweepPending()) {
+      Core.Sweep.sweepUntilFree(TotalBytes);
+      Mem = Core.Heap.freeList().allocate(TotalBytes);
+    }
+    if (!Mem)
+      Col->collectNow(&Ctx);
+  }
+  if (!Mem)
+    return nullptr;
+  Object *Obj = reinterpret_cast<Object *>(Mem);
+  Obj->initialize(static_cast<uint32_t>(TotalBytes), NumRefs, ClassId);
+  // A large object is its own batch: one fence, then publish its bit.
+  fence(FenceSite::AllocCacheFlush);
+  Core.Heap.allocBits().set(Obj);
+  Ctx.BytesAllocated.fetch_add(TotalBytes, std::memory_order_relaxed);
+  return Obj;
+}
+
+void GcHeap::requestGC(MutatorContext *Ctx) { Col->collectNow(Ctx); }
+
+VerifyResult GcHeap::verifyNow(MutatorContext *Ctx) {
+  while (!Core.CollectMutex.try_lock()) {
+    if (Ctx)
+      Core.Registry.poll(*Ctx, Core.Heap.allocBits());
+    std::this_thread::yield();
+  }
+  Core.Registry.stopTheWorld(Ctx, Core.Heap.allocBits());
+  Core.Registry.forEach([this](MutatorContext &M) {
+    M.cache().flushAllocBits(Core.Heap.allocBits());
+  });
+  HeapVerifier Verifier(Core.Heap);
+  VerifyResult Result = Verifier.verify(Core.Registry, /*CheckMarks=*/false);
+  Core.Registry.resumeTheWorld();
+  Core.CollectMutex.unlock();
+  return Result;
+}

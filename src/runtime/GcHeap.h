@@ -1,0 +1,143 @@
+//===- GcHeap.h - Public heap runtime API -----------------------*- C++ -*-===//
+///
+/// \file
+/// The library's public facade: a garbage-collected heap with per-thread
+/// mutator contexts.
+///
+/// Typical use:
+/// \code
+///   GcOptions Opts;
+///   Opts.HeapBytes = 64u << 20;
+///   auto Heap = GcHeap::create(Opts);
+///   MutatorContext &Ctx = Heap->attachThread();
+///   Ctx.reserveRoots(8);
+///   Object *Node = Heap->allocate(Ctx, /*PayloadBytes=*/32, /*NumRefs=*/2);
+///   Ctx.setRoot(0, Node);                     // pin via simulated stack
+///   Heap->writeRef(Ctx, Node, 0, Other);      // barriered ref store
+///   Heap->detachThread(Ctx);
+/// \endcode
+///
+/// Contract: every reference store into an object goes through
+/// writeRef (the card-marking write barrier); object payloads are free
+/// to be mutated directly. Each attached thread calls allocate /
+/// safepointPoll regularly so the collector's handshakes make progress,
+/// and brackets blocking/think periods with enterIdle / exitIdle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_RUNTIME_GCHEAP_H
+#define CGC_RUNTIME_GCHEAP_H
+
+#include "gc/Collector.h"
+#include "gc/GcCore.h"
+#include "gc/HeapVerifier.h"
+
+#include <memory>
+#include <vector>
+
+namespace cgc {
+
+/// A garbage-collected heap (one per process is typical, many are fine).
+class GcHeap {
+public:
+  /// Creates a heap with \p Options (validated with asserts).
+  static std::unique_ptr<GcHeap> create(const GcOptions &Options);
+
+  ~GcHeap();
+
+  GcHeap(const GcHeap &) = delete;
+  GcHeap &operator=(const GcHeap &) = delete;
+
+  /// --- Thread management ---------------------------------------------
+
+  /// Attaches the calling thread; returns its mutator context. The
+  /// context is only valid on the attaching thread.
+  MutatorContext &attachThread();
+
+  /// Detaches; \p Ctx must belong to the calling thread and must not be
+  /// used afterwards.
+  void detachThread(MutatorContext &Ctx);
+
+  /// --- Allocation and mutation ----------------------------------------
+
+  /// Allocates an object with \p PayloadBytes of raw data and
+  /// \p NumRefs reference slots (all null). Returns nullptr when the
+  /// heap is exhausted even after a full collection. Performs the
+  /// incremental tracing increment of Section 3 on cache refills.
+  Object *allocate(MutatorContext &Ctx, size_t PayloadBytes, uint16_t NumRefs,
+                   uint16_t ClassId = 0);
+
+  /// Reference store with the card-marking write barrier: store the
+  /// slot, then dirty the holder's card — no fence (Section 5.3).
+  void writeRef(MutatorContext &Ctx, Object *Holder, unsigned Slot,
+                Object *Value) {
+    Holder->storeRefRaw(Slot, Value);
+    if (BarrierEnabled)
+      Core.Heap.cards().dirty(Holder);
+    if (Core.Options.NaiveFenceAccounting)
+      recordNaiveFence(FenceSite::NaivePerWriteBarrier);
+  }
+
+  /// Reference load (no read barrier in this collector).
+  static Object *readRef(const Object *Holder, unsigned Slot) {
+    return Holder->loadRef(Slot);
+  }
+
+  /// --- Cooperation ----------------------------------------------------
+
+  /// Safepoint/handshake poll; call inside long loops that don't
+  /// allocate.
+  void safepointPoll(MutatorContext &Ctx) {
+    Core.Registry.poll(Ctx, Core.Heap.allocBits());
+  }
+
+  /// Brackets a no-heap-access region (think time, simulated IO); the
+  /// thread counts as stopped inside.
+  void enterIdle(MutatorContext &Ctx) { Core.Registry.enterIdle(Ctx); }
+  void exitIdle(MutatorContext &Ctx) {
+    Core.Registry.exitIdle(Ctx, Core.Heap.allocBits());
+  }
+
+  /// --- Control and introspection ---------------------------------------
+
+  /// Forces a full collection (finishing any concurrent phase).
+  void requestGC(MutatorContext *Ctx);
+
+  /// Stops the world and runs the reachability verifier.
+  VerifyResult verifyNow(MutatorContext *Ctx);
+
+  /// Per-cycle statistics.
+  GcStatsCollector &stats() { return Core.Stats; }
+
+  /// Free bytes currently on the free list.
+  size_t freeBytes() const { return Core.Heap.freeBytes(); }
+
+  /// Number of completed collection cycles.
+  uint64_t completedCycles() const {
+    return Core.CompletedCycles.load(std::memory_order_acquire);
+  }
+
+  const GcOptions &options() const { return Core.Options; }
+
+  /// Direct access to the machinery (tests and benches).
+  GcCore &core() { return Core; }
+  Collector &collector() { return *Col; }
+
+private:
+  explicit GcHeap(const GcOptions &Options);
+
+  Object *allocateLarge(MutatorContext &Ctx, size_t TotalBytes,
+                        uint16_t NumRefs, uint16_t ClassId);
+  bool refillCache(MutatorContext &Ctx, size_t MinBytes);
+
+  GcCore Core;
+  std::unique_ptr<Collector> Col;
+  const bool BarrierEnabled;
+
+  SpinLock ContextsLock;
+  std::vector<std::unique_ptr<MutatorContext>> Contexts;
+};
+
+} // namespace cgc
+
+#endif // CGC_RUNTIME_GCHEAP_H

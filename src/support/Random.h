@@ -1,0 +1,73 @@
+//===- Random.h - Fast deterministic PRNG -----------------------*- C++ -*-===//
+///
+/// \file
+/// A small, fast, seedable PRNG (splitmix64 + xorshift) for workload
+/// generators. Deterministic given a seed so tests are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_RANDOM_H
+#define CGC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cgc {
+
+/// xorshift128+ generator seeded via splitmix64.
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    uint64_t X = Seed;
+    S0 = splitmix(X);
+    S1 = splitmix(X);
+    if (S0 == 0 && S1 == 0)
+      S1 = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t next() {
+    uint64_t A = S0, B = S1;
+    S0 = B;
+    A ^= A << 23;
+    A ^= A >> 17;
+    A ^= B ^ (B >> 26);
+    S1 = A;
+    return A + B;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t splitmix(uint64_t &X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t S0, S1;
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_RANDOM_H

@@ -1,0 +1,132 @@
+//===- SampleSeries.h - Aggregating sample recorder -------------*- C++ -*-===//
+///
+/// \file
+/// Thread-safe recorder of scalar samples with min/max/mean/stddev
+/// aggregation, used for pause times, tracing factors and the other
+/// per-cycle measurements reported in Section 6 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_SAMPLESERIES_H
+#define CGC_SUPPORT_SAMPLESERIES_H
+
+#include "support/SpinLock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace cgc {
+
+/// Collects double samples and answers aggregate queries. All methods are
+/// thread-safe; samples are kept so percentiles could be added later.
+class SampleSeries {
+public:
+  /// Appends one observation.
+  void add(double Sample) {
+    std::lock_guard<SpinLock> Guard(Lock);
+    Samples.push_back(Sample);
+  }
+
+  /// Number of observations recorded.
+  size_t count() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return Samples.size();
+  }
+
+  /// Arithmetic mean, or 0 when empty.
+  double mean() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return meanLocked();
+  }
+
+  /// Largest observation, or 0 when empty.
+  double max() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    double Max = 0.0;
+    for (double S : Samples)
+      if (S > Max)
+        Max = S;
+    return Max;
+  }
+
+  /// Smallest observation, or 0 when empty.
+  double min() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (Samples.empty())
+      return 0.0;
+    double Min = Samples.front();
+    for (double S : Samples)
+      if (S < Min)
+        Min = S;
+    return Min;
+  }
+
+  /// Sum of all observations.
+  double sum() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    double Sum = 0.0;
+    for (double S : Samples)
+      Sum += S;
+    return Sum;
+  }
+
+  /// Population standard deviation, or 0 when fewer than two samples.
+  double stddev() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (Samples.size() < 2)
+      return 0.0;
+    double Mean = meanLocked();
+    double Var = 0.0;
+    for (double S : Samples)
+      Var += (S - Mean) * (S - Mean);
+    return std::sqrt(Var / static_cast<double>(Samples.size()));
+  }
+
+  /// Copies out the raw samples (for custom reductions in benches).
+  std::vector<double> snapshot() const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    return Samples;
+  }
+
+  /// The \p Q quantile (0 <= Q <= 1) by nearest-rank, or 0 when empty.
+  /// percentile(0.99) is the p99.
+  double percentile(double Q) const {
+    std::lock_guard<SpinLock> Guard(Lock);
+    if (Samples.empty())
+      return 0.0;
+    std::vector<double> Sorted = Samples;
+    std::sort(Sorted.begin(), Sorted.end());
+    double Rank = Q * static_cast<double>(Sorted.size() - 1);
+    size_t Index = static_cast<size_t>(Rank);
+    if (Index + 1 >= Sorted.size())
+      return Sorted.back();
+    double Frac = Rank - static_cast<double>(Index);
+    return Sorted[Index] * (1.0 - Frac) + Sorted[Index + 1] * Frac;
+  }
+
+  /// Discards all samples.
+  void reset() {
+    std::lock_guard<SpinLock> Guard(Lock);
+    Samples.clear();
+  }
+
+private:
+  double meanLocked() const {
+    if (Samples.empty())
+      return 0.0;
+    double Sum = 0.0;
+    for (double S : Samples)
+      Sum += S;
+    return Sum / static_cast<double>(Samples.size());
+  }
+
+  mutable SpinLock Lock;
+  std::vector<double> Samples;
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_SAMPLESERIES_H

@@ -1,0 +1,52 @@
+//===- Smoothing.h - Exponential smoothing average --------------*- C++ -*-===//
+///
+/// \file
+/// Exponential smoothing average, used by the pacer for the L, M and Best
+/// predictions of Sections 3.1 and 3.2 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_SMOOTHING_H
+#define CGC_SUPPORT_SMOOTHING_H
+
+#include <cassert>
+
+namespace cgc {
+
+/// Exponentially smoothed scalar estimate.
+///
+/// Until the first sample arrives value() returns the seed supplied at
+/// construction; afterwards each sample S updates the estimate E as
+/// E = Alpha * S + (1 - Alpha) * E.
+class ExponentialAverage {
+public:
+  explicit ExponentialAverage(double Seed = 0.0, double Alpha = 0.5)
+      : Estimate(Seed), Alpha(Alpha) {
+    assert(Alpha > 0.0 && Alpha <= 1.0 && "smoothing factor out of range");
+  }
+
+  /// Feeds one observation.
+  void addSample(double Sample) {
+    if (!HasSample) {
+      Estimate = Sample;
+      HasSample = true;
+      return;
+    }
+    Estimate = Alpha * Sample + (1.0 - Alpha) * Estimate;
+  }
+
+  /// Current smoothed prediction.
+  double value() const { return Estimate; }
+
+  /// Whether at least one real sample has been folded in.
+  bool hasSample() const { return HasSample; }
+
+private:
+  double Estimate;
+  double Alpha;
+  bool HasSample = false;
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_SMOOTHING_H

@@ -1,0 +1,45 @@
+//===- SpinLock.h - Tiny test-and-test-and-set lock -------------*- C++ -*-===//
+///
+/// \file
+/// A minimal spin lock for short critical sections (free-list access,
+/// registry snapshots). Satisfies the Lockable named requirement so it
+/// works with std::lock_guard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_SPINLOCK_H
+#define CGC_SUPPORT_SPINLOCK_H
+
+#include <atomic>
+#include <thread>
+
+namespace cgc {
+
+/// Test-and-test-and-set spin lock that yields while contended. On the
+/// single-core reproduction host yielding (rather than pure spinning) is
+/// essential for forward progress.
+class SpinLock {
+public:
+  void lock() {
+    for (;;) {
+      if (!Flag.exchange(true, std::memory_order_acquire))
+        return;
+      while (Flag.load(std::memory_order_relaxed))
+        std::this_thread::yield();
+    }
+  }
+
+  bool try_lock() {
+    return !Flag.load(std::memory_order_relaxed) &&
+           !Flag.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { Flag.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_SPINLOCK_H

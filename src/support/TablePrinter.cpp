@@ -1,0 +1,61 @@
+//===- TablePrinter.cpp - Fixed-width table output -------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+using namespace cgc;
+
+TablePrinter::TablePrinter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Headers.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string TablePrinter::num(uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  return Buf;
+}
+
+std::string TablePrinter::percent(double Ratio, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Ratio * 100.0);
+  return Buf;
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I < Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto printRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I)
+      std::fprintf(Out, "%s%-*s", I ? "  " : "", static_cast<int>(Widths[I]),
+                   Cells[I].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  printRow(Headers);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  for (size_t I = 0; I + 2 < Total; ++I)
+    std::fputc('-', Out);
+  std::fputc('\n', Out);
+  for (const auto &Row : Rows)
+    printRow(Row);
+  std::fflush(Out);
+}

@@ -1,0 +1,46 @@
+//===- TablePrinter.h - Fixed-width table output ----------------*- C++ -*-===//
+///
+/// \file
+/// Minimal fixed-width table printer used by the benchmark harnesses to
+/// reproduce the paper's tables/figure series in textual form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_TABLEPRINTER_H
+#define CGC_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cgc {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TablePrinter {
+public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Formats a double with \p Precision fraction digits.
+  static std::string num(double Value, int Precision = 1);
+
+  /// Formats an integer.
+  static std::string num(uint64_t Value);
+
+  /// Formats a ratio as a percentage string like "12.3%".
+  static std::string percent(double Ratio, int Precision = 1);
+
+  /// Writes the table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,49 @@
+//===- Timing.h - Wall-clock helpers ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Monotonic wall-clock helpers used for pause-time and rate measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_TIMING_H
+#define CGC_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace cgc {
+
+/// Current monotonic time in nanoseconds.
+inline uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Converts nanoseconds to fractional milliseconds.
+inline double nanosToMillis(uint64_t Nanos) {
+  return static_cast<double>(Nanos) / 1e6;
+}
+
+/// A restartable stopwatch measuring elapsed nanoseconds.
+class Stopwatch {
+public:
+  Stopwatch() : Start(nowNanos()) {}
+
+  /// Restarts the measurement window.
+  void restart() { Start = nowNanos(); }
+
+  /// Nanoseconds elapsed since construction or the last restart().
+  uint64_t elapsedNanos() const { return nowNanos() - Start; }
+
+  /// Milliseconds elapsed since construction or the last restart().
+  double elapsedMillis() const { return nanosToMillis(elapsedNanos()); }
+
+private:
+  uint64_t Start;
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_TIMING_H

@@ -1,0 +1,153 @@
+//===- BinaryTrees.cpp - GCBench-style deep-tree workload ----------------------//
+
+#include "workloads/BinaryTrees.h"
+
+#include "runtime/GcHeap.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+constexpr uint16_t CIdTreeNode = 30;
+
+/// Node payload: [0..7] node value folded into the subtree checksum.
+uint64_t nodeValue(const Object *Node) {
+  uint64_t V;
+  std::memcpy(&V, Node->payload(), 8);
+  return V;
+}
+
+} // namespace
+
+void BinaryTreesWorkload::threadMain(unsigned Index, uint64_t DeadlineNs,
+                                     WorkloadResult &Result) {
+  MutatorContext &Ctx = Heap.attachThread();
+  Random Rng(Config.Seed * 2654435761u + Index + 1);
+  // Root slots: 0 = long-lived tree, 1 = current churn tree, 2..3 =
+  // build anchors (a bottom-up build keeps children rooted while their
+  // parent is allocated).
+  Ctx.reserveRoots(4);
+  size_t Payload = 8 + Config.NodePayloadBytes;
+
+  bool Exhausted = false;
+
+  // Bottom-up recursive builder of a complete tree of \p Depth. Every
+  // completed child is anchored on the shadow stack while its sibling
+  // and parent are allocated (allocation is a GC point; under
+  // compaction, unanchored children could be evacuated).
+  auto buildTree = [&](unsigned Depth, auto &&Self) -> Object * {
+    if (Exhausted)
+      return nullptr;
+    Object *Left = nullptr, *Right = nullptr;
+    size_t Anchors = 0;
+    if (Depth > 0) {
+      Left = Self(Depth - 1, Self);
+      if (Left) {
+        Ctx.pushRoot(Left);
+        ++Anchors;
+      }
+      Right = Self(Depth - 1, Self);
+      if (Right) {
+        Ctx.pushRoot(Right);
+        ++Anchors;
+      }
+    }
+    Object *Node = Heap.allocate(Ctx, Payload, 2, CIdTreeNode);
+    if (!Node) {
+      Exhausted = true;
+      Ctx.popRoots(Anchors);
+      return nullptr;
+    }
+    uint64_t V = Rng.next() >> 32;
+    std::memcpy(Node->payload(), &V, 8);
+    if (Left)
+      Heap.writeRef(Ctx, Node, 0, Left);
+    if (Right)
+      Heap.writeRef(Ctx, Node, 1, Right);
+    Ctx.popRoots(Anchors);
+    return Node;
+  };
+
+  // Structural checksum: value + 3*left + 5*right, recursively.
+  auto checksum = [&](const Object *Node, auto &&Self) -> uint64_t {
+    if (!Node)
+      return 0x9e37;
+    uint64_t Sum = nodeValue(Node);
+    Sum += 3 * Self(GcHeap::readRef(Node, 0), Self);
+    Sum += 5 * Self(GcHeap::readRef(Node, 1), Self);
+    return Sum;
+  };
+
+  // The long-lived tree.
+  Object *LongLived = buildTree(Config.LongLivedDepth, buildTree);
+  if (LongLived)
+    Ctx.setRoot(0, LongLived);
+  uint64_t LongLivedSum =
+      LongLived ? checksum(LongLived, checksum) : 0;
+
+  uint64_t Trees = 0;
+  bool Corrupt = false;
+  uint64_t StartAllocated =
+      Ctx.BytesAllocated.load(std::memory_order_relaxed);
+
+  while (!Exhausted && !Corrupt && nowNanos() < DeadlineNs) {
+    unsigned Depth = static_cast<unsigned>(
+        Rng.nextInRange(Config.MinDepth, Config.MaxDepth));
+    Object *Tree = buildTree(Depth, buildTree);
+    if (!Tree)
+      break;
+    // Verify then drop (short-lived): checksum twice so a GC-corrupted
+    // subtree is caught while still rooted.
+    Ctx.setRoot(1, Tree);
+    uint64_t A = checksum(Tree, checksum);
+    Heap.safepointPoll(Ctx);
+    uint64_t B = checksum(Tree, checksum);
+    if (A != B)
+      Corrupt = true;
+    Ctx.setRoot(1, nullptr);
+    ++Trees;
+    // Periodically re-verify the long-lived tree.
+    if ((Trees & 63) == 0 && LongLived &&
+        checksum(Ctx.getRoot(0), checksum) != LongLivedSum)
+      Corrupt = true;
+  }
+
+  if (LongLived && checksum(Ctx.getRoot(0), checksum) != LongLivedSum)
+    Corrupt = true;
+
+  uint64_t Allocated =
+      Ctx.BytesAllocated.load(std::memory_order_relaxed) - StartAllocated;
+  Heap.detachThread(Ctx);
+
+  std::atomic_ref<uint64_t>(Result.Transactions)
+      .fetch_add(Trees, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(Result.BytesAllocated)
+      .fetch_add(Allocated, std::memory_order_relaxed);
+  if (Corrupt)
+    std::atomic_ref<bool>(Result.IntegrityFailure)
+        .store(true, std::memory_order_relaxed);
+}
+
+WorkloadResult BinaryTreesWorkload::run() {
+  WorkloadResult Result;
+  Stopwatch Timer;
+  uint64_t DeadlineNs = nowNanos() + Config.DurationMs * 1000000ull;
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Config.Threads);
+  for (unsigned I = 0; I < Config.Threads; ++I)
+    Threads.emplace_back(
+        [this, I, DeadlineNs, &Result] { threadMain(I, DeadlineNs, Result); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  Result.DurationMs = Timer.elapsedMillis();
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===- BinaryTrees.h - GCBench-style deep-tree workload ---------*- C++ -*-===//
+///
+/// \file
+/// The classic binary-trees GC benchmark shape (Boehm's GCBench): build
+/// complete binary trees of varying depth, keep a long-lived tree and a
+/// large array alive, and churn short-lived trees. Complements the
+/// warehouse workload with deep, pointer-dense structures — the
+/// worst case for mark-stack depth and the shape where the work-packet
+/// mechanism's bounded breadth-first behaviour matters most.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_WORKLOADS_BINARYTREES_H
+#define CGC_WORKLOADS_BINARYTREES_H
+
+#include "workloads/WorkloadResult.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+class GcHeap;
+
+/// Configuration of the binary-trees workload.
+struct BinaryTreesConfig {
+  unsigned Threads = 2;
+  uint64_t DurationMs = 2000;
+  /// Depth of the long-lived tree each thread retains.
+  unsigned LongLivedDepth = 14;
+  /// Depth range of the short-lived churn trees.
+  unsigned MinDepth = 4;
+  unsigned MaxDepth = 12;
+  /// Payload bytes per node beyond the checksum.
+  size_t NodePayloadBytes = 8;
+  uint64_t Seed = 0x7ee5;
+};
+
+/// Runs tree churn; Transactions = trees built. Sets IntegrityFailure
+/// when a retained tree's structural checksum changes.
+class BinaryTreesWorkload {
+public:
+  BinaryTreesWorkload(GcHeap &Heap, const BinaryTreesConfig &Config)
+      : Heap(Heap), Config(Config) {}
+
+  WorkloadResult run();
+
+private:
+  void threadMain(unsigned Index, uint64_t DeadlineNs,
+                  WorkloadResult &Result);
+
+  GcHeap &Heap;
+  BinaryTreesConfig Config;
+};
+
+} // namespace cgc
+
+#endif // CGC_WORKLOADS_BINARYTREES_H

@@ -1,0 +1,206 @@
+//===- GraphChurn.cpp - Self-verifying random-graph workload -------------------//
+
+#include "workloads/GraphChurn.h"
+
+#include "runtime/GcHeap.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+constexpr uint16_t CIdGraphNode = 20;
+
+/// Node payload: [0..7] own nonce, then OutDegree expected child nonces,
+/// then extra payload bytes.
+struct NodeView {
+  static uint64_t nonce(const Object *Node) {
+    uint64_t V;
+    std::memcpy(&V, Node->payload(), 8);
+    return V;
+  }
+  static void setNonce(Object *Node, uint64_t V) {
+    std::memcpy(Node->payload(), &V, 8);
+  }
+  static uint64_t edgeNonce(const Object *Node, unsigned I) {
+    uint64_t V;
+    std::memcpy(&V, Node->payload() + 8 + 8 * I, 8);
+    return V;
+  }
+  static void setEdgeNonce(Object *Node, unsigned I, uint64_t V) {
+    std::memcpy(Node->payload() + 8 + 8 * I, &V, 8);
+  }
+};
+
+} // namespace
+
+void GraphChurnWorkload::threadMain(unsigned Index, uint64_t DeadlineNs,
+                                    WorkloadResult &Result) {
+  MutatorContext &Ctx = Heap.attachThread();
+  Random Rng(Config.Seed + Index * 0x9e3779b9u + 1);
+  size_t NumRoots = Config.RootsPerThread;
+  Ctx.reserveRoots(NumRoots);
+  size_t PayloadBytes = 8 + 8 * Config.OutDegree + Config.ExtraPayloadBytes;
+
+  auto newNode = [&]() -> Object * {
+    Object *Node = Heap.allocate(Ctx, PayloadBytes,
+                                 static_cast<uint16_t>(Config.OutDegree),
+                                 CIdGraphNode);
+    if (!Node)
+      return nullptr;
+    NodeView::setNonce(Node, Rng.next() | 1);
+    // The payload is not zeroed by the allocator: null edges must read
+    // back a zero recorded nonce.
+    for (unsigned I = 0; I < Config.OutDegree; ++I)
+      NodeView::setEdgeNonce(Node, I, 0);
+    return Node;
+  };
+
+  // Every edge store records the target's nonce BEFORE the barriered
+  // reference store, mirroring the paper's write-barrier ordering
+  // (payload first, then reference, then card).
+  auto link = [&](Object *From, unsigned Slot, Object *To) {
+    NodeView::setEdgeNonce(From, Slot, To ? NodeView::nonce(To) : 0);
+    Heap.writeRef(Ctx, From, Slot, To);
+  };
+
+  // A bounded traversal validating every edge's recorded nonce.
+  auto verifyFrom = [&](Object *Start) -> bool {
+    Object *Stack[64];
+    int Top = 0;
+    Stack[Top++] = Start;
+    int Budget = 256;
+    while (Top > 0 && Budget-- > 0) {
+      Object *Node = Stack[--Top];
+      for (unsigned I = 0; I < Config.OutDegree; ++I) {
+        Object *Child = GcHeap::readRef(Node, I);
+        uint64_t Recorded = NodeView::edgeNonce(Node, I);
+        if (!Child) {
+          if (Recorded != 0)
+            return false;
+          continue;
+        }
+        if (NodeView::nonce(Child) != Recorded)
+          return false;
+        if (Top < 64)
+          Stack[Top++] = Child;
+      }
+    }
+    return true;
+  };
+
+  uint64_t Ops = 0;
+  uint64_t StartAllocated =
+      Ctx.BytesAllocated.load(std::memory_order_relaxed);
+  bool Corrupt = false;
+  bool Exhausted = false;
+
+  // Seed the roots.
+  for (size_t I = 0; I < NumRoots && !Exhausted; ++I) {
+    Object *Node = newNode();
+    if (!Node) {
+      Exhausted = true;
+      break;
+    }
+    Ctx.setRoot(I, Node);
+  }
+
+  while (!Exhausted && !Corrupt && nowNanos() < DeadlineNs) {
+    switch (Rng.nextBelow(4)) {
+    case 0: { // New node wired to existing nodes, replacing a root.
+      Object *Node = newNode();
+      if (!Node) {
+        Exhausted = true;
+        break;
+      }
+      // Anchor before wiring: link() reads other roots but Node itself
+      // is otherwise unreachable.
+      size_t Slot = Rng.nextBelow(NumRoots);
+      Ctx.setRoot(Slot, Node);
+      for (unsigned I = 0; I < Config.OutDegree; ++I)
+        if (Rng.nextBool(0.7)) {
+          Object *Target = Ctx.getRoot(Rng.nextBelow(NumRoots));
+          if (Target)
+            link(Node, I, Target);
+        }
+      break;
+    }
+    case 1: { // Rewire an edge of an existing (old) node.
+      Object *Node = Ctx.getRoot(Rng.nextBelow(NumRoots));
+      Object *Target = Ctx.getRoot(Rng.nextBelow(NumRoots));
+      if (Node && Target)
+        link(Node, static_cast<unsigned>(Rng.nextBelow(Config.OutDegree)),
+             Target);
+      break;
+    }
+    case 2: { // Grow a chain hanging off a root (young garbage when the
+              // root is later replaced). Allocate first: allocation is a
+              // GC point, and a root re-read afterwards stays valid even
+              // if the collector compacted (root referents are pinned).
+      Object *Fresh = newNode();
+      if (!Fresh) {
+        Exhausted = true;
+        break;
+      }
+      Object *Node = Ctx.getRoot(Rng.nextBelow(NumRoots));
+      if (!Node)
+        break;
+      // Fresh is unreachable until linked; no GC point intervenes.
+      link(Node, static_cast<unsigned>(Rng.nextBelow(Config.OutDegree)),
+           Fresh);
+      break;
+    }
+    default: { // Verification walk.
+      if (Rng.nextBool(Config.VerifyProbability * 4)) {
+        Object *Start = Ctx.getRoot(Rng.nextBelow(NumRoots));
+        if (Start && !verifyFrom(Start))
+          Corrupt = true;
+      }
+      break;
+    }
+    }
+    Heap.safepointPoll(Ctx);
+    ++Ops;
+  }
+
+  // Final full verification of every root's subgraph.
+  for (size_t I = 0; I < NumRoots && !Corrupt; ++I)
+    if (Object *Root = Ctx.getRoot(I))
+      if (!verifyFrom(Root))
+        Corrupt = true;
+
+  uint64_t Allocated =
+      Ctx.BytesAllocated.load(std::memory_order_relaxed) - StartAllocated;
+  Heap.detachThread(Ctx);
+
+  std::atomic_ref<uint64_t>(Result.Transactions)
+      .fetch_add(Ops, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(Result.BytesAllocated)
+      .fetch_add(Allocated, std::memory_order_relaxed);
+  if (Corrupt)
+    std::atomic_ref<bool>(Result.IntegrityFailure)
+        .store(true, std::memory_order_relaxed);
+}
+
+WorkloadResult GraphChurnWorkload::run() {
+  WorkloadResult Result;
+  Stopwatch Timer;
+  uint64_t DeadlineNs = nowNanos() + Config.DurationMs * 1000000ull;
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Config.Threads);
+  for (unsigned I = 0; I < Config.Threads; ++I)
+    Threads.emplace_back(
+        [this, I, DeadlineNs, &Result] { threadMain(I, DeadlineNs, Result); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  Result.DurationMs = Timer.elapsedMillis();
+  return Result;
+}

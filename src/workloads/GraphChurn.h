@@ -1,0 +1,58 @@
+//===- GraphChurn.h - Self-verifying random-graph workload ------*- C++ -*-===//
+///
+/// \file
+/// A stress workload whose object graph checks itself: every node
+/// carries a random nonce, and every edge records the nonce of the node
+/// it points to. If the collector ever reclaims a live object (whose
+/// memory is then reused), a traversal finds an edge whose recorded
+/// nonce disagrees with the target's — the strongest end-to-end
+/// soundness check the test suite has for the concurrent collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_WORKLOADS_GRAPHCHURN_H
+#define CGC_WORKLOADS_GRAPHCHURN_H
+
+#include "workloads/WorkloadResult.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+class GcHeap;
+
+/// Configuration of the graph-churn workload.
+struct GraphChurnConfig {
+  unsigned Threads = 2;
+  uint64_t DurationMs = 1000;
+  /// Root slots (live subgraph anchors) per thread.
+  size_t RootsPerThread = 128;
+  /// Outgoing edges per node.
+  unsigned OutDegree = 3;
+  /// Payload bytes per node beyond the nonce table.
+  size_t ExtraPayloadBytes = 24;
+  /// Per-transaction probability of a full verification walk.
+  double VerifyProbability = 0.05;
+  uint64_t Seed = 0x6aaf;
+};
+
+/// Runs the self-verifying churn. Transactions = graph operations.
+class GraphChurnWorkload {
+public:
+  GraphChurnWorkload(GcHeap &Heap, const GraphChurnConfig &Config)
+      : Heap(Heap), Config(Config) {}
+
+  WorkloadResult run();
+
+private:
+  void threadMain(unsigned Index, uint64_t DeadlineNs,
+                  WorkloadResult &Result);
+
+  GcHeap &Heap;
+  GraphChurnConfig Config;
+};
+
+} // namespace cgc
+
+#endif // CGC_WORKLOADS_GRAPHCHURN_H

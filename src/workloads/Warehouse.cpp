@@ -1,0 +1,140 @@
+//===- Warehouse.cpp - SPECjbb/pBOB-like transaction workload ------------------//
+
+#include "workloads/Warehouse.h"
+
+#include "runtime/GcHeap.h"
+#include "support/Random.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+/// Workload class ids (for debugging dumps).
+enum WarehouseClassId : uint16_t {
+  CIdOrder = 1,
+  CIdLineArray = 2,
+  CIdLine = 3
+};
+} // namespace
+
+size_t WarehouseConfig::treeBytes() const {
+  size_t Order = Object::requiredSize(OrderPayloadBytes, 1);
+  size_t Array = Object::requiredSize(0, static_cast<uint16_t>(LinesPerOrder));
+  size_t Line = Object::requiredSize(LinePayloadBytes, 1);
+  return Order + Array + Line * LinesPerOrder;
+}
+
+void WarehouseConfig::sizeLiveSet(size_t TargetLiveBytes) {
+  size_t PerThread = TargetLiveBytes / (Threads ? Threads : 1);
+  size_t Trees = PerThread / treeBytes();
+  LiveTreesPerThread = Trees < 4 ? 4 : Trees;
+}
+
+void WarehouseWorkload::threadMain(unsigned Index, uint64_t DeadlineNs,
+                                   WorkloadResult &Result) {
+  MutatorContext &Ctx = Heap.attachThread();
+  Random Rng(Config.Seed * 0x9e3779b9u + Index * 7919u + 1);
+  size_t Ring = Config.LiveTreesPerThread;
+  Ctx.reserveRoots(Ring + 2); // Ring slots + scratch slots.
+
+  uint64_t Ops = 0;
+  uint64_t StartAllocated = Ctx.BytesAllocated.load(std::memory_order_relaxed);
+  size_t Slot = 0;
+
+  auto newLine = [&]() {
+    return Heap.allocate(Ctx, Config.LinePayloadBytes, 1, CIdLine);
+  };
+
+  while (nowNanos() < DeadlineNs) {
+    // Build one order tree (the transaction's fresh allocation).
+    Object *Order = Heap.allocate(Ctx, Config.OrderPayloadBytes, 1, CIdOrder);
+    if (!Order)
+      break; // Heap exhausted: treat as end of run.
+    Ctx.setRoot(Ring, Order); // Scratch root keeps the tree alive while
+                              // it is under construction.
+    Object *Lines = Heap.allocate(
+        Ctx, 0, static_cast<uint16_t>(Config.LinesPerOrder), CIdLineArray);
+    if (!Lines)
+      break;
+    // Root the array too: it is held in a local across the per-line
+    // allocations (GC points), and only direct root referents are
+    // pinned against incremental compaction.
+    Ctx.setRoot(Ring + 1, Lines);
+    Heap.writeRef(Ctx, Order, 0, Lines);
+    for (unsigned I = 0; I < Config.LinesPerOrder; ++I) {
+      Object *Line = newLine();
+      if (!Line)
+        break;
+      Heap.writeRef(Ctx, Lines, I, Line);
+    }
+
+    // Retire the oldest tree in the ring: it becomes garbage.
+    Ctx.setRoot(Slot, Order);
+    Ctx.setRoot(Ring, nullptr);
+    Ctx.setRoot(Ring + 1, nullptr);
+    Slot = (Slot + 1) % Ring;
+
+    // Occasionally rewire an old, retained tree — a store into an
+    // object that is likely already marked, dirtying its card. The
+    // fresh line is allocated FIRST: allocation is a GC point, and with
+    // incremental compaction enabled a reference held in a local across
+    // a GC point could be evacuated (only objects referenced directly
+    // from the simulated stack are pinned).
+    if (Rng.nextBool(Config.OldMutationProbability)) {
+      Object *Fresh = newLine();
+      Object *Victim = Fresh ? Ctx.getRoot(Rng.nextBelow(Ring)) : nullptr;
+      if (Victim) {
+        Object *VictimLines = GcHeap::readRef(Victim, 0);
+        if (VictimLines && VictimLines->numRefs() > 0)
+          Heap.writeRef(Ctx, VictimLines,
+                        static_cast<unsigned>(
+                            Rng.nextBelow(VictimLines->numRefs())),
+                        Fresh);
+      }
+    }
+
+    if (Config.ThinkMicros > 0) {
+      Heap.enterIdle(Ctx);
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(Config.ThinkMicros)));
+      Heap.exitIdle(Ctx);
+    }
+
+    Heap.safepointPoll(Ctx);
+    ++Ops;
+  }
+
+  uint64_t Allocated =
+      Ctx.BytesAllocated.load(std::memory_order_relaxed) - StartAllocated;
+  Heap.detachThread(Ctx);
+
+  static_cast<void>(Index);
+  // Result fields are atomically accumulated by the caller via fetch_add
+  // on plain members is not possible; use atomic refs.
+  std::atomic_ref<uint64_t>(Result.Transactions)
+      .fetch_add(Ops, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(Result.BytesAllocated)
+      .fetch_add(Allocated, std::memory_order_relaxed);
+}
+
+WorkloadResult WarehouseWorkload::run() {
+  WorkloadResult Result;
+  Stopwatch Timer;
+  uint64_t DeadlineNs = nowNanos() + Config.DurationMs * 1000000ull;
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Config.Threads);
+  for (unsigned I = 0; I < Config.Threads; ++I)
+    Threads.emplace_back(
+        [this, I, DeadlineNs, &Result] { threadMain(I, DeadlineNs, Result); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  Result.DurationMs = Timer.elapsedMillis();
+  return Result;
+}

@@ -1,0 +1,81 @@
+//===- Warehouse.h - SPECjbb/pBOB-like transaction workload -----*- C++ -*-===//
+///
+/// \file
+/// A warehouse-transaction workload with the GC-relevant shape of
+/// SPECjbb2000 and pBOB (Section 6): per-thread live "order history"
+/// rings that keep heap occupancy steady, a high allocation rate of
+/// short-lived order trees, occasional mutation of old (already-marked)
+/// objects to exercise the card-marking write barrier, and optional
+/// per-transaction think time to simulate pBOB autoserver's processor
+/// idle time. Thread count plays the role of warehouses × terminals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_WORKLOADS_WAREHOUSE_H
+#define CGC_WORKLOADS_WAREHOUSE_H
+
+#include "workloads/WorkloadResult.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+class GcHeap;
+
+/// Configuration of the warehouse workload.
+struct WarehouseConfig {
+  /// Concurrent transaction threads.
+  unsigned Threads = 4;
+  /// Run length (wall clock).
+  uint64_t DurationMs = 2000;
+  /// Live order trees retained per thread (sizes the live set).
+  size_t LiveTreesPerThread = 64;
+  /// Order lines per order.
+  unsigned LinesPerOrder = 8;
+  /// Payload bytes per order line.
+  size_t LinePayloadBytes = 48;
+  /// Payload bytes per order record.
+  size_t OrderPayloadBytes = 64;
+  /// Probability a transaction also rewires a slot of an old, retained
+  /// tree (generates dirty cards on long-lived objects).
+  double OldMutationProbability = 0.2;
+  /// Per-transaction think time in microseconds (0 = none). Nonzero
+  /// models pBOB autoserver's idle time; the thread enters an idle
+  /// region while thinking.
+  double ThinkMicros = 0;
+  /// PRNG seed (per-thread seeds derive from it).
+  uint64_t Seed = 0x5eed;
+
+  /// Approximate heap bytes of one retained order tree.
+  size_t treeBytes() const;
+  /// Approximate steady-state live bytes of the whole run.
+  size_t estimatedLiveBytes() const {
+    return treeBytes() * LiveTreesPerThread * Threads;
+  }
+  /// Picks LiveTreesPerThread so the steady-state live set is about
+  /// \p TargetLiveBytes.
+  void sizeLiveSet(size_t TargetLiveBytes);
+};
+
+/// Runs warehouse transactions on a GcHeap.
+class WarehouseWorkload {
+public:
+  WarehouseWorkload(GcHeap &Heap, const WarehouseConfig &Config)
+      : Heap(Heap), Config(Config) {}
+
+  /// Spawns the threads, runs for the configured duration, returns the
+  /// aggregate result.
+  WorkloadResult run();
+
+private:
+  void threadMain(unsigned Index, uint64_t DeadlineNs,
+                  WorkloadResult &Result);
+
+  GcHeap &Heap;
+  WarehouseConfig Config;
+};
+
+} // namespace cgc
+
+#endif // CGC_WORKLOADS_WAREHOUSE_H

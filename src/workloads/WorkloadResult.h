@@ -1,0 +1,36 @@
+//===- WorkloadResult.h - Common workload reporting -------------*- C++ -*-===//
+///
+/// \file
+/// Result summary shared by all workload drivers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_WORKLOADS_WORKLOADRESULT_H
+#define CGC_WORKLOADS_WORKLOADRESULT_H
+
+#include <cstdint>
+
+namespace cgc {
+
+/// Aggregated outcome of a workload run.
+struct WorkloadResult {
+  /// Completed transactions across all threads.
+  uint64_t Transactions = 0;
+  /// Wall-clock duration of the run in milliseconds.
+  double DurationMs = 0;
+  /// Total bytes allocated by the workload threads.
+  uint64_t BytesAllocated = 0;
+  /// Set by verifying workloads when an integrity check failed.
+  bool IntegrityFailure = false;
+
+  /// Transactions per second (the throughput score).
+  double throughput() const {
+    return DurationMs <= 0 ? 0
+                           : static_cast<double>(Transactions) * 1000.0 /
+                                 DurationMs;
+  }
+};
+
+} // namespace cgc
+
+#endif // CGC_WORKLOADS_WORKLOADRESULT_H

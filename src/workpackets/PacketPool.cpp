@@ -1,0 +1,201 @@
+//===- PacketPool.cpp - Occupancy-classified packet sub-pools ---------------//
+
+#include "workpackets/PacketPool.h"
+
+#include "support/Fences.h"
+
+#include <cassert>
+
+using namespace cgc;
+
+PacketPool::PacketPool(uint32_t NumPackets)
+    : NumPackets(NumPackets), Packets(new WorkPacket[NumPackets]) {
+  assert(NumPackets > 0 && "pool needs at least one packet");
+  for (uint32_t I = 0; I < NumPackets; ++I)
+    pushTo(Empty, &Packets[I]);
+  EmptyCount.store(NumPackets, std::memory_order_relaxed);
+  resetStats();
+}
+
+void PacketPool::pushTo(SubPool &SP, WorkPacket *Packet) {
+  uint32_t Index = static_cast<uint32_t>(Packet - Packets.get());
+  TaggedHead Old = SP.Head.load(std::memory_order_relaxed);
+  for (;;) {
+    Packet->Next = headIndex(Old);
+    TaggedHead New = makeHead(Index + 1, static_cast<uint32_t>(Old >> 32) + 1);
+    SyncOps.fetch_add(1, std::memory_order_relaxed);
+    if (SP.Head.compare_exchange_weak(Old, New, std::memory_order_release,
+                                      std::memory_order_relaxed))
+      return;
+  }
+}
+
+WorkPacket *PacketPool::popFrom(SubPool &SP) {
+  TaggedHead Old = SP.Head.load(std::memory_order_acquire);
+  for (;;) {
+    uint32_t IndexPlus1 = headIndex(Old);
+    if (IndexPlus1 == 0)
+      return nullptr;
+    WorkPacket *Packet = &Packets[IndexPlus1 - 1];
+    TaggedHead New =
+        makeHead(Packet->Next, static_cast<uint32_t>(Old >> 32) + 1);
+    SyncOps.fetch_add(1, std::memory_order_relaxed);
+    if (SP.Head.compare_exchange_weak(Old, New, std::memory_order_acquire,
+                                      std::memory_order_acquire))
+      return Packet;
+  }
+}
+
+WorkPacket *PacketPool::takeFrom(SubPoolKind Kind) {
+  SubPool *SP = nullptr;
+  switch (Kind) {
+  case SPEmpty:
+    SP = &Empty;
+    break;
+  case SPNonEmpty:
+    SP = &NonEmpty;
+    break;
+  case SPAlmostFull:
+    SP = &AlmostFull;
+    break;
+  case SPDeferred:
+    SP = &Deferred;
+    break;
+  }
+  WorkPacket *Packet = popFrom(*SP);
+  if (!Packet)
+    return nullptr;
+  counterFor(Kind).fetch_sub(1, std::memory_order_release);
+  SyncOps.fetch_add(1, std::memory_order_relaxed);
+  noteGotPacket(Packet);
+  return Packet;
+}
+
+void PacketPool::noteGotPacket(const WorkPacket *Packet) {
+  // Busy = held by threads + queued non-empty: the upper bound on the
+  // packets the mechanism needs at once (Section 6.3).
+  uint64_t Busy = PacketsInUse.fetch_add(1, std::memory_order_relaxed) + 1 +
+                  NonEmptyCount.load(std::memory_order_relaxed) +
+                  AlmostFullCount.load(std::memory_order_relaxed) +
+                  DeferredCount.load(std::memory_order_relaxed);
+  uint64_t Watermark = PacketsInUseWatermark.load(std::memory_order_relaxed);
+  while (Busy > Watermark &&
+         !PacketsInUseWatermark.compare_exchange_weak(
+             Watermark, Busy, std::memory_order_relaxed))
+    ;
+  if (Packet->count())
+    SlotsQueued.fetch_sub(Packet->count(), std::memory_order_relaxed);
+}
+
+void PacketPool::notePutPacket(const WorkPacket *Packet) {
+  PacketsInUse.fetch_sub(1, std::memory_order_relaxed);
+  if (!Packet->count())
+    return;
+  int64_t Slots =
+      SlotsQueued.fetch_add(Packet->count(), std::memory_order_relaxed) +
+      Packet->count();
+  uint64_t Watermark = SlotsWatermark.load(std::memory_order_relaxed);
+  while (Slots > 0 && static_cast<uint64_t>(Slots) > Watermark &&
+         !SlotsWatermark.compare_exchange_weak(
+             Watermark, static_cast<uint64_t>(Slots),
+             std::memory_order_relaxed))
+    ;
+}
+
+WorkPacket *PacketPool::getInput() {
+  // Highest possible occupancy range first (Section 4.2).
+  if (WorkPacket *Packet = takeFrom(SPAlmostFull))
+    return Packet;
+  if (WorkPacket *Packet = takeFrom(SPNonEmpty))
+    return Packet;
+  FailedGets.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+WorkPacket *PacketPool::getOutput() {
+  // Lowest possible occupancy range first (Section 4.2).
+  if (WorkPacket *Packet = takeFrom(SPEmpty))
+    return Packet;
+  if (WorkPacket *Packet = takeFrom(SPNonEmpty))
+    return Packet;
+  if (WorkPacket *Packet = takeFrom(SPAlmostFull))
+    return Packet;
+  FailedGets.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+WorkPacket *PacketPool::getEmpty() {
+  if (WorkPacket *Packet = takeFrom(SPEmpty))
+    return Packet;
+  FailedGets.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void PacketPool::put(WorkPacket *Packet) {
+  assert(Packet && "null packet");
+  // Section 5.1: one fence before publishing a packet that carries work,
+  // so entry stores cannot be reordered after the head-pointer store.
+  if (Packet->count())
+    fence(FenceSite::PacketPublish);
+  notePutPacket(Packet);
+  SubPoolKind Kind = classify(Packet);
+  switch (Kind) {
+  case SPEmpty:
+    pushTo(Empty, Packet);
+    break;
+  case SPNonEmpty:
+    pushTo(NonEmpty, Packet);
+    break;
+  case SPAlmostFull:
+    pushTo(AlmostFull, Packet);
+    break;
+  case SPDeferred:
+    assert(false && "classify never yields Deferred");
+    break;
+  }
+  counterFor(Kind).fetch_add(1, std::memory_order_release);
+  SyncOps.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PacketPool::putDeferred(WorkPacket *Packet) {
+  assert(Packet && !Packet->empty() && "deferred packet must carry work");
+  fence(FenceSite::PacketPublish);
+  notePutPacket(Packet);
+  pushTo(Deferred, Packet);
+  DeferredCount.fetch_add(1, std::memory_order_release);
+  SyncOps.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t PacketPool::redistributeDeferred() {
+  size_t Moved = 0;
+  while (WorkPacket *Packet = takeFrom(SPDeferred)) {
+    put(Packet);
+    ++Moved;
+  }
+  return Moved;
+}
+
+PacketPoolStats PacketPool::stats() const {
+  PacketPoolStats S;
+  S.SyncOps = SyncOps.load(std::memory_order_relaxed);
+  S.PacketsInUseWatermark =
+      PacketsInUseWatermark.load(std::memory_order_relaxed);
+  S.SlotsInUseWatermark = SlotsWatermark.load(std::memory_order_relaxed);
+  S.FailedGets = FailedGets.load(std::memory_order_relaxed);
+  return S;
+}
+
+void PacketPool::resetStats() {
+  SyncOps.store(0, std::memory_order_relaxed);
+  FailedGets.store(0, std::memory_order_relaxed);
+  PacketsInUseWatermark.store(0, std::memory_order_relaxed);
+  SlotsWatermark.store(0, std::memory_order_relaxed);
+}
+
+bool PacketPool::verifyAllReturned() const {
+  return EmptyCount.load(std::memory_order_relaxed) == NumPackets &&
+         NonEmptyCount.load(std::memory_order_relaxed) == 0 &&
+         AlmostFullCount.load(std::memory_order_relaxed) == 0 &&
+         DeferredCount.load(std::memory_order_relaxed) == 0 &&
+         PacketsInUse.load(std::memory_order_relaxed) == 0;
+}

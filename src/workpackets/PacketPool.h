@@ -1,0 +1,177 @@
+//===- PacketPool.h - Occupancy-classified packet sub-pools -----*- C++ -*-===//
+///
+/// \file
+/// The global work-packet pool (Sections 4.1-4.3).
+///
+/// Packets circulate between threads through sub-pools classified by
+/// occupancy:
+///   - Empty:       0 entries
+///   - Non-empty:   less than 50% full
+///   - Almost full: at least 50% full (including totally full)
+///   - Deferred:    packets holding objects whose allocation bits were
+///                  not yet visible to a tracer (Section 5.2); these do
+///                  not circulate until redistributeDeferred() is called.
+///
+/// Each sub-pool is a lock-free Treiber stack of packet indices; the
+/// head word carries a monotonically increasing tag to defeat ABA (the
+/// paper cites the z/Architecture unique-ID technique). Each sub-pool
+/// keeps an approximate packet counter, updated after each put/get, and
+/// tracing termination is detected when the Empty pool's counter equals
+/// the total number of packets (Section 4.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_WORKPACKETS_PACKETPOOL_H
+#define CGC_WORKPACKETS_PACKETPOOL_H
+
+#include "workpackets/WorkPacket.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace cgc {
+
+/// Aggregate statistics for the load-balancing evaluation (Section 6.3).
+struct PacketPoolStats {
+  /// CAS/atomic synchronization operations spent on get/put.
+  uint64_t SyncOps = 0;
+  /// High-water mark of packets simultaneously busy: held by a thread
+  /// or sitting non-empty in a sub-pool (the paper's upper bound on the
+  /// memory the mechanism needs).
+  uint64_t PacketsInUseWatermark = 0;
+  /// High-water mark of queued entries (lower bound on needed memory).
+  uint64_t SlotsInUseWatermark = 0;
+  /// Number of get operations that found no packet.
+  uint64_t FailedGets = 0;
+};
+
+/// The shared pool of work packets.
+class PacketPool {
+public:
+  /// Creates \p NumPackets empty packets, all in the Empty sub-pool.
+  explicit PacketPool(uint32_t NumPackets);
+
+  PacketPool(const PacketPool &) = delete;
+  PacketPool &operator=(const PacketPool &) = delete;
+
+  /// Total number of packets.
+  uint32_t numPackets() const { return NumPackets; }
+
+  /// Gets an input packet: highest-occupancy sub-pool first (Almost full,
+  /// then Non-empty). Returns nullptr when no tracing work is available.
+  WorkPacket *getInput();
+
+  /// Gets an output packet: lowest-occupancy sub-pool first (Empty, then
+  /// Non-empty, then Almost full — which may hand back a full packet, a
+  /// rare case the caller treats as overflow). Returns nullptr when no
+  /// packet is available at all.
+  WorkPacket *getOutput();
+
+  /// Gets a guaranteed-empty packet (deferred-object side packet).
+  WorkPacket *getEmpty();
+
+  /// Returns \p Packet to the sub-pool matching its occupancy. Performs
+  /// the Section 5.1 publish fence when the packet carries entries.
+  void put(WorkPacket *Packet);
+
+  /// Parks \p Packet in the Deferred sub-pool (Section 5.2).
+  void putDeferred(WorkPacket *Packet);
+
+  /// Moves every Deferred packet back into circulation so deferred
+  /// objects get another chance to be traced. Returns packets moved.
+  size_t redistributeDeferred();
+
+  /// Whether any packets are parked in the Deferred sub-pool.
+  bool hasDeferred() const {
+    return DeferredCount.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Termination test: every packet is empty and in the Empty sub-pool
+  /// (up to the benign counter races discussed in Section 4.3).
+  bool allPacketsEmptyAndIdle() const {
+    return EmptyCount.load(std::memory_order_acquire) == NumPackets;
+  }
+
+  /// Approximate number of packets currently available as input work.
+  size_t approxInputPackets() const {
+    return NonEmptyCount.load(std::memory_order_relaxed) +
+           AlmostFullCount.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the accumulated statistics.
+  PacketPoolStats stats() const;
+
+  /// Zeroes statistics (watermarks and counters).
+  void resetStats();
+
+  /// Asserts every packet is back and empty, and resets per-cycle state.
+  /// Called between collection cycles in tests.
+  bool verifyAllReturned() const;
+
+private:
+  /// Tagged head of a Treiber stack: low 32 bits = index + 1 (0 = empty),
+  /// high 32 bits = ABA tag.
+  using TaggedHead = uint64_t;
+
+  static constexpr uint32_t headIndex(TaggedHead H) {
+    return static_cast<uint32_t>(H & 0xffffffffu);
+  }
+  static TaggedHead makeHead(uint32_t IndexPlus1, uint32_t Tag) {
+    return (static_cast<uint64_t>(Tag) << 32) | IndexPlus1;
+  }
+
+  struct SubPool {
+    std::atomic<TaggedHead> Head{0};
+  };
+
+  enum SubPoolKind { SPEmpty, SPNonEmpty, SPAlmostFull, SPDeferred };
+
+  void pushTo(SubPool &SP, WorkPacket *Packet);
+  WorkPacket *popFrom(SubPool &SP);
+
+  std::atomic<uint32_t> &counterFor(SubPoolKind Kind) {
+    switch (Kind) {
+    case SPEmpty:
+      return EmptyCount;
+    case SPNonEmpty:
+      return NonEmptyCount;
+    case SPAlmostFull:
+      return AlmostFullCount;
+    case SPDeferred:
+      return DeferredCount;
+    }
+    __builtin_unreachable();
+  }
+
+  SubPoolKind classify(const WorkPacket *Packet) const {
+    if (Packet->empty())
+      return SPEmpty;
+    return Packet->almostFull() ? SPAlmostFull : SPNonEmpty;
+  }
+
+  WorkPacket *takeFrom(SubPoolKind Kind);
+  void noteGotPacket(const WorkPacket *Packet);
+  void notePutPacket(const WorkPacket *Packet);
+
+  uint32_t NumPackets;
+  std::unique_ptr<WorkPacket[]> Packets;
+
+  SubPool Empty, NonEmpty, AlmostFull, Deferred;
+  std::atomic<uint32_t> EmptyCount{0};
+  std::atomic<uint32_t> NonEmptyCount{0};
+  std::atomic<uint32_t> AlmostFullCount{0};
+  std::atomic<uint32_t> DeferredCount{0};
+
+  // Statistics.
+  std::atomic<uint64_t> SyncOps{0};
+  std::atomic<uint64_t> FailedGets{0};
+  std::atomic<uint32_t> PacketsInUse{0};
+  std::atomic<uint64_t> PacketsInUseWatermark{0};
+  std::atomic<int64_t> SlotsQueued{0};
+  std::atomic<uint64_t> SlotsWatermark{0};
+};
+
+} // namespace cgc
+
+#endif // CGC_WORKPACKETS_PACKETPOOL_H

@@ -1,0 +1,182 @@
+//===- TraceContext.h - Per-participant packet pair -------------*- C++ -*-===//
+///
+/// \file
+/// A tracing participant's view of the packet pool (Section 4.1): one
+/// input packet (pop only) and one output packet (push only), with the
+/// replacement rules that make termination detection sound (get the new
+/// packet first, only then return the old one — Section 4.3) and the
+/// overflow path (swap input/output once; if both are full, the caller
+/// falls back to mark-and-dirty-card).
+///
+/// Incremental collection means any mutator can become a tracing
+/// participant for one increment; a TraceContext is cheap to carry in
+/// each mutator context and in each background thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_WORKPACKETS_TRACECONTEXT_H
+#define CGC_WORKPACKETS_TRACECONTEXT_H
+
+#include "workpackets/PacketPool.h"
+
+#include <cassert>
+
+namespace cgc {
+
+/// Result of attempting to queue an object for tracing.
+enum class PushResult {
+  /// Queued successfully.
+  Ok,
+  /// Both packets full and the pool exhausted: the caller must apply the
+  /// overflow treatment (object stays marked; dirty its card).
+  Overflow
+};
+
+/// Input/output packet pair for one tracing participant.
+class TraceContext {
+public:
+  explicit TraceContext(PacketPool &Pool) : Pool(Pool) {}
+
+  ~TraceContext() {
+    assert(!holdsPackets() && "trace context destroyed holding packets");
+  }
+
+  TraceContext(const TraceContext &) = delete;
+  TraceContext &operator=(const TraceContext &) = delete;
+
+  /// Pops the next object to trace, replacing an exhausted input packet
+  /// from the pool (and recycling a non-empty output packet through the
+  /// pool when that is the only work left). Returns nullptr when no
+  /// input work can be obtained — the participant should move on to
+  /// other tasks (card cleaning, stack scans) or finish its increment.
+  Object *popWork() {
+    if (!ensureInputWork())
+      return nullptr;
+    return Input->pop();
+  }
+
+  /// Makes the input packet non-empty (refilling from the pool if
+  /// needed) without popping. Lets the tracer run the Section 5.2 batch
+  /// classification over a whole input packet. Returns false when no
+  /// input work can be obtained.
+  bool ensureInputWork() {
+    if (Input && !Input->empty())
+      return true;
+    return refillInput();
+  }
+
+  /// Queues \p Obj for tracing.
+  PushResult pushWork(Object *Obj) {
+    if (Output && !Output->full()) {
+      Output->push(Obj);
+      return PushResult::Ok;
+    }
+    if (!replaceOutput())
+      return PushResult::Overflow;
+    Output->push(Obj);
+    return PushResult::Ok;
+  }
+
+  /// Queues \p Obj on the deferred side packet (allocation bit not yet
+  /// visible, Section 5.2). Returns false when no empty packet could be
+  /// obtained; the caller then applies the overflow treatment.
+  bool pushDeferred(Object *Obj) {
+    if (DeferredPkt && DeferredPkt->full()) {
+      Pool.putDeferred(DeferredPkt);
+      DeferredPkt = nullptr;
+    }
+    if (!DeferredPkt) {
+      DeferredPkt = Pool.getEmpty();
+      if (!DeferredPkt)
+        return false;
+    }
+    DeferredPkt->push(Obj);
+    return true;
+  }
+
+  /// Returns every held packet to the pool. Must be called at the end of
+  /// each tracing increment so starved packets do not sit captive in an
+  /// idle thread (and so termination can be detected).
+  void release() {
+    if (Input) {
+      Pool.put(Input);
+      Input = nullptr;
+    }
+    if (Output) {
+      Pool.put(Output);
+      Output = nullptr;
+    }
+    if (DeferredPkt) {
+      if (DeferredPkt->empty())
+        Pool.put(DeferredPkt);
+      else
+        Pool.putDeferred(DeferredPkt);
+      DeferredPkt = nullptr;
+    }
+  }
+
+  /// Whether any packet is currently held.
+  bool holdsPackets() const { return Input || Output || DeferredPkt; }
+
+  /// The current input packet (tracer batch scan needs direct access).
+  WorkPacket *input() { return Input; }
+
+private:
+  /// Gets a non-empty input packet, following the get-then-put rule.
+  bool refillInput() {
+    if (WorkPacket *NewIn = Pool.getInput()) {
+      if (Input)
+        Pool.put(Input);
+      Input = NewIn;
+      return true;
+    }
+    // The only remaining work may be sitting in our own output packet:
+    // publish it and compete for it like everyone else (keeps input and
+    // output strictly separated, Section 4.1).
+    if (Output && !Output->empty()) {
+      Pool.put(Output);
+      Output = nullptr;
+      if (WorkPacket *NewIn = Pool.getInput()) {
+        if (Input)
+          Pool.put(Input);
+        Input = NewIn;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Makes Output pushable; implements the swap exception of Section 4.3.
+  bool replaceOutput() {
+    WorkPacket *NewOut = Pool.getOutput();
+    if (NewOut && NewOut->full()) {
+      // The lowest-occupancy packet available is totally full — treat as
+      // no packet (put it straight back).
+      Pool.put(NewOut);
+      NewOut = nullptr;
+    }
+    if (NewOut) {
+      if (Output)
+        Pool.put(Output);
+      Output = NewOut;
+      return true;
+    }
+    // Swap exception: reuse free space in the input packet.
+    if (Input && !Input->full()) {
+      WorkPacket *Tmp = Input;
+      Input = Output;
+      Output = Tmp;
+      return Output && !Output->full();
+    }
+    return false;
+  }
+
+  PacketPool &Pool;
+  WorkPacket *Input = nullptr;
+  WorkPacket *Output = nullptr;
+  WorkPacket *DeferredPkt = nullptr;
+};
+
+} // namespace cgc
+
+#endif // CGC_WORKPACKETS_TRACECONTEXT_H

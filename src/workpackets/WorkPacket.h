@@ -1,0 +1,75 @@
+//===- WorkPacket.h - Fixed-capacity mark-stack packet ----------*- C++ -*-===//
+///
+/// \file
+/// A work packet (Section 4): a small fixed-capacity mark stack. A
+/// packet is owned by at most one thread at a time; while owned, its
+/// entries and count are accessed without synchronization. Ownership is
+/// transferred through the PacketPool's lock-free sub-pool lists, and the
+/// publish fence of Section 5.1 orders entry stores before the packet
+/// pointer store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_WORKPACKETS_WORKPACKET_H
+#define CGC_WORKPACKETS_WORKPACKET_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace cgc {
+
+class Object;
+
+/// One packet: a bounded LIFO of objects awaiting tracing.
+class WorkPacket {
+public:
+  /// Entries per packet; the paper's packets hold up to 493 entries.
+  static constexpr uint32_t Capacity = 493;
+
+  /// Number of queued objects.
+  uint32_t count() const { return Count; }
+
+  /// Whether no objects are queued.
+  bool empty() const { return Count == 0; }
+
+  /// Whether no more objects fit.
+  bool full() const { return Count == Capacity; }
+
+  /// Whether the packet is at least half full (the paper's Almost Full
+  /// classification boundary).
+  bool almostFull() const { return Count >= Capacity / 2; }
+
+  /// Pushes \p Obj; the packet must not be full.
+  void push(Object *Obj) {
+    assert(!full() && "push on full packet");
+    Entries[Count++] = Obj;
+  }
+
+  /// Pops the most recently pushed object; the packet must not be empty.
+  Object *pop() {
+    assert(!empty() && "pop on empty packet");
+    return Entries[--Count];
+  }
+
+  /// Reads entry \p I without removing it (tracer batch safety scan).
+  Object *peek(uint32_t I) const {
+    assert(I < Count && "peek out of range");
+    return Entries[I];
+  }
+
+  /// Drops all entries.
+  void clear() { Count = 0; }
+
+private:
+  friend class PacketPool;
+
+  /// Intrusive link for the owning sub-pool list: (index of next packet
+  /// + 1), or 0 for end-of-list. Only touched inside pool CAS sections.
+  uint32_t Next = 0;
+  uint32_t Count = 0;
+  Object *Entries[Capacity];
+};
+
+} // namespace cgc
+
+#endif // CGC_WORKPACKETS_WORKPACKET_H

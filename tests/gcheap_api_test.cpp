@@ -1,0 +1,174 @@
+//===- gcheap_api_test.cpp - public API edges ------------------------------------//
+
+#include "runtime/GcHeap.h"
+
+#include "support/Fences.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace cgc;
+
+namespace {
+
+GcOptions apiOptions() {
+  GcOptions Opts;
+  Opts.HeapBytes = 8u << 20;
+  Opts.BackgroundThreads = 0;
+  Opts.NumWorkPackets = 32;
+  return Opts;
+}
+
+class GcHeapApiTest : public ::testing::Test {
+protected:
+  GcHeapApiTest() : Heap(GcHeap::create(apiOptions())) {
+    Ctx = &Heap->attachThread();
+    Ctx->reserveRoots(16);
+  }
+  ~GcHeapApiTest() override { Heap->detachThread(*Ctx); }
+
+  std::unique_ptr<GcHeap> Heap;
+  MutatorContext *Ctx = nullptr;
+};
+
+TEST_F(GcHeapApiTest, ZeroPayloadZeroRefs) {
+  Object *Obj = Heap->allocate(*Ctx, 0, 0);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->sizeBytes(), Object::MinObjectBytes);
+  EXPECT_EQ(Obj->numRefs(), 0u);
+  EXPECT_EQ(Obj->payloadBytes(), Object::MinObjectBytes - 8);
+}
+
+TEST_F(GcHeapApiTest, PayloadSizesRoundUp) {
+  for (size_t Payload : {1u, 7u, 8u, 9u, 100u, 511u}) {
+    Object *Obj = Heap->allocate(*Ctx, Payload, 0);
+    ASSERT_NE(Obj, nullptr);
+    EXPECT_GE(Obj->payloadBytes(), Payload);
+    EXPECT_EQ(Obj->sizeBytes() % GranuleBytes, 0u);
+  }
+}
+
+TEST_F(GcHeapApiTest, ManyRefSlots) {
+  Object *Obj = Heap->allocate(*Ctx, 0, 100);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->numRefs(), 100u);
+  for (unsigned I = 0; I < 100; ++I)
+    EXPECT_EQ(GcHeap::readRef(Obj, I), nullptr);
+  Object *Val = Heap->allocate(*Ctx, 8, 0);
+  Heap->writeRef(*Ctx, Obj, 99, Val);
+  EXPECT_EQ(GcHeap::readRef(Obj, 99), Val);
+  EXPECT_EQ(GcHeap::readRef(Obj, 98), nullptr);
+}
+
+TEST_F(GcHeapApiTest, ClassIdPreservedAcrossGc) {
+  Object *Obj = Heap->allocate(*Ctx, 16, 0, 4242);
+  Ctx->setRoot(0, Obj);
+  Heap->requestGC(Ctx);
+  EXPECT_EQ(Ctx->getRoot(0)->classId(), 4242u);
+}
+
+TEST_F(GcHeapApiTest, WriteRefNullClearsSlot) {
+  Object *Holder = Heap->allocate(*Ctx, 0, 1);
+  Object *Val = Heap->allocate(*Ctx, 8, 0);
+  Heap->writeRef(*Ctx, Holder, 0, Val);
+  EXPECT_EQ(GcHeap::readRef(Holder, 0), Val);
+  Heap->writeRef(*Ctx, Holder, 0, nullptr);
+  EXPECT_EQ(GcHeap::readRef(Holder, 0), nullptr);
+}
+
+TEST_F(GcHeapApiTest, LargeObjectWithRefsAndPayload) {
+  size_t Payload = 64u << 10; // Above the large-object threshold.
+  Object *Big = Heap->allocate(*Ctx, Payload, 3, 9);
+  ASSERT_NE(Big, nullptr);
+  EXPECT_GE(Big->payloadBytes(), Payload);
+  EXPECT_EQ(Big->numRefs(), 3u);
+  std::memset(Big->payload(), 0xCD, Payload);
+  Object *Child = Heap->allocate(*Ctx, 8, 0, 1);
+  Heap->writeRef(*Ctx, Big, 1, Child);
+  Ctx->setRoot(0, Big);
+  Heap->requestGC(Ctx);
+  Object *Kept = Ctx->getRoot(0);
+  ASSERT_EQ(Kept, Big);
+  EXPECT_EQ(Big->payload()[Payload - 1], 0xCD);
+  EXPECT_EQ(GcHeap::readRef(Big, 1)->classId(), 1u);
+}
+
+TEST_F(GcHeapApiTest, AllocationFenceBatching) {
+  // ~64 small allocations per 32 KB cache: fences scale with caches,
+  // not with objects (Section 5.2).
+  fenceCounters().reset();
+  constexpr int NumObjects = 2000;
+  for (int I = 0; I < NumObjects; ++I)
+    Heap->allocate(*Ctx, 480, 0); // ~496 bytes each, ~66 per cache.
+  uint64_t Fences = fenceCounters().count(FenceSite::AllocCacheFlush);
+  EXPECT_LT(Fences, NumObjects / 20)
+      << "alloc fences must be per cache flush, not per object";
+}
+
+TEST_F(GcHeapApiTest, PushPopRootsNest) {
+  Object *A = Heap->allocate(*Ctx, 8, 0, 1);
+  Object *B = Heap->allocate(*Ctx, 8, 0, 2);
+  size_t Before = Ctx->numRoots();
+  Ctx->pushRoot(A);
+  Ctx->pushRoot(B);
+  EXPECT_EQ(Ctx->numRoots(), Before + 2);
+  Heap->requestGC(Ctx);
+  EXPECT_EQ(A->classId(), 1u);
+  EXPECT_EQ(B->classId(), 2u);
+  Ctx->popRoots(2);
+  EXPECT_EQ(Ctx->numRoots(), Before);
+}
+
+TEST_F(GcHeapApiTest, StatsExposeCompletedCycles) {
+  EXPECT_EQ(Heap->completedCycles(), 0u);
+  Heap->requestGC(Ctx);
+  EXPECT_EQ(Heap->completedCycles(), 1u);
+  EXPECT_EQ(Heap->stats().numCycles(), 1u);
+  EXPECT_EQ(Heap->stats().snapshot().back().CycleNumber, 1u);
+}
+
+TEST_F(GcHeapApiTest, FreeBytesMoveWithAllocationAndGc) {
+  size_t Before = Heap->freeBytes();
+  for (int I = 0; I < 100; ++I)
+    Heap->allocate(*Ctx, 1000, 0);
+  EXPECT_LT(Heap->freeBytes(), Before);
+  Heap->requestGC(Ctx); // All garbage reclaimed.
+  EXPECT_GT(Heap->freeBytes(), Before - (64u << 10));
+}
+
+TEST_F(GcHeapApiTest, VerifyNowOnQuietHeap) {
+  Object *Obj = Heap->allocate(*Ctx, 8, 1);
+  Ctx->setRoot(0, Obj);
+  VerifyResult R = Heap->verifyNow(Ctx);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_GE(R.ReachableObjects, 1u);
+}
+
+TEST(GcHeapKickoffTest, ConcurrentPhaseStartsBeforeExhaustion) {
+  // The kickoff formula must start the concurrent phase while free
+  // memory remains, once estimates exist (i.e. after the first cycle).
+  GcOptions Opts = apiOptions();
+  Opts.Kind = CollectorKind::MostlyConcurrent;
+  Opts.TracingRate = 4.0;
+  auto Heap = GcHeap::create(Opts);
+  MutatorContext &Ctx = Heap->attachThread();
+  Ctx.reserveRoots(64);
+  for (int I = 0; I < 64; ++I)
+    Ctx.setRoot(I, Heap->allocate(Ctx, 8000, 0));
+  size_t Churned = 0;
+  while (Heap->completedCycles() < 4) {
+    Object *Obj = Heap->allocate(Ctx, 512, 0);
+    ASSERT_NE(Obj, nullptr);
+    Churned += Obj->sizeBytes();
+    ASSERT_LT(Churned, 1u << 30) << "collector never completed 4 cycles";
+  }
+  size_t ConcurrentCompletions = 0;
+  for (const CycleRecord &R : Heap->stats().snapshot())
+    if (R.Concurrent)
+      ++ConcurrentCompletions;
+  EXPECT_GT(ConcurrentCompletions, 0u);
+  Heap->detachThread(Ctx);
+}
+
+} // namespace

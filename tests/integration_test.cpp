@@ -1,0 +1,177 @@
+//===- integration_test.cpp - cross-module property sweeps ---------------------//
+///
+/// Property-style sweeps over the option grid: for every combination of
+/// collector kind, lazy sweep, worker count, background threads and
+/// packet-pool size, a verifying workload must run without integrity
+/// failures and leave a heap the reachability verifier accepts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+#include "workloads/GraphChurn.h"
+#include "workloads/Warehouse.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+
+using namespace cgc;
+
+namespace {
+
+struct GridPoint {
+  CollectorKind Kind;
+  bool LazySweep;
+  unsigned Workers;
+  unsigned BgThreads;
+  uint32_t Packets;
+  double TracingRate;
+};
+
+std::string gridName(const ::testing::TestParamInfo<GridPoint> &Info) {
+  const GridPoint &G = Info.param;
+  std::string Name =
+      G.Kind == CollectorKind::StopTheWorld ? "Stw" : "Cgc";
+  Name += G.LazySweep ? "Lazy" : "Eager";
+  Name += "W" + std::to_string(G.Workers);
+  Name += "B" + std::to_string(G.BgThreads);
+  Name += "P" + std::to_string(G.Packets);
+  Name += "T" + std::to_string(static_cast<int>(G.TracingRate));
+  return Name;
+}
+
+class GcOptionGrid : public ::testing::TestWithParam<GridPoint> {
+protected:
+  std::unique_ptr<GcHeap> makeHeap() {
+    const GridPoint &G = GetParam();
+    GcOptions Opts;
+    Opts.Kind = G.Kind;
+    Opts.HeapBytes = 10u << 20;
+    Opts.LazySweep = G.LazySweep;
+    Opts.GcWorkerThreads = G.Workers;
+    Opts.BackgroundThreads = G.BgThreads;
+    Opts.NumWorkPackets = G.Packets;
+    Opts.TracingRate = G.TracingRate;
+    Opts.VerifyEachCycle = true;
+    return GcHeap::create(Opts);
+  }
+};
+
+TEST_P(GcOptionGrid, GraphChurnSoundness) {
+  auto Heap = makeHeap();
+  GraphChurnConfig Config;
+  Config.Threads = 2;
+  Config.DurationMs = 400;
+  Config.Seed = 99 + static_cast<uint64_t>(GetParam().Packets);
+  GraphChurnWorkload Workload(*Heap, Config);
+  WorkloadResult Result = Workload.run();
+  EXPECT_FALSE(Result.IntegrityFailure) << "live object reclaimed";
+  EXPECT_GT(Result.Transactions, 0u);
+  VerifyResult V = Heap->verifyNow(nullptr);
+  EXPECT_TRUE(V.Ok) << V.Error;
+}
+
+TEST_P(GcOptionGrid, WarehouseThenVerify) {
+  auto Heap = makeHeap();
+  WarehouseConfig Config;
+  Config.Threads = 2;
+  Config.DurationMs = 400;
+  Config.sizeLiveSet(5u << 20);
+  WarehouseWorkload Workload(*Heap, Config);
+  WorkloadResult Result = Workload.run();
+  EXPECT_GT(Result.Transactions, 0u);
+  VerifyResult V = Heap->verifyNow(nullptr);
+  EXPECT_TRUE(V.Ok) << V.Error;
+  // All threads detached: reachable set must be empty.
+  EXPECT_EQ(V.ReachableObjects, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GcOptionGrid,
+    ::testing::Values(
+        GridPoint{CollectorKind::StopTheWorld, false, 0, 0, 64, 8.0},
+        GridPoint{CollectorKind::StopTheWorld, false, 3, 0, 64, 8.0},
+        GridPoint{CollectorKind::StopTheWorld, true, 2, 0, 64, 8.0},
+        GridPoint{CollectorKind::MostlyConcurrent, false, 2, 0, 64, 8.0},
+        GridPoint{CollectorKind::MostlyConcurrent, false, 2, 2, 64, 8.0},
+        GridPoint{CollectorKind::MostlyConcurrent, false, 1, 4, 64, 1.0},
+        GridPoint{CollectorKind::MostlyConcurrent, false, 2, 1, 8, 8.0},
+        GridPoint{CollectorKind::MostlyConcurrent, true, 2, 1, 64, 8.0},
+        GridPoint{CollectorKind::MostlyConcurrent, false, 2, 1, 64, 10.0}),
+    gridName);
+
+TEST(IntegrationTest, TwoHeapsCoexist) {
+  GcOptions Opts;
+  Opts.HeapBytes = 4u << 20;
+  Opts.BackgroundThreads = 1;
+  auto HeapA = GcHeap::create(Opts);
+  auto HeapB = GcHeap::create(Opts);
+  MutatorContext &CtxA = HeapA->attachThread();
+  MutatorContext &CtxB = HeapB->attachThread();
+  CtxA.reserveRoots(1);
+  CtxB.reserveRoots(1);
+  CtxA.setRoot(0, HeapA->allocate(CtxA, 64, 0, 1));
+  CtxB.setRoot(0, HeapB->allocate(CtxB, 64, 0, 2));
+  HeapA->requestGC(&CtxA);
+  HeapB->requestGC(&CtxB);
+  EXPECT_EQ(CtxA.getRoot(0)->classId(), 1u);
+  EXPECT_EQ(CtxB.getRoot(0)->classId(), 2u);
+  HeapA->detachThread(CtxA);
+  HeapB->detachThread(CtxB);
+}
+
+TEST(IntegrationTest, AttachDetachChurnDuringCollection) {
+  GcOptions Opts;
+  Opts.HeapBytes = 8u << 20;
+  Opts.BackgroundThreads = 1;
+  auto Heap = GcHeap::create(Opts);
+  std::atomic<bool> Stop{false};
+  // Allocator thread keeps the collector busy.
+  std::thread Allocator([&] {
+    MutatorContext &Ctx = Heap->attachThread();
+    Ctx.reserveRoots(8);
+    while (!Stop.load(std::memory_order_acquire)) {
+      Object *Obj = Heap->allocate(Ctx, 512, 1, 0);
+      if (!Obj)
+        break;
+      Ctx.setRoot(0, Obj);
+    }
+    Heap->detachThread(Ctx);
+  });
+  // Churn thread attach/detach repeatedly.
+  for (int I = 0; I < 60; ++I) {
+    MutatorContext &Ctx = Heap->attachThread();
+    Ctx.reserveRoots(2);
+    Object *Obj = Heap->allocate(Ctx, 128, 0, 0);
+    if (Obj)
+      Ctx.setRoot(0, Obj);
+    Heap->detachThread(Ctx);
+  }
+  // Give the allocator thread time to drive at least one collection
+  // (single-core hosts may not have scheduled it much yet).
+  for (int I = 0; I < 10000 && Heap->completedCycles() == 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Stop.store(true, std::memory_order_release);
+  Allocator.join();
+  EXPECT_GE(Heap->completedCycles(), 1u);
+}
+
+TEST(IntegrationTest, ForcedGcIdempotent) {
+  GcOptions Opts;
+  Opts.HeapBytes = 4u << 20;
+  auto Heap = GcHeap::create(Opts);
+  MutatorContext &Ctx = Heap->attachThread();
+  Ctx.reserveRoots(1);
+  Ctx.setRoot(0, Heap->allocate(Ctx, 64, 0, 9));
+  for (int I = 0; I < 5; ++I)
+    Heap->requestGC(&Ctx);
+  EXPECT_EQ(Ctx.getRoot(0)->classId(), 9u);
+  EXPECT_GE(Heap->completedCycles(), 5u);
+  Heap->detachThread(Ctx);
+}
+
+} // namespace

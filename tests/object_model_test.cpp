@@ -1,0 +1,103 @@
+//===- object_model_test.cpp - object layout units -----------------------------//
+
+#include "heap/HeapSpace.h"
+#include "heap/ObjectModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace cgc;
+
+namespace {
+
+TEST(ObjectModelTest, RequiredSizeRoundsUp) {
+  // Header only, no payload, no refs: still the minimum object.
+  EXPECT_EQ(Object::requiredSize(0, 0), Object::MinObjectBytes);
+  // 8-byte header + 1 ref + 0 payload = 16.
+  EXPECT_EQ(Object::requiredSize(0, 1), 16u);
+  // Rounds payload to granules.
+  EXPECT_EQ(Object::requiredSize(1, 0), 16u);
+  EXPECT_EQ(Object::requiredSize(9, 0), 24u);
+  EXPECT_EQ(Object::requiredSize(8, 2), 32u);
+}
+
+TEST(ObjectModelTest, InitializeZeroesRefs) {
+  alignas(8) uint8_t Buf[64];
+  std::memset(Buf, 0xAB, sizeof(Buf));
+  Object *Obj = reinterpret_cast<Object *>(Buf);
+  Obj->initialize(48, 3, 7);
+  EXPECT_EQ(Obj->sizeBytes(), 48u);
+  EXPECT_EQ(Obj->numRefs(), 3u);
+  EXPECT_EQ(Obj->classId(), 7u);
+  for (unsigned I = 0; I < 3; ++I)
+    EXPECT_EQ(Obj->loadRef(I), nullptr);
+  EXPECT_EQ(Obj->payloadBytes(), 48u - 8 - 24);
+  EXPECT_EQ(Obj->payload(), Buf + 8 + 24);
+  EXPECT_EQ(Obj->end(), Buf + 48);
+  // Payload untouched by initialize.
+  EXPECT_EQ(Obj->payload()[0], 0xAB);
+}
+
+TEST(ObjectModelTest, RefStoreLoadRoundTrip) {
+  alignas(8) uint8_t BufA[32], BufB[32];
+  Object *A = reinterpret_cast<Object *>(BufA);
+  Object *B = reinterpret_cast<Object *>(BufB);
+  A->initialize(32, 2, 0);
+  B->initialize(16, 0, 0);
+  A->storeRefRaw(0, B);
+  EXPECT_EQ(A->loadRef(0), B);
+  EXPECT_EQ(A->loadRef(1), nullptr);
+  A->storeRefRaw(0, nullptr);
+  EXPECT_EQ(A->loadRef(0), nullptr);
+}
+
+TEST(HeapSpaceTest, GeometryAndContains) {
+  HeapSpace Heap(1u << 20);
+  EXPECT_GE(Heap.sizeBytes(), 1u << 20);
+  EXPECT_TRUE(Heap.contains(Heap.base()));
+  EXPECT_TRUE(Heap.contains(Heap.limit() - 1));
+  EXPECT_FALSE(Heap.contains(Heap.limit()));
+  EXPECT_FALSE(Heap.contains(nullptr));
+  // Whole heap starts free.
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes());
+  EXPECT_EQ(Heap.occupiedBytes(), 0u);
+}
+
+TEST(HeapSpaceTest, PlausibleObjectFilter) {
+  HeapSpace Heap(1u << 20);
+  uint8_t *P = Heap.base() + 64;
+  uintptr_t Word = reinterpret_cast<uintptr_t>(P);
+  // In heap, aligned, but no allocation bit: rejected.
+  EXPECT_FALSE(Heap.isPlausibleObject(Word));
+  Heap.allocBits().set(P);
+  EXPECT_TRUE(Heap.isPlausibleObject(Word));
+  // Misaligned: rejected even with a bit nearby.
+  EXPECT_FALSE(Heap.isPlausibleObject(Word + 4));
+  // Outside the heap: rejected.
+  EXPECT_FALSE(Heap.isPlausibleObject(
+      reinterpret_cast<uintptr_t>(Heap.limit()) + 8));
+  // Null and small integers: rejected.
+  EXPECT_FALSE(Heap.isPlausibleObject(0));
+  EXPECT_FALSE(Heap.isPlausibleObject(8));
+}
+
+TEST(HeapSpaceTest, ForEachMarkedObjectIntersection) {
+  HeapSpace Heap(1u << 20);
+  uint8_t *A = Heap.base();        // alloc + mark
+  uint8_t *B = Heap.base() + 128;  // alloc only
+  uint8_t *C = Heap.base() + 256;  // mark only (no alloc bit)
+  Heap.allocBits().set(A);
+  Heap.markBits().set(A);
+  Heap.allocBits().set(B);
+  Heap.markBits().set(C);
+  int Count = 0;
+  Heap.forEachMarkedObjectIn(Heap.base(), Heap.base() + 512,
+                             [&](Object *Obj) {
+                               EXPECT_EQ(reinterpret_cast<uint8_t *>(Obj), A);
+                               ++Count;
+                             });
+  EXPECT_EQ(Count, 1);
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===- pacer_property_test.cpp - formula invariants across configs ---------------//
+///
+/// Property sweeps over the pacer configuration grid (K0 x Kmax x C):
+/// invariants of Section 3's formulas that must hold for any sane
+/// configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Pacer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+using namespace cgc;
+
+namespace {
+
+struct PacerPoint {
+  double K0;
+  double KmaxFactor;
+  double C;
+};
+
+class PacerGrid : public ::testing::TestWithParam<PacerPoint> {
+protected:
+  static constexpr size_t HeapBytes = 64u << 20;
+  GcOptions options() const {
+    GcOptions Opts;
+    Opts.HeapBytes = HeapBytes;
+    Opts.TracingRate = GetParam().K0;
+    Opts.KmaxFactor = GetParam().KmaxFactor;
+    Opts.CorrectiveC = GetParam().C;
+    return Opts;
+  }
+};
+
+TEST_P(PacerGrid, RateBoundedByKmax) {
+  Pacer P(options(), HeapBytes);
+  double Kmax = GetParam().K0 * GetParam().KmaxFactor;
+  for (uint64_t Traced = 0; Traced < (64u << 20);
+       Traced += 7u << 20)
+    for (uint64_t Free = 4096; Free < (64u << 20); Free = Free * 4 + 1) {
+      double K = P.currentRate(Traced, Free);
+      EXPECT_GE(K, 0.0);
+      EXPECT_LE(K, Kmax + 1e-9);
+    }
+}
+
+TEST_P(PacerGrid, RateMonotoneDecreasingInTracedWork) {
+  // More work done => never owe a higher rate (at fixed free memory),
+  // except for the negative-numerator Kmax clamp at the very end.
+  Pacer P(options(), HeapBytes);
+  uint64_t Free = 8u << 20;
+  double Budget = P.estimateL() + P.estimateM();
+  double Prev = P.currentRate(0, Free);
+  for (double Frac = 0.1; Frac <= 0.99; Frac += 0.1) {
+    double K = P.currentRate(static_cast<uint64_t>(Budget * Frac), Free);
+    EXPECT_LE(K, Prev + 1e-9) << "at fraction " << Frac;
+    Prev = K;
+  }
+}
+
+TEST_P(PacerGrid, RateIsK0AtTheKickoffPoint) {
+  Pacer P(options(), HeapBytes);
+  size_t Threshold = P.kickoffThresholdBytes();
+  double K = P.currentRate(0, Threshold);
+  double K0 = GetParam().K0;
+  // K = (L+M)/((L+M)/K0) = K0 exactly (up to integer truncation).
+  EXPECT_NEAR(K, K0, 0.05 * K0 + 0.1);
+}
+
+TEST_P(PacerGrid, BehindScheduleRateExceedsOnSchedule) {
+  Pacer P(options(), HeapBytes);
+  size_t Threshold = P.kickoffThresholdBytes();
+  if (Threshold < 8)
+    GTEST_SKIP() << "degenerate threshold";
+  double OnSchedule = P.currentRate(0, Threshold);
+  double Behind = P.currentRate(0, Threshold / 2);
+  EXPECT_GE(Behind, OnSchedule - 1e-9);
+}
+
+TEST_P(PacerGrid, SmoothedEstimatesTrackSamples) {
+  Pacer P(options(), HeapBytes);
+  for (int I = 0; I < 30; ++I)
+    P.endCycle(10u << 20, 1u << 20);
+  EXPECT_NEAR(P.estimateL(), static_cast<double>(10u << 20), 1024);
+  EXPECT_NEAR(P.estimateM(), static_cast<double>(1u << 20), 1024);
+  double K0 = GetParam().K0;
+  EXPECT_NEAR(static_cast<double>(P.kickoffThresholdBytes()),
+              (10.0 + 1.0) * (1u << 20) / K0, 4096);
+}
+
+TEST_P(PacerGrid, BackgroundCoverageDrivesRateToZero) {
+  Pacer P(options(), HeapBytes);
+  // Feed windows where background tracing far outpaces allocation.
+  for (int I = 0; I < 8; ++I) {
+    P.noteBackgroundTrace(512u << 20);
+    P.noteAllocation(1u << 20);
+  }
+  size_t Threshold = P.kickoffThresholdBytes();
+  EXPECT_DOUBLE_EQ(P.currentRate(0, Threshold ? Threshold : 1), 0.0);
+}
+
+std::string pacerName(const ::testing::TestParamInfo<PacerPoint> &Info) {
+  auto Fmt = [](double V) {
+    std::string S = std::to_string(V);
+    for (char &Ch : S)
+      if (Ch == '.' || Ch == '-')
+        Ch = '_';
+    return S.substr(0, 4);
+  };
+  return "K" + Fmt(Info.param.K0) + "F" + Fmt(Info.param.KmaxFactor) + "C" +
+         Fmt(Info.param.C);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PacerGrid,
+    ::testing::Values(PacerPoint{1.0, 2.0, 2.0}, PacerPoint{4.0, 2.0, 2.0},
+                      PacerPoint{8.0, 2.0, 2.0}, PacerPoint{10.0, 2.0, 2.0},
+                      PacerPoint{8.0, 1.5, 2.0}, PacerPoint{8.0, 4.0, 2.0},
+                      PacerPoint{8.0, 2.0, 0.5}, PacerPoint{8.0, 2.0, 4.0},
+                      PacerPoint{5.0, 3.0, 1.0}),
+    pacerName);
+
+} // namespace

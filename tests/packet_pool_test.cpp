@@ -1,0 +1,196 @@
+//===- packet_pool_test.cpp - work packet pool units ---------------------------//
+
+#include "workpackets/PacketPool.h"
+
+#include "heap/ObjectModel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+/// Packets never dereference entries; fabricate distinct "objects".
+Object *fakeObject(uintptr_t I) {
+  return reinterpret_cast<Object *>(I * GranuleBytes + 0x10000);
+}
+
+TEST(WorkPacketTest, PushPopLifo) {
+  WorkPacket P;
+  EXPECT_TRUE(P.empty());
+  EXPECT_FALSE(P.full());
+  P.push(fakeObject(1));
+  P.push(fakeObject(2));
+  EXPECT_EQ(P.count(), 2u);
+  EXPECT_EQ(P.peek(0), fakeObject(1));
+  EXPECT_EQ(P.peek(1), fakeObject(2));
+  EXPECT_EQ(P.pop(), fakeObject(2));
+  EXPECT_EQ(P.pop(), fakeObject(1));
+  EXPECT_TRUE(P.empty());
+}
+
+TEST(WorkPacketTest, CapacityAndClassification) {
+  WorkPacket P;
+  EXPECT_FALSE(P.almostFull());
+  for (uint32_t I = 0; I < WorkPacket::Capacity / 2 - 1; ++I)
+    P.push(fakeObject(I));
+  EXPECT_FALSE(P.almostFull());
+  P.push(fakeObject(999));
+  EXPECT_TRUE(P.almostFull()); // >= 50%.
+  while (!P.full())
+    P.push(fakeObject(1));
+  EXPECT_EQ(P.count(), WorkPacket::Capacity);
+  P.clear();
+  EXPECT_TRUE(P.empty());
+}
+
+TEST(PacketPoolTest, StartsAllEmptyAndIdle) {
+  PacketPool Pool(16);
+  EXPECT_EQ(Pool.numPackets(), 16u);
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+  EXPECT_FALSE(Pool.hasDeferred());
+  EXPECT_EQ(Pool.approxInputPackets(), 0u);
+  EXPECT_TRUE(Pool.verifyAllReturned());
+}
+
+TEST(PacketPoolTest, GetInputNeedsWork) {
+  PacketPool Pool(4);
+  EXPECT_EQ(Pool.getInput(), nullptr); // Only empty packets exist.
+  WorkPacket *Out = Pool.getOutput();
+  ASSERT_NE(Out, nullptr);
+  EXPECT_FALSE(Pool.allPacketsEmptyAndIdle()); // One held.
+  Out->push(fakeObject(1));
+  Pool.put(Out);
+  EXPECT_EQ(Pool.approxInputPackets(), 1u);
+  WorkPacket *In = Pool.getInput();
+  ASSERT_EQ(In, Out);
+  EXPECT_EQ(In->count(), 1u);
+  In->clear();
+  Pool.put(In);
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST(PacketPoolTest, InputPrefersFullestSubPool) {
+  PacketPool Pool(8);
+  WorkPacket *Light = Pool.getOutput();
+  WorkPacket *Heavy = Pool.getOutput();
+  Light->push(fakeObject(1));
+  for (uint32_t I = 0; I < WorkPacket::Capacity; ++I)
+    Heavy->push(fakeObject(I));
+  Pool.put(Light);
+  Pool.put(Heavy);
+  EXPECT_EQ(Pool.getInput(), Heavy); // Almost-full first.
+  EXPECT_EQ(Pool.getInput(), Light);
+  Heavy->clear();
+  Light->clear();
+  Pool.put(Heavy);
+  Pool.put(Light);
+}
+
+TEST(PacketPoolTest, OutputPrefersEmptiest) {
+  PacketPool Pool(2);
+  WorkPacket *A = Pool.getOutput();
+  WorkPacket *B = Pool.getOutput();
+  A->push(fakeObject(1));
+  Pool.put(A); // Non-empty pool.
+  Pool.put(B); // Empty pool.
+  EXPECT_EQ(Pool.getOutput(), B); // Empty preferred.
+  // Only the non-empty packet remains: output falls back to it.
+  EXPECT_EQ(Pool.getOutput(), A);
+  A->clear();
+  Pool.put(A);
+  Pool.put(B);
+}
+
+TEST(PacketPoolTest, DeferredLifecycle) {
+  PacketPool Pool(4);
+  WorkPacket *P = Pool.getEmpty();
+  ASSERT_NE(P, nullptr);
+  P->push(fakeObject(7));
+  Pool.putDeferred(P);
+  EXPECT_TRUE(Pool.hasDeferred());
+  // Deferred work is invisible to getInput and to termination.
+  EXPECT_EQ(Pool.getInput(), nullptr);
+  EXPECT_FALSE(Pool.allPacketsEmptyAndIdle());
+  EXPECT_EQ(Pool.redistributeDeferred(), 1u);
+  EXPECT_FALSE(Pool.hasDeferred());
+  WorkPacket *In = Pool.getInput();
+  ASSERT_EQ(In, P);
+  EXPECT_EQ(In->pop(), fakeObject(7));
+  Pool.put(In);
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST(PacketPoolTest, StatsWatermarks) {
+  PacketPool Pool(8);
+  Pool.resetStats();
+  WorkPacket *A = Pool.getOutput();
+  WorkPacket *B = Pool.getOutput();
+  WorkPacket *C = Pool.getOutput();
+  EXPECT_EQ(Pool.stats().PacketsInUseWatermark, 3u);
+  A->push(fakeObject(1));
+  A->push(fakeObject(2));
+  Pool.put(A);
+  EXPECT_EQ(Pool.stats().SlotsInUseWatermark, 2u);
+  Pool.put(B);
+  Pool.put(C);
+  EXPECT_GT(Pool.stats().SyncOps, 0u);
+  WorkPacket *In = Pool.getInput();
+  In->clear();
+  Pool.put(In);
+  EXPECT_TRUE(Pool.verifyAllReturned());
+}
+
+TEST(PacketPoolTest, FailedGetsCounted) {
+  PacketPool Pool(1);
+  WorkPacket *P = Pool.getOutput();
+  EXPECT_EQ(Pool.getOutput(), nullptr);
+  EXPECT_EQ(Pool.getEmpty(), nullptr);
+  EXPECT_EQ(Pool.getInput(), nullptr);
+  EXPECT_EQ(Pool.stats().FailedGets, 3u);
+  Pool.put(P);
+}
+
+TEST(PacketPoolTest, ConcurrentChurnConservesPackets) {
+  // Threads continuously get/put packets with random occupancy; at the
+  // end every packet must be back and empty (conservation + ABA).
+  constexpr uint32_t NumPackets = 64;
+  PacketPool Pool(NumPackets);
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&Pool, &Stop, T] {
+      uint64_t Step = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        WorkPacket *P = (Step + T) % 3 ? Pool.getOutput() : Pool.getInput();
+        if (!P) {
+          ++Step;
+          continue;
+        }
+        // Mutate occupancy while privately owned.
+        while (!P->empty() && Step % 2)
+          P->pop();
+        for (unsigned I = 0; I < (Step % 7) && !P->full(); ++I)
+          P->push(fakeObject(I + 1));
+        Pool.put(P);
+        ++Step;
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  Stop.store(true);
+  for (auto &T : Threads)
+    T.join();
+  // Drain all leftover work single-threadedly.
+  while (WorkPacket *P = Pool.getInput()) {
+    P->clear();
+    Pool.put(P);
+  }
+  EXPECT_TRUE(Pool.verifyAllReturned());
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+//===- registry_test.cpp - safepoints and handshakes ---------------------------//
+
+#include "mutator/ThreadRegistry.h"
+
+#include "heap/BitVector8.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+
+using namespace cgc;
+
+namespace {
+
+class RegistryTest : public ::testing::Test {
+protected:
+  static constexpr size_t HeapBytes = 1u << 20;
+  RegistryTest() : Pool(8) {
+    Mem.reset(static_cast<uint8_t *>(std::aligned_alloc(4096, HeapBytes)));
+    Bits = std::make_unique<BitVector8>(Mem.get(), HeapBytes);
+  }
+  struct FreeDeleter {
+    void operator()(uint8_t *P) const { std::free(P); }
+  };
+  std::unique_ptr<uint8_t, FreeDeleter> Mem;
+  std::unique_ptr<BitVector8> Bits;
+  PacketPool Pool;
+  ThreadRegistry Registry;
+};
+
+TEST_F(RegistryTest, AttachDetach) {
+  MutatorContext Ctx(Pool);
+  EXPECT_EQ(Registry.numThreads(), 0u);
+  Registry.attach(&Ctx);
+  EXPECT_EQ(Registry.numThreads(), 1u);
+  int Seen = 0;
+  Registry.forEach([&](MutatorContext &M) {
+    EXPECT_EQ(&M, &Ctx);
+    ++Seen;
+  });
+  EXPECT_EQ(Seen, 1);
+  Registry.detach(&Ctx);
+  EXPECT_EQ(Registry.numThreads(), 0u);
+}
+
+TEST_F(RegistryTest, StopTheWorldParksPollingThreads) {
+  MutatorContext Worker(Pool);
+  Registry.attach(&Worker);
+  std::atomic<bool> Finish{false};
+  std::atomic<uint64_t> Polls{0};
+  std::thread T([&] {
+    while (!Finish.load(std::memory_order_acquire)) {
+      Registry.poll(Worker, *Bits);
+      Polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Wait until the thread is demonstrably polling.
+  while (Polls.load() < 100)
+    std::this_thread::yield();
+
+  Registry.stopTheWorld(nullptr, *Bits);
+  EXPECT_EQ(Worker.state(), ExecState::AtSafepoint);
+  uint64_t Frozen = Polls.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(Polls.load(), Frozen) << "thread ran through the stop";
+  Registry.resumeTheWorld();
+  while (Polls.load() == Frozen)
+    std::this_thread::yield();
+
+  Finish.store(true);
+  T.join();
+  Registry.detach(&Worker);
+}
+
+TEST_F(RegistryTest, IdleThreadsCountAsStopped) {
+  MutatorContext Idler(Pool);
+  Registry.attach(&Idler);
+  Registry.enterIdle(Idler);
+  // A stop completes instantly even though the idler never polls.
+  Registry.stopTheWorld(nullptr, *Bits);
+  Registry.resumeTheWorld();
+  Registry.exitIdle(Idler, *Bits);
+  EXPECT_EQ(Idler.state(), ExecState::Running);
+  Registry.detach(&Idler);
+}
+
+TEST_F(RegistryTest, ExitIdleBlocksDuringStop) {
+  MutatorContext Idler(Pool);
+  Registry.attach(&Idler);
+  Registry.enterIdle(Idler);
+  Registry.stopTheWorld(nullptr, *Bits);
+  std::atomic<bool> Exited{false};
+  std::thread T([&] {
+    Registry.exitIdle(Idler, *Bits);
+    Exited.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Exited.load()) << "exitIdle returned mid-stop";
+  Registry.resumeTheWorld();
+  T.join();
+  EXPECT_TRUE(Exited.load());
+  Registry.detach(&Idler);
+}
+
+TEST_F(RegistryTest, FenceHandshakeWaitsForRunningThreads) {
+  MutatorContext Worker(Pool);
+  Registry.attach(&Worker);
+  std::atomic<bool> StartPolling{false};
+  std::atomic<bool> Finish{false};
+  std::thread T([&] {
+    while (!Finish.load(std::memory_order_acquire)) {
+      if (StartPolling.load(std::memory_order_acquire))
+        Registry.poll(Worker, *Bits);
+      std::this_thread::yield();
+    }
+  });
+  std::atomic<bool> HandshakeDone{false};
+  std::thread Requester([&] {
+    Registry.requestFenceHandshake(nullptr, *Bits);
+    HandshakeDone.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(HandshakeDone.load())
+      << "handshake completed without the running thread's ack";
+  StartPolling.store(true, std::memory_order_release);
+  Requester.join();
+  EXPECT_TRUE(HandshakeDone.load());
+  Finish.store(true);
+  T.join();
+  Registry.detach(&Worker);
+}
+
+TEST_F(RegistryTest, HandshakeFlushesAllocationBits) {
+  MutatorContext Worker(Pool);
+  Registry.attach(&Worker);
+  Worker.cache().assignRange(Mem.get(), 4096);
+  Object *Obj = Worker.cache().allocate(64, 0, 0);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_FALSE(Bits->test(Obj));
+  // Self-acknowledged handshake publishes the caller's bits.
+  Registry.requestFenceHandshake(&Worker, *Bits);
+  EXPECT_TRUE(Bits->test(Obj));
+  Worker.cache().reset();
+  Registry.detach(&Worker);
+}
+
+TEST_F(RegistryTest, HandshakeSkipsIdleAndParked) {
+  MutatorContext Idler(Pool);
+  Registry.attach(&Idler);
+  Registry.enterIdle(Idler);
+  // Completes without any cooperation from the idler.
+  Registry.requestFenceHandshake(nullptr, *Bits);
+  Registry.exitIdle(Idler, *Bits);
+  Registry.detach(&Idler);
+}
+
+TEST_F(RegistryTest, PollAcknowledgesLatestEpochOnly) {
+  MutatorContext Worker(Pool);
+  Registry.attach(&Worker);
+  uint64_t Before = Worker.HandshakeAck.load();
+  std::thread Requester([&] { Registry.requestFenceHandshake(nullptr, *Bits); });
+  // Poll until the handshake completes.
+  while (true) {
+    Registry.poll(Worker, *Bits);
+    if (Worker.HandshakeAck.load() > Before)
+      break;
+    std::this_thread::yield();
+  }
+  Requester.join();
+  EXPECT_EQ(Worker.HandshakeAck.load(), Before + 1);
+  Registry.detach(&Worker);
+}
+
+TEST_F(RegistryTest, RootAccessorsLockConsistently) {
+  MutatorContext Ctx(Pool);
+  Ctx.reserveRoots(4);
+  Ctx.setRoot(0, reinterpret_cast<Object *>(Mem.get()));
+  Ctx.pushRoot(reinterpret_cast<Object *>(Mem.get() + 8));
+  EXPECT_EQ(Ctx.numRoots(), 5u);
+  int Count = 0;
+  Ctx.withRoots([&](const std::vector<uintptr_t> &Roots) {
+    Count = static_cast<int>(Roots.size());
+  });
+  EXPECT_EQ(Count, 5);
+  Ctx.popRoots(1);
+  EXPECT_EQ(Ctx.numRoots(), 4u);
+  EXPECT_EQ(Ctx.getRoot(0), reinterpret_cast<Object *>(Mem.get()));
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- soak_test.cpp - mixed-workload endurance ----------------------------------//
+///
+/// A longer mixed run: warehouse transactions, graph churn and compiler
+/// threads share one heap with the mostly-concurrent collector,
+/// compaction every few cycles and per-cycle verification. Anything the
+/// focused tests miss in cross-feature interaction tends to surface
+/// here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GcHeap.h"
+#include "workloads/BinaryTrees.h"
+#include "workloads/Compiler.h"
+#include "workloads/GraphChurn.h"
+#include "workloads/Warehouse.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace cgc;
+
+namespace {
+
+TEST(SoakTest, MixedWorkloadsShareOneHeap) {
+  GcOptions Opts;
+  Opts.Kind = CollectorKind::MostlyConcurrent;
+  Opts.HeapBytes = 24u << 20;
+  Opts.BackgroundThreads = 2;
+  Opts.GcWorkerThreads = 2;
+  Opts.CompactEveryNCycles = 3;
+  Opts.EvacuationAreaBytes = 1u << 20;
+  Opts.VerifyEachCycle = true;
+  auto Heap = GcHeap::create(Opts);
+
+  constexpr uint64_t Millis = 4000;
+
+  WarehouseConfig WConfig;
+  WConfig.Threads = 2;
+  WConfig.DurationMs = Millis;
+  WConfig.sizeLiveSet(6u << 20);
+  WarehouseWorkload Warehouse(*Heap, WConfig);
+
+  GraphChurnConfig GConfig;
+  GConfig.Threads = 2;
+  GConfig.DurationMs = Millis;
+  GraphChurnWorkload Graph(*Heap, GConfig);
+
+  CompilerConfig CConfig;
+  CConfig.Threads = 1;
+  CConfig.DurationMs = Millis;
+  CConfig.RetainedUnits = 4000;
+  CompilerWorkload Compiler(*Heap, CConfig);
+
+  BinaryTreesConfig BConfig;
+  BConfig.Threads = 1;
+  BConfig.DurationMs = Millis;
+  BConfig.LongLivedDepth = 11;
+  BinaryTreesWorkload Trees(*Heap, BConfig);
+
+  WorkloadResult WR, GR, CR, BR;
+  std::thread T1([&] { WR = Warehouse.run(); });
+  std::thread T2([&] { GR = Graph.run(); });
+  std::thread T3([&] { CR = Compiler.run(); });
+  std::thread T4([&] { BR = Trees.run(); });
+  T1.join();
+  T2.join();
+  T3.join();
+  T4.join();
+
+  EXPECT_FALSE(WR.IntegrityFailure);
+  EXPECT_FALSE(GR.IntegrityFailure) << "graph nonce mismatch";
+  EXPECT_FALSE(CR.IntegrityFailure) << "miscompiled expression";
+  EXPECT_FALSE(BR.IntegrityFailure) << "tree checksum changed";
+  EXPECT_GT(WR.Transactions, 0u);
+  EXPECT_GT(GR.Transactions, 0u);
+  EXPECT_GT(CR.Transactions, 0u);
+  EXPECT_GT(BR.Transactions, 0u);
+  EXPECT_GE(Heap->completedCycles(), 3u);
+
+  uint64_t Evacuated = 0;
+  bool AnyConcurrent = false;
+  for (const CycleRecord &R : Heap->stats().snapshot()) {
+    Evacuated += R.EvacuatedObjects;
+    AnyConcurrent |= R.Concurrent;
+  }
+  EXPECT_TRUE(AnyConcurrent);
+  EXPECT_GT(Evacuated, 0u);
+
+  VerifyResult V = Heap->verifyNow(nullptr);
+  EXPECT_TRUE(V.Ok) << V.Error;
+  EXPECT_EQ(V.ReachableObjects, 0u) << "all workloads detached";
+}
+
+} // namespace

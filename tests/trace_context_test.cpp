@@ -1,0 +1,134 @@
+//===- trace_context_test.cpp - input/output packet pair rules -----------------//
+
+#include "workpackets/TraceContext.h"
+
+#include "heap/ObjectModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+namespace {
+
+Object *fakeObject(uintptr_t I) {
+  return reinterpret_cast<Object *>(I * GranuleBytes + 0x20000);
+}
+
+TEST(TraceContextTest, PopFromEmptyPoolFails) {
+  PacketPool Pool(4);
+  TraceContext Ctx(Pool);
+  EXPECT_EQ(Ctx.popWork(), nullptr);
+  EXPECT_FALSE(Ctx.ensureInputWork());
+  Ctx.release();
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST(TraceContextTest, PushThenPopRoundTripThroughPool) {
+  PacketPool Pool(4);
+  TraceContext Producer(Pool);
+  EXPECT_EQ(Producer.pushWork(fakeObject(1)), PushResult::Ok);
+  EXPECT_EQ(Producer.pushWork(fakeObject(2)), PushResult::Ok);
+  Producer.release();
+
+  TraceContext Consumer(Pool);
+  Object *A = Consumer.popWork();
+  Object *B = Consumer.popWork();
+  EXPECT_TRUE((A == fakeObject(1) && B == fakeObject(2)) ||
+              (A == fakeObject(2) && B == fakeObject(1)));
+  EXPECT_EQ(Consumer.popWork(), nullptr);
+  Consumer.release();
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST(TraceContextTest, ConsumerDrainsOwnOutputViughPool) {
+  // A participant that produced work and then runs out of input must be
+  // able to consume its own output (published through the pool).
+  PacketPool Pool(4);
+  TraceContext Ctx(Pool);
+  EXPECT_EQ(Ctx.pushWork(fakeObject(5)), PushResult::Ok);
+  EXPECT_EQ(Ctx.popWork(), fakeObject(5));
+  Ctx.release();
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST(TraceContextTest, OverflowWhenPoolExhausted) {
+  // Two packets total: the context holds both as input+output; pushing
+  // beyond 2 * Capacity must eventually overflow.
+  PacketPool Pool(2);
+  TraceContext Ctx(Pool);
+  size_t Pushed = 0;
+  PushResult Last = PushResult::Ok;
+  for (uint32_t I = 0; I < 3 * WorkPacket::Capacity; ++I) {
+    Last = Ctx.pushWork(fakeObject(I + 1));
+    if (Last == PushResult::Overflow)
+      break;
+    ++Pushed;
+  }
+  EXPECT_EQ(Last, PushResult::Overflow);
+  // Both packets completely full.
+  EXPECT_EQ(Pushed, 2u * WorkPacket::Capacity);
+  // Draining works afterwards.
+  size_t Popped = 0;
+  while (Ctx.popWork())
+    ++Popped;
+  EXPECT_EQ(Popped, Pushed);
+  Ctx.release();
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST(TraceContextTest, DeferredGoesToDeferredPool) {
+  PacketPool Pool(4);
+  TraceContext Ctx(Pool);
+  EXPECT_TRUE(Ctx.pushDeferred(fakeObject(9)));
+  Ctx.release();
+  EXPECT_TRUE(Pool.hasDeferred());
+  EXPECT_FALSE(Pool.allPacketsEmptyAndIdle());
+  Pool.redistributeDeferred();
+  TraceContext Consumer(Pool);
+  EXPECT_EQ(Consumer.popWork(), fakeObject(9));
+  Consumer.release();
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST(TraceContextTest, DeferredFailsWhenNoEmptyPackets) {
+  PacketPool Pool(1);
+  TraceContext Holder(Pool);
+  EXPECT_EQ(Holder.pushWork(fakeObject(1)), PushResult::Ok); // Takes the only packet.
+  TraceContext Ctx(Pool);
+  EXPECT_FALSE(Ctx.pushDeferred(fakeObject(2)));
+  Ctx.release();
+  Holder.release();
+  WorkPacket *P = Pool.getInput();
+  P->clear();
+  Pool.put(P);
+}
+
+TEST(TraceContextTest, EmptyDeferredPacketReturnsToEmptyPool) {
+  PacketPool Pool(2);
+  TraceContext Ctx(Pool);
+  ASSERT_TRUE(Ctx.pushDeferred(fakeObject(3)));
+  // Drain the deferred packet locally before release (simulates a batch
+  // that re-checked bits): the packet must go back as a normal empty.
+  // (Direct manipulation through release() path: pop via redistribute.)
+  Ctx.release();
+  Pool.redistributeDeferred();
+  TraceContext Consumer(Pool);
+  EXPECT_EQ(Consumer.popWork(), fakeObject(3));
+  Consumer.release();
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+  EXPECT_FALSE(Pool.hasDeferred());
+}
+
+TEST(TraceContextTest, TerminationInvisibleWhileHoldingPackets) {
+  PacketPool Pool(3);
+  TraceContext Ctx(Pool);
+  EXPECT_EQ(Ctx.pushWork(fakeObject(1)), PushResult::Ok);
+  EXPECT_FALSE(Pool.allPacketsEmptyAndIdle());
+  EXPECT_EQ(Ctx.popWork(), fakeObject(1));
+  // Still holding (empty) packets: termination must not be declared.
+  EXPECT_FALSE(Pool.allPacketsEmptyAndIdle());
+  Ctx.release();
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tracer_test.cpp - marking engine units -----------------------------------//
+
+#include "gc/Tracer.h"
+
+#include "mutator/ThreadRegistry.h"
+#include "support/Fences.h"
+
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+namespace {
+
+class TracerTest : public ::testing::Test {
+protected:
+  TracerTest()
+      : Heap(2u << 20), Pool(16), Trace(Heap, Pool, Registry), Ctx(Pool) {
+    Heap.freeList().clear();
+  }
+
+  /// Plants an allocated object whose allocation bit is published.
+  Object *plant(size_t Offset, uint16_t NumRefs) {
+    Object *Obj = reinterpret_cast<Object *>(Heap.base() + Offset);
+    Obj->initialize(
+        static_cast<uint32_t>(Object::requiredSize(8, NumRefs)), NumRefs, 0);
+    Heap.allocBits().set(Obj);
+    return Obj;
+  }
+
+  /// Plants an object WITHOUT publishing its allocation bit (fresh cache
+  /// contents, Section 5.2).
+  Object *plantUnpublished(size_t Offset, uint16_t NumRefs) {
+    Object *Obj = reinterpret_cast<Object *>(Heap.base() + Offset);
+    Obj->initialize(
+        static_cast<uint32_t>(Object::requiredSize(8, NumRefs)), NumRefs, 0);
+    return Obj;
+  }
+
+  HeapSpace Heap;
+  PacketPool Pool;
+  ThreadRegistry Registry;
+  Tracer Trace;
+  TraceContext Ctx;
+};
+
+TEST_F(TracerTest, MarkAndQueueMarksOnce) {
+  Object *Obj = plant(0, 0);
+  Trace.beginCycle();
+  Trace.markAndQueue(Ctx, Obj);
+  EXPECT_TRUE(Heap.markBits().test(Obj));
+  Trace.markAndQueue(Ctx, Obj); // Second call is a no-op.
+  size_t Traced = Trace.traceWork(Ctx, SIZE_MAX, true, false);
+  EXPECT_EQ(Traced, Obj->sizeBytes()); // Scanned exactly once.
+  Ctx.release();
+}
+
+TEST_F(TracerTest, TransitiveMarkingThroughPackets) {
+  // A chain of 100 published objects.
+  std::vector<Object *> Chain;
+  for (int I = 0; I < 100; ++I)
+    Chain.push_back(plant(static_cast<size_t>(I) * 64, 1));
+  for (int I = 0; I + 1 < 100; ++I)
+    Chain[I]->storeRefRaw(0, Chain[I + 1]);
+  Trace.beginCycle();
+  Trace.markAndQueue(Ctx, Chain[0]);
+  size_t Traced = Trace.traceWork(Ctx, SIZE_MAX, true, false);
+  Ctx.release();
+  EXPECT_EQ(Traced, 100u * Chain[0]->sizeBytes());
+  for (Object *Obj : Chain)
+    EXPECT_TRUE(Heap.markBits().test(Obj));
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST_F(TracerTest, BudgetBoundsTheIncrement) {
+  for (int I = 0; I < 50; ++I) {
+    Object *Obj = plant(static_cast<size_t>(I) * 64, 0);
+    Trace.markAndQueue(Ctx, Obj);
+  }
+  size_t ObjBytes = Object::requiredSize(8, 0);
+  size_t Traced = Trace.traceWork(Ctx, 10 * ObjBytes, true, false);
+  EXPECT_GE(Traced, 10 * ObjBytes);
+  EXPECT_LT(Traced, 50 * ObjBytes);
+  // The rest is still queued; a second increment finishes it.
+  size_t Rest = Trace.traceWork(Ctx, SIZE_MAX, true, false);
+  EXPECT_EQ(Traced + Rest, 50 * ObjBytes);
+  Ctx.release();
+}
+
+TEST_F(TracerTest, ConservativeWordFiltering) {
+  Object *Obj = plant(0, 0);
+  Trace.beginCycle();
+  Trace.markConservativeWord(Ctx, reinterpret_cast<uintptr_t>(Obj));
+  // Junk: misaligned, outside, unpublished granule.
+  Trace.markConservativeWord(Ctx, reinterpret_cast<uintptr_t>(Obj) + 4);
+  Trace.markConservativeWord(Ctx, 0x12345678);
+  Trace.markConservativeWord(
+      Ctx, reinterpret_cast<uintptr_t>(Heap.base() + 4096));
+  size_t Traced = Trace.traceWork(Ctx, SIZE_MAX, true, false);
+  Ctx.release();
+  EXPECT_EQ(Traced, Obj->sizeBytes());
+  EXPECT_FALSE(Heap.markBits().test(Heap.base() + 4096));
+}
+
+TEST_F(TracerTest, UnpublishedObjectsAreDeferredNotScanned) {
+  // An unpublished object queued for tracing must go to the Deferred
+  // pool (its header/slots may not be visible yet on weak hardware).
+  Object *Fresh = plantUnpublished(0, 1);
+  Trace.beginCycle();
+  Trace.markAndQueue(Ctx, Fresh);
+  size_t Traced = Trace.traceWork(Ctx, SIZE_MAX, /*CheckAllocBits=*/true,
+                                  false);
+  EXPECT_EQ(Traced, 0u);
+  EXPECT_EQ(Trace.deferredCount(), 1u);
+  Ctx.release();
+  EXPECT_TRUE(Pool.hasDeferred());
+  // The "cache flush" publishes the bit; redistribution makes the object
+  // traceable.
+  Heap.allocBits().set(Fresh);
+  Pool.redistributeDeferred();
+  size_t Traced2 = Trace.traceWork(Ctx, SIZE_MAX, true, false);
+  EXPECT_EQ(Traced2, Fresh->sizeBytes());
+  Ctx.release();
+  EXPECT_TRUE(Pool.allPacketsEmptyAndIdle());
+}
+
+TEST_F(TracerTest, TracerBatchFencePerInputPacket) {
+  for (int I = 0; I < 10; ++I) {
+    Object *Obj = plant(static_cast<size_t>(I) * 64, 0);
+    Trace.markAndQueue(Ctx, Obj);
+  }
+  fenceCounters().reset();
+  Trace.traceWork(Ctx, SIZE_MAX, /*CheckAllocBits=*/true, false);
+  // One batch fence for the whole packet of 10 objects, not one each.
+  EXPECT_LE(fenceCounters().count(FenceSite::TracerBatch), 2u);
+  EXPECT_GE(fenceCounters().count(FenceSite::TracerBatch), 1u);
+  Ctx.release();
+}
+
+TEST_F(TracerTest, OverflowDirtiesTheCard) {
+  // A pool of 2 packets: marking more than 2 * Capacity roots overflows.
+  PacketPool TinyPool(2);
+  Tracer TinyTrace(Heap, TinyPool, Registry);
+  TraceContext TinyCtx(TinyPool);
+  TinyTrace.beginCycle();
+  size_t Planted = 2u * WorkPacket::Capacity + 50;
+  for (size_t I = 0; I < Planted; ++I) {
+    Object *Obj = plant(I * 64, 0);
+    TinyTrace.markAndQueue(TinyCtx, Obj);
+  }
+  EXPECT_GT(TinyTrace.overflowCount(), 0u);
+  // Every overflow victim is marked and sits on a dirty card.
+  EXPECT_GE(Heap.cards().countDirty(), 1u);
+  size_t Marked =
+      Heap.markBits().countInRange(Heap.base(), Heap.base() + Planted * 64);
+  EXPECT_EQ(Marked, Planted);
+  while (TinyCtx.popWork())
+    ;
+  TinyCtx.release();
+}
+
+TEST_F(TracerTest, CycleCountersReset) {
+  Object *Obj = plant(0, 0);
+  Trace.beginCycle();
+  Trace.markAndQueue(Ctx, Obj);
+  Trace.traceWork(Ctx, SIZE_MAX, true, false);
+  Ctx.release();
+  EXPECT_GT(Trace.cycleTracedBytes(), 0u);
+  Trace.beginCycle();
+  EXPECT_EQ(Trace.cycleTracedBytes(), 0u);
+  EXPECT_EQ(Trace.overflowCount(), 0u);
+  EXPECT_EQ(Trace.deferredCount(), 0u);
+}
+
+TEST_F(TracerTest, AddTracedBytesFeedsTheFormulaT) {
+  Trace.beginCycle();
+  Trace.addTracedBytes(4096);
+  EXPECT_EQ(Trace.cycleTracedBytes(), 4096u);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+//===- verifier_test.cpp - heap verifier units ---------------------------------//
+
+#include "gc/HeapVerifier.h"
+
+#include "mutator/ThreadRegistry.h"
+#include "workpackets/PacketPool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace cgc;
+
+namespace {
+
+class VerifierTest : public ::testing::Test {
+protected:
+  VerifierTest() : Heap(2u << 20), Pool(8), Ctx(Pool) {
+    Registry.attach(&Ctx);
+    Ctx.reserveRoots(8);
+    Heap.freeList().clear(); // Tests plant objects manually.
+  }
+  ~VerifierTest() override { Registry.detach(&Ctx); }
+
+  Object *plant(size_t Offset, uint32_t Size, uint16_t NumRefs) {
+    Object *Obj = reinterpret_cast<Object *>(Heap.base() + Offset);
+    Obj->initialize(Size, NumRefs, 0);
+    Heap.allocBits().set(Obj);
+    return Obj;
+  }
+
+  HeapSpace Heap;
+  PacketPool Pool;
+  ThreadRegistry Registry;
+  MutatorContext Ctx;
+};
+
+TEST_F(VerifierTest, EmptyRootsVerifyClean) {
+  HeapVerifier V(Heap);
+  VerifyResult R = V.verify(Registry, false);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReachableObjects, 0u);
+}
+
+TEST_F(VerifierTest, CountsReachableGraph) {
+  Object *A = plant(0, 32, 2);
+  Object *B = plant(64, 48, 0);
+  Object *C = plant(128, 16, 0);
+  plant(256, 16, 0); // Unreachable.
+  A->storeRefRaw(0, B);
+  A->storeRefRaw(1, C);
+  Ctx.setRoot(0, A);
+  HeapVerifier V(Heap);
+  VerifyResult R = V.verify(Registry, false);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReachableObjects, 3u);
+  EXPECT_EQ(R.ReachableBytes, 32u + 48u + 16u);
+}
+
+TEST_F(VerifierTest, SharedAndCyclicStructuresCountedOnce) {
+  Object *A = plant(0, 32, 2);
+  Object *B = plant(64, 32, 2);
+  A->storeRefRaw(0, B);
+  A->storeRefRaw(1, B);  // Shared edge.
+  B->storeRefRaw(0, A);  // Cycle.
+  Ctx.setRoot(0, A);
+  HeapVerifier V(Heap);
+  VerifyResult R = V.verify(Registry, false);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReachableObjects, 2u);
+}
+
+TEST_F(VerifierTest, MissingAllocationBitRejectedAsRoot) {
+  // A root word pointing at memory with no allocation bit is filtered
+  // by the conservative scan, not an error.
+  Ctx.setRootWord(0, reinterpret_cast<uintptr_t>(Heap.base() + 512));
+  HeapVerifier V(Heap);
+  VerifyResult R = V.verify(Registry, false);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.ReachableObjects, 0u);
+}
+
+TEST_F(VerifierTest, UnmarkedReachableFailsMarkCheck) {
+  Object *A = plant(0, 32, 1);
+  Object *B = plant(64, 32, 0);
+  A->storeRefRaw(0, B);
+  Ctx.setRoot(0, A);
+  Heap.markBits().set(A); // B deliberately unmarked.
+  HeapVerifier V(Heap);
+  VerifyResult ROk = V.verify(Registry, false);
+  EXPECT_TRUE(ROk.Ok);
+  VerifyResult RBad = V.verify(Registry, true);
+  EXPECT_FALSE(RBad.Ok);
+  EXPECT_NE(RBad.Error.find("unmarked"), std::string::npos);
+}
+
+TEST_F(VerifierTest, CorruptSizeDetected) {
+  Object *A = plant(0, 32, 0);
+  Ctx.setRoot(0, A);
+  // Smash the header size field (not granule aligned).
+  reinterpret_cast<uint32_t *>(A)[0] = 13;
+  HeapVerifier V(Heap);
+  VerifyResult R = V.verify(Registry, false);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("size"), std::string::npos);
+}
+
+TEST_F(VerifierTest, AllocationBitInsideFreeRangeDetected) {
+  Object *A = plant(0, 32, 0);
+  Ctx.setRoot(0, A);
+  // A stale allocation bit inside a free range.
+  Heap.allocBits().set(Heap.base() + 4096);
+  Heap.freeList().addRange(Heap.base() + 4096, 1024);
+  HeapVerifier V(Heap);
+  VerifyResult R = V.verify(Registry, false);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("free range"), std::string::npos);
+}
+
+TEST_F(VerifierTest, MultipleThreadsRootsAllScanned) {
+  MutatorContext Other(Pool);
+  Registry.attach(&Other);
+  Other.reserveRoots(1);
+  Object *A = plant(0, 32, 0);
+  Object *B = plant(64, 32, 0);
+  Ctx.setRoot(0, A);
+  Other.setRoot(0, B);
+  HeapVerifier V(Heap);
+  VerifyResult R = V.verify(Registry, false);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ReachableObjects, 2u);
+  Registry.detach(&Other);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+//===- worker_pool_test.cpp - fork-join pool units ------------------------------//
+
+#include "gc/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+using namespace cgc;
+
+namespace {
+
+TEST(WorkerPoolTest, ZeroWorkersRunsOnCaller) {
+  WorkerPool Pool(0);
+  EXPECT_EQ(Pool.numWorkers(), 0u);
+  EXPECT_EQ(Pool.numParticipants(), 1u);
+  int Calls = 0;
+  Pool.runParallel([&](unsigned Index) {
+    EXPECT_EQ(Index, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(WorkerPoolTest, AllParticipantsRunDistinctIndices) {
+  WorkerPool Pool(3);
+  std::atomic<unsigned> Mask{0};
+  Pool.runParallel([&](unsigned Index) {
+    Mask.fetch_or(1u << Index, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Mask.load(), 0b1111u);
+}
+
+TEST(WorkerPoolTest, RepeatedJobs) {
+  WorkerPool Pool(2);
+  std::atomic<int> Counter{0};
+  for (int Round = 0; Round < 50; ++Round)
+    Pool.runParallel([&](unsigned) {
+      Counter.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(Counter.load(), 50 * 3);
+}
+
+TEST(WorkerPoolTest, RunParallelIsABarrier) {
+  WorkerPool Pool(3);
+  std::atomic<int> Inside{0};
+  std::atomic<int> benchmark_dummy{0};
+  for (int Round = 0; Round < 20; ++Round) {
+    Pool.runParallel([&](unsigned) {
+      Inside.fetch_add(1, std::memory_order_relaxed);
+      // Work of uneven duration.
+      for (int I = 0; I < 1000; ++I)
+        benchmark_dummy.fetch_add(1, std::memory_order_relaxed);
+      Inside.fetch_sub(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(Inside.load(), 0) << "runParallel returned with work active";
+  }
+}
+
+TEST(WorkerPoolTest, SharedCursorPartitionsWork) {
+  WorkerPool Pool(3);
+  constexpr size_t NumItems = 10000;
+  std::vector<std::atomic<int>> Hits(NumItems);
+  std::atomic<size_t> Cursor{0};
+  Pool.runParallel([&](unsigned) {
+    for (;;) {
+      size_t I = Cursor.fetch_add(1, std::memory_order_relaxed);
+      if (I >= NumItems)
+        return;
+      Hits[I].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t I = 0; I < NumItems; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << I;
+}
+
+} // namespace
