@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compaction.dir/ablation_compaction.cpp.o"
+  "CMakeFiles/ablation_compaction.dir/ablation_compaction.cpp.o.d"
+  "ablation_compaction"
+  "ablation_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

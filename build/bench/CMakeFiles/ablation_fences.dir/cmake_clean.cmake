@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fences.dir/ablation_fences.cpp.o"
+  "CMakeFiles/ablation_fences.dir/ablation_fences.cpp.o.d"
+  "ablation_fences"
+  "ablation_fences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

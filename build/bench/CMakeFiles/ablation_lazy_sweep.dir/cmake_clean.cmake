@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_sweep.dir/ablation_lazy_sweep.cpp.o"
+  "CMakeFiles/ablation_lazy_sweep.dir/ablation_lazy_sweep.cpp.o.d"
+  "ablation_lazy_sweep"
+  "ablation_lazy_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_load_balancer.dir/ablation_load_balancer.cpp.o"
+  "CMakeFiles/ablation_load_balancer.dir/ablation_load_balancer.cpp.o.d"
+  "ablation_load_balancer"
+  "ablation_load_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_second_pass.dir/ablation_second_pass.cpp.o"
+  "CMakeFiles/ablation_second_pass.dir/ablation_second_pass.cpp.o.d"
+  "ablation_second_pass"
+  "ablation_second_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_second_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_specjbb_pauses.dir/fig1_specjbb_pauses.cpp.o"
+  "CMakeFiles/fig1_specjbb_pauses.dir/fig1_specjbb_pauses.cpp.o.d"
+  "fig1_specjbb_pauses"
+  "fig1_specjbb_pauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_specjbb_pauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

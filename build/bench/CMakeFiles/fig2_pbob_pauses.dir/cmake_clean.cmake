@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_pbob_pauses.dir/fig2_pbob_pauses.cpp.o"
+  "CMakeFiles/fig2_pbob_pauses.dir/fig2_pbob_pauses.cpp.o.d"
+  "fig2_pbob_pauses"
+  "fig2_pbob_pauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pbob_pauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

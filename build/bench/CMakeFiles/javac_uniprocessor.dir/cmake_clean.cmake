@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javac_uniprocessor.dir/javac_uniprocessor.cpp.o"
+  "CMakeFiles/javac_uniprocessor.dir/javac_uniprocessor.cpp.o.d"
+  "javac_uniprocessor"
+  "javac_uniprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javac_uniprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

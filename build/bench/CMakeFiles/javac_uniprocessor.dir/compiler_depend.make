@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for javac_uniprocessor.
+# This may be replaced when dependencies are built.

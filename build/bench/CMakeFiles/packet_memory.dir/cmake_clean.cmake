@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_memory.dir/packet_memory.cpp.o"
+  "CMakeFiles/packet_memory.dir/packet_memory.cpp.o.d"
+  "packet_memory"
+  "packet_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tracing_rates.dir/table1_tracing_rates.cpp.o"
+  "CMakeFiles/table1_tracing_rates.dir/table1_tracing_rates.cpp.o.d"
+  "table1_tracing_rates"
+  "table1_tracing_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tracing_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

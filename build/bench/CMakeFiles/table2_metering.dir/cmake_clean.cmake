@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_metering.dir/table2_metering.cpp.o"
+  "CMakeFiles/table2_metering.dir/table2_metering.cpp.o.d"
+  "table2_metering"
+  "table2_metering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_metering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

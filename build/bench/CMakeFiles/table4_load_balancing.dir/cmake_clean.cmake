@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_load_balancing.dir/table4_load_balancing.cpp.o"
+  "CMakeFiles/table4_load_balancing.dir/table4_load_balancing.cpp.o.d"
+  "table4_load_balancing"
+  "table4_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

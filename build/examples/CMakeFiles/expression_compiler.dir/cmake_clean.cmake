@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_compiler.dir/expression_compiler.cpp.o"
+  "CMakeFiles/expression_compiler.dir/expression_compiler.cpp.o.d"
+  "expression_compiler"
+  "expression_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pause_timeline.dir/pause_timeline.cpp.o"
+  "CMakeFiles/pause_timeline.dir/pause_timeline.cpp.o.d"
+  "pause_timeline"
+  "pause_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pause_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

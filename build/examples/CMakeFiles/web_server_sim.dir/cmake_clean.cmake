@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_sim.dir/web_server_sim.cpp.o"
+  "CMakeFiles/web_server_sim.dir/web_server_sim.cpp.o.d"
+  "web_server_sim"
+  "web_server_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/CardCleaner.cpp" "src/gc/CMakeFiles/cgc_gc.dir/CardCleaner.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/CardCleaner.cpp.o.d"
+  "/root/repo/src/gc/CollectorBase.cpp" "src/gc/CMakeFiles/cgc_gc.dir/CollectorBase.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/CollectorBase.cpp.o.d"
+  "/root/repo/src/gc/Compactor.cpp" "src/gc/CMakeFiles/cgc_gc.dir/Compactor.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/Compactor.cpp.o.d"
+  "/root/repo/src/gc/ConcurrentCollector.cpp" "src/gc/CMakeFiles/cgc_gc.dir/ConcurrentCollector.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/ConcurrentCollector.cpp.o.d"
+  "/root/repo/src/gc/GcStats.cpp" "src/gc/CMakeFiles/cgc_gc.dir/GcStats.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/GcStats.cpp.o.d"
+  "/root/repo/src/gc/HeapVerifier.cpp" "src/gc/CMakeFiles/cgc_gc.dir/HeapVerifier.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/HeapVerifier.cpp.o.d"
+  "/root/repo/src/gc/Pacer.cpp" "src/gc/CMakeFiles/cgc_gc.dir/Pacer.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/Pacer.cpp.o.d"
+  "/root/repo/src/gc/StealingMarker.cpp" "src/gc/CMakeFiles/cgc_gc.dir/StealingMarker.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/StealingMarker.cpp.o.d"
+  "/root/repo/src/gc/StwCollector.cpp" "src/gc/CMakeFiles/cgc_gc.dir/StwCollector.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/StwCollector.cpp.o.d"
+  "/root/repo/src/gc/Sweeper.cpp" "src/gc/CMakeFiles/cgc_gc.dir/Sweeper.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/Sweeper.cpp.o.d"
+  "/root/repo/src/gc/Tracer.cpp" "src/gc/CMakeFiles/cgc_gc.dir/Tracer.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/Tracer.cpp.o.d"
+  "/root/repo/src/gc/WorkerPool.cpp" "src/gc/CMakeFiles/cgc_gc.dir/WorkerPool.cpp.o" "gcc" "src/gc/CMakeFiles/cgc_gc.dir/WorkerPool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/cgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workpackets/CMakeFiles/cgc_packets.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutator/CMakeFiles/cgc_mutator.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_gc.dir/CardCleaner.cpp.o"
+  "CMakeFiles/cgc_gc.dir/CardCleaner.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/CollectorBase.cpp.o"
+  "CMakeFiles/cgc_gc.dir/CollectorBase.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/Compactor.cpp.o"
+  "CMakeFiles/cgc_gc.dir/Compactor.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/ConcurrentCollector.cpp.o"
+  "CMakeFiles/cgc_gc.dir/ConcurrentCollector.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/GcStats.cpp.o"
+  "CMakeFiles/cgc_gc.dir/GcStats.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/HeapVerifier.cpp.o"
+  "CMakeFiles/cgc_gc.dir/HeapVerifier.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/Pacer.cpp.o"
+  "CMakeFiles/cgc_gc.dir/Pacer.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/StealingMarker.cpp.o"
+  "CMakeFiles/cgc_gc.dir/StealingMarker.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/StwCollector.cpp.o"
+  "CMakeFiles/cgc_gc.dir/StwCollector.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/Sweeper.cpp.o"
+  "CMakeFiles/cgc_gc.dir/Sweeper.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/Tracer.cpp.o"
+  "CMakeFiles/cgc_gc.dir/Tracer.cpp.o.d"
+  "CMakeFiles/cgc_gc.dir/WorkerPool.cpp.o"
+  "CMakeFiles/cgc_gc.dir/WorkerPool.cpp.o.d"
+  "libcgc_gc.a"
+  "libcgc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cgc_gc.
+# This may be replaced when dependencies are built.

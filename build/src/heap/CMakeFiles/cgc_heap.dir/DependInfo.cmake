@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/AllocationCache.cpp" "src/heap/CMakeFiles/cgc_heap.dir/AllocationCache.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/AllocationCache.cpp.o.d"
+  "/root/repo/src/heap/BitVector8.cpp" "src/heap/CMakeFiles/cgc_heap.dir/BitVector8.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/BitVector8.cpp.o.d"
+  "/root/repo/src/heap/CardTable.cpp" "src/heap/CMakeFiles/cgc_heap.dir/CardTable.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/CardTable.cpp.o.d"
+  "/root/repo/src/heap/FreeList.cpp" "src/heap/CMakeFiles/cgc_heap.dir/FreeList.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/FreeList.cpp.o.d"
+  "/root/repo/src/heap/HeapSpace.cpp" "src/heap/CMakeFiles/cgc_heap.dir/HeapSpace.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/HeapSpace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

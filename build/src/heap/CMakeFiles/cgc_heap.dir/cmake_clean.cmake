@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_heap.dir/AllocationCache.cpp.o"
+  "CMakeFiles/cgc_heap.dir/AllocationCache.cpp.o.d"
+  "CMakeFiles/cgc_heap.dir/BitVector8.cpp.o"
+  "CMakeFiles/cgc_heap.dir/BitVector8.cpp.o.d"
+  "CMakeFiles/cgc_heap.dir/CardTable.cpp.o"
+  "CMakeFiles/cgc_heap.dir/CardTable.cpp.o.d"
+  "CMakeFiles/cgc_heap.dir/FreeList.cpp.o"
+  "CMakeFiles/cgc_heap.dir/FreeList.cpp.o.d"
+  "CMakeFiles/cgc_heap.dir/HeapSpace.cpp.o"
+  "CMakeFiles/cgc_heap.dir/HeapSpace.cpp.o.d"
+  "libcgc_heap.a"
+  "libcgc_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

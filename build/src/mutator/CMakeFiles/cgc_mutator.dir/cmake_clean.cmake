@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_mutator.dir/ThreadRegistry.cpp.o"
+  "CMakeFiles/cgc_mutator.dir/ThreadRegistry.cpp.o.d"
+  "libcgc_mutator.a"
+  "libcgc_mutator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_mutator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_runtime.dir/GcHeap.cpp.o"
+  "CMakeFiles/cgc_runtime.dir/GcHeap.cpp.o.d"
+  "libcgc_runtime.a"
+  "libcgc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

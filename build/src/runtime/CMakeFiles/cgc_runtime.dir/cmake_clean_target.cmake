@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgc_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_support.dir/Fences.cpp.o"
+  "CMakeFiles/cgc_support.dir/Fences.cpp.o.d"
+  "CMakeFiles/cgc_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/cgc_support.dir/TablePrinter.cpp.o.d"
+  "libcgc_support.a"
+  "libcgc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BinaryTrees.cpp" "src/workloads/CMakeFiles/cgc_workloads.dir/BinaryTrees.cpp.o" "gcc" "src/workloads/CMakeFiles/cgc_workloads.dir/BinaryTrees.cpp.o.d"
+  "/root/repo/src/workloads/Compiler.cpp" "src/workloads/CMakeFiles/cgc_workloads.dir/Compiler.cpp.o" "gcc" "src/workloads/CMakeFiles/cgc_workloads.dir/Compiler.cpp.o.d"
+  "/root/repo/src/workloads/GraphChurn.cpp" "src/workloads/CMakeFiles/cgc_workloads.dir/GraphChurn.cpp.o" "gcc" "src/workloads/CMakeFiles/cgc_workloads.dir/GraphChurn.cpp.o.d"
+  "/root/repo/src/workloads/Warehouse.cpp" "src/workloads/CMakeFiles/cgc_workloads.dir/Warehouse.cpp.o" "gcc" "src/workloads/CMakeFiles/cgc_workloads.dir/Warehouse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/cgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/cgc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutator/CMakeFiles/cgc_mutator.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/cgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workpackets/CMakeFiles/cgc_packets.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

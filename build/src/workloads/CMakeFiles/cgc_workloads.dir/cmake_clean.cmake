@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_workloads.dir/BinaryTrees.cpp.o"
+  "CMakeFiles/cgc_workloads.dir/BinaryTrees.cpp.o.d"
+  "CMakeFiles/cgc_workloads.dir/Compiler.cpp.o"
+  "CMakeFiles/cgc_workloads.dir/Compiler.cpp.o.d"
+  "CMakeFiles/cgc_workloads.dir/GraphChurn.cpp.o"
+  "CMakeFiles/cgc_workloads.dir/GraphChurn.cpp.o.d"
+  "CMakeFiles/cgc_workloads.dir/Warehouse.cpp.o"
+  "CMakeFiles/cgc_workloads.dir/Warehouse.cpp.o.d"
+  "libcgc_workloads.a"
+  "libcgc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

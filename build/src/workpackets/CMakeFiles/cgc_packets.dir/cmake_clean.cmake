@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgc_packets.dir/PacketPool.cpp.o"
+  "CMakeFiles/cgc_packets.dir/PacketPool.cpp.o.d"
+  "libcgc_packets.a"
+  "libcgc_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgc_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cgc_packets.
+# This may be replaced when dependencies are built.

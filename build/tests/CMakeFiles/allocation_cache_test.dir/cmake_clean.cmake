@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_cache_test.dir/allocation_cache_test.cpp.o"
+  "CMakeFiles/allocation_cache_test.dir/allocation_cache_test.cpp.o.d"
+  "allocation_cache_test"
+  "allocation_cache_test.pdb"
+  "allocation_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_property_test.dir/bitmap_property_test.cpp.o"
+  "CMakeFiles/bitmap_property_test.dir/bitmap_property_test.cpp.o.d"
+  "bitmap_property_test"
+  "bitmap_property_test.pdb"
+  "bitmap_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

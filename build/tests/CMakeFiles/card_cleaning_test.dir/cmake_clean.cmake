@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/card_cleaning_test.dir/card_cleaning_test.cpp.o"
+  "CMakeFiles/card_cleaning_test.dir/card_cleaning_test.cpp.o.d"
+  "card_cleaning_test"
+  "card_cleaning_test.pdb"
+  "card_cleaning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/card_cleaning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

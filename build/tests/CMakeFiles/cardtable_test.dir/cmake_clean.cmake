@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardtable_test.dir/cardtable_test.cpp.o"
+  "CMakeFiles/cardtable_test.dir/cardtable_test.cpp.o.d"
+  "cardtable_test"
+  "cardtable_test.pdb"
+  "cardtable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

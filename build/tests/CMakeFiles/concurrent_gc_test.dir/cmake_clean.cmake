@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_gc_test.dir/concurrent_gc_test.cpp.o"
+  "CMakeFiles/concurrent_gc_test.dir/concurrent_gc_test.cpp.o.d"
+  "concurrent_gc_test"
+  "concurrent_gc_test.pdb"
+  "concurrent_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freelist_test.dir/freelist_test.cpp.o"
+  "CMakeFiles/freelist_test.dir/freelist_test.cpp.o.d"
+  "freelist_test"
+  "freelist_test.pdb"
+  "freelist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freelist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

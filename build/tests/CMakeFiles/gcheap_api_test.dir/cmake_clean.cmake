@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcheap_api_test.dir/gcheap_api_test.cpp.o"
+  "CMakeFiles/gcheap_api_test.dir/gcheap_api_test.cpp.o.d"
+  "gcheap_api_test"
+  "gcheap_api_test.pdb"
+  "gcheap_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcheap_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

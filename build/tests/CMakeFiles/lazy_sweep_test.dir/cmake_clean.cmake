@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_sweep_test.dir/lazy_sweep_test.cpp.o"
+  "CMakeFiles/lazy_sweep_test.dir/lazy_sweep_test.cpp.o.d"
+  "lazy_sweep_test"
+  "lazy_sweep_test.pdb"
+  "lazy_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_model_test.dir/object_model_test.cpp.o"
+  "CMakeFiles/object_model_test.dir/object_model_test.cpp.o.d"
+  "object_model_test"
+  "object_model_test.pdb"
+  "object_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

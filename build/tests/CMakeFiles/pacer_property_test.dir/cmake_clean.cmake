@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacer_property_test.dir/pacer_property_test.cpp.o"
+  "CMakeFiles/pacer_property_test.dir/pacer_property_test.cpp.o.d"
+  "pacer_property_test"
+  "pacer_property_test.pdb"
+  "pacer_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacer_test.dir/pacer_test.cpp.o"
+  "CMakeFiles/pacer_test.dir/pacer_test.cpp.o.d"
+  "pacer_test"
+  "pacer_test.pdb"
+  "pacer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_pool_test.dir/packet_pool_test.cpp.o"
+  "CMakeFiles/packet_pool_test.dir/packet_pool_test.cpp.o.d"
+  "packet_pool_test"
+  "packet_pool_test.pdb"
+  "packet_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stealing_marker_test.dir/stealing_marker_test.cpp.o"
+  "CMakeFiles/stealing_marker_test.dir/stealing_marker_test.cpp.o.d"
+  "stealing_marker_test"
+  "stealing_marker_test.pdb"
+  "stealing_marker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stealing_marker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

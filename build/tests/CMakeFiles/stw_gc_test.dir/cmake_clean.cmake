@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stw_gc_test.dir/stw_gc_test.cpp.o"
+  "CMakeFiles/stw_gc_test.dir/stw_gc_test.cpp.o.d"
+  "stw_gc_test"
+  "stw_gc_test.pdb"
+  "stw_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stw_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweeper_test.dir/sweeper_test.cpp.o"
+  "CMakeFiles/sweeper_test.dir/sweeper_test.cpp.o.d"
+  "sweeper_test"
+  "sweeper_test.pdb"
+  "sweeper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweeper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/bitvector_test[1]_include.cmake")
+include("/root/repo/build/tests/bitmap_property_test[1]_include.cmake")
+include("/root/repo/build/tests/cardtable_test[1]_include.cmake")
+include("/root/repo/build/tests/freelist_test[1]_include.cmake")
+include("/root/repo/build/tests/object_model_test[1]_include.cmake")
+include("/root/repo/build/tests/allocation_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/packet_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_context_test[1]_include.cmake")
+include("/root/repo/build/tests/pacer_test[1]_include.cmake")
+include("/root/repo/build/tests/tracer_test[1]_include.cmake")
+include("/root/repo/build/tests/gcheap_api_test[1]_include.cmake")
+include("/root/repo/build/tests/worker_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/sweeper_test[1]_include.cmake")
+include("/root/repo/build/tests/stw_gc_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrent_gc_test[1]_include.cmake")
+include("/root/repo/build/tests/card_cleaning_test[1]_include.cmake")
+include("/root/repo/build/tests/lazy_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/registry_test[1]_include.cmake")
+include("/root/repo/build/tests/verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/compactor_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/stealing_marker_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/pacer_property_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[SoakTest.MixedWorkloadsShareOneHeap]=]  /root/repo/build/tests/soak_test [==[--gtest_filter=SoakTest.MixedWorkloadsShareOneHeap]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SoakTest.MixedWorkloadsShareOneHeap]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 300)
+set(  soak_test_TESTS SoakTest.MixedWorkloadsShareOneHeap)
