@@ -203,7 +203,8 @@ bench/CMakeFiles/ablation_load_balancer.dir/ablation_load_balancer.cpp.o: \
  /root/repo/src/heap/CardTable.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/heap/FreeList.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/heap/ShardedFreeList.h /root/repo/src/heap/FreeList.h \
  /root/repo/src/support/SpinLock.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/freelist_contention.cpp" "bench/CMakeFiles/freelist_contention.dir/freelist_contention.cpp.o" "gcc" "bench/CMakeFiles/freelist_contention.dir/freelist_contention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/cgc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/cgc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutator/CMakeFiles/cgc_mutator.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/cgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workpackets/CMakeFiles/cgc_packets.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freelist_contention.dir/freelist_contention.cpp.o"
+  "CMakeFiles/freelist_contention.dir/freelist_contention.cpp.o.d"
+  "freelist_contention"
+  "freelist_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freelist_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -198,10 +198,10 @@ src/heap/CMakeFiles/cgc_heap.dir/AllocationCache.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/support/Fences.h /usr/include/c++/12/array \
- /root/repo/src/heap/FreeList.h /root/repo/src/support/SpinLock.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/heap/ShardedFreeList.h /root/repo/src/heap/FreeList.h \
+ /root/repo/src/support/SpinLock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/heap/CardTable.cpp" "src/heap/CMakeFiles/cgc_heap.dir/CardTable.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/CardTable.cpp.o.d"
   "/root/repo/src/heap/FreeList.cpp" "src/heap/CMakeFiles/cgc_heap.dir/FreeList.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/FreeList.cpp.o.d"
   "/root/repo/src/heap/HeapSpace.cpp" "src/heap/CMakeFiles/cgc_heap.dir/HeapSpace.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/HeapSpace.cpp.o.d"
+  "/root/repo/src/heap/ShardedFreeList.cpp" "src/heap/CMakeFiles/cgc_heap.dir/ShardedFreeList.cpp.o" "gcc" "src/heap/CMakeFiles/cgc_heap.dir/ShardedFreeList.cpp.o.d"
   )
 
 # Targets to which this target links.

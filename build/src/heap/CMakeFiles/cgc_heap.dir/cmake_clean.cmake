@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/cgc_heap.dir/FreeList.cpp.o.d"
   "CMakeFiles/cgc_heap.dir/HeapSpace.cpp.o"
   "CMakeFiles/cgc_heap.dir/HeapSpace.cpp.o.d"
+  "CMakeFiles/cgc_heap.dir/ShardedFreeList.cpp.o"
+  "CMakeFiles/cgc_heap.dir/ShardedFreeList.cpp.o.d"
   "libcgc_heap.a"
   "libcgc_heap.pdb"
 )

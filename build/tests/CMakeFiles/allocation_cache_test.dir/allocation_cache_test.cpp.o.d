@@ -219,7 +219,8 @@ tests/CMakeFiles/allocation_cache_test.dir/allocation_cache_test.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/heap/HeapSpace.h \
- /root/repo/src/heap/CardTable.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/heap/CardTable.h /root/repo/src/heap/ShardedFreeList.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \

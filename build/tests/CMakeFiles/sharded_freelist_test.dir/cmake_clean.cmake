@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_freelist_test.dir/sharded_freelist_test.cpp.o"
+  "CMakeFiles/sharded_freelist_test.dir/sharded_freelist_test.cpp.o.d"
+  "sharded_freelist_test"
+  "sharded_freelist_test.pdb"
+  "sharded_freelist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_freelist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -9,6 +9,7 @@ include("/root/repo/build/tests/bitvector_test[1]_include.cmake")
 include("/root/repo/build/tests/bitmap_property_test[1]_include.cmake")
 include("/root/repo/build/tests/cardtable_test[1]_include.cmake")
 include("/root/repo/build/tests/freelist_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_freelist_test[1]_include.cmake")
 include("/root/repo/build/tests/object_model_test[1]_include.cmake")
 include("/root/repo/build/tests/allocation_cache_test[1]_include.cmake")
 include("/root/repo/build/tests/packet_pool_test[1]_include.cmake")

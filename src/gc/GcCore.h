@@ -40,7 +40,13 @@ enum class GcPhase : int {
 /// Bundle of all collector subsystems (one per GcHeap).
 struct GcCore {
   explicit GcCore(const GcOptions &Opts)
-      : Options(Opts), Heap(Opts.HeapBytes), Pool(Opts.NumWorkPackets),
+      : Options(Opts),
+        Heap(Opts.HeapBytes,
+             // Clamp so every shard can hand out a whole allocation
+             // cache; FreeListShards = 1 keeps the legacy single list.
+             ShardedFreeList::resolveShardCount(
+                 Opts.FreeListShards, Opts.HeapBytes, Opts.AllocCacheBytes)),
+        Pool(Opts.NumWorkPackets),
         Compact(Heap, Opts.EvacuationAreaBytes),
         Trace(Heap, Pool, Registry, &Compact, Opts.NaiveFenceAccounting),
         Cleaner(Heap, Registry), Sweep(Heap), Workers(Opts.GcWorkerThreads),

@@ -67,6 +67,14 @@ struct GcOptions {
   /// footnote 2 that a second pass further reduces pause time).
   unsigned ConcurrentCleaningPasses = 1;
 
+  /// Number of address-partitioned free-list shards. 0 = auto
+  /// (min(hardware_concurrency, 8), rounded down to a power of two and
+  /// halved until every shard can span a whole allocation cache);
+  /// 1 = the exact legacy single-list behavior (A/B baseline). Explicit
+  /// values must be powers of two (asserted in GcHeap::create) and are
+  /// subject to the same span clamp.
+  unsigned FreeListShards = 0;
+
   /// Per-thread allocation cache (TLAB) size.
   size_t AllocCacheBytes = 32u << 10;
 

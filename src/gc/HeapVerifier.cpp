@@ -96,17 +96,31 @@ VerifyResult HeapVerifier::verify(ThreadRegistry &Registry, bool CheckMarks) {
     }
   }
 
-  // Free ranges must carry no allocation bits (nothing reachable can
-  // live there given the check above).
-  for (auto [Start, Size] : Heap.freeList().snapshotRanges()) {
-    if (Heap.allocBits().countInRange(Start, Start + Size) != 0) {
+  // Per shard: free ranges must carry no allocation bits (nothing
+  // reachable can live there given the check above) and must lie
+  // entirely inside the shard owning them (inserts split at shard
+  // boundaries; a crossing range would mean two shards' books overlap).
+  const ShardedFreeList &FL = Heap.freeList();
+  for (unsigned Shard = 0; Shard < FL.numShards(); ++Shard) {
+    for (auto [Start, Size] : FL.shard(Shard).snapshotRanges()) {
       char Buf[128];
-      std::snprintf(Buf, sizeof(Buf),
-                    "free range %p+%zu contains allocation bits",
-                    static_cast<void *>(Start), Size);
-      Result.Error = Buf;
-      Result.Ok = false;
-      return Result;
+      if (Heap.allocBits().countInRange(Start, Start + Size) != 0) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "free range %p+%zu contains allocation bits",
+                      static_cast<void *>(Start), Size);
+        Result.Error = Buf;
+        Result.Ok = false;
+        return Result;
+      }
+      if (FL.shardIndexFor(Start) != Shard ||
+          FL.shardIndexFor(Start + Size - 1) != Shard) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "free range %p+%zu crosses out of shard %u",
+                      static_cast<void *>(Start), Size, Shard);
+        Result.Error = Buf;
+        Result.Ok = false;
+        return Result;
+      }
     }
   }
   return Result;

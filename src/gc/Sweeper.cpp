@@ -42,6 +42,8 @@ Sweeper::ChunkResult Sweeper::sweepChunk(size_t Index) {
     Heap.allocBits().clearRange(From, To);
     size_t Size = static_cast<size_t>(To - From);
     if (Size >= MinFreeRangeBytes) {
+      // Routed to (and split across) the shard(s) owning the addresses;
+      // concurrent sweepers of other shards' chunks take other locks.
       Heap.freeList().addRange(From, Size);
       Result.FreedBytes += Size;
     }

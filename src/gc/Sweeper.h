@@ -6,9 +6,12 @@
 /// ranges of unmarked memory in the mark bit vector. The heap is divided
 /// into fixed chunks claimed by workers through an atomic cursor; a
 /// sweeping thread resolves objects spanning its chunk's leading edge by
-/// scanning the mark bits backwards. Free ranges coalesce across chunk
-/// boundaries in the address-ordered free list. Allocation bits of
-/// reclaimed ranges are cleared so conservative scanning cannot
+/// scanning the mark bits backwards. Reclaimed ranges are inserted into
+/// the free-list shard owning their addresses (split at shard
+/// boundaries), so N sweep workers contend only when their chunks map
+/// to the same shard; within a shard, free ranges still coalesce across
+/// chunk boundaries in the address-ordered large map. Allocation bits
+/// of reclaimed ranges are cleared so conservative scanning cannot
 /// resurrect dead memory.
 ///
 /// Lazy sweep (the paper's future work, Section 7): the sweep is taken

@@ -24,6 +24,7 @@
 namespace cgc {
 
 class FreeList;
+class ShardedFreeList;
 
 /// Bump-pointer allocation cache with deferred allocation-bit publishing.
 class AllocationCache {
@@ -88,6 +89,11 @@ public:
   /// range. Allocation bits must already be flushed by the caller (the
   /// tail itself carries no bits). Used when the world stops for sweep.
   void retire(FreeList &FL);
+
+  /// Sharded variant: the tail goes back to the shard owning its
+  /// addresses (a refill never crosses a shard boundary, but the
+  /// sharded insert handles splitting regardless).
+  void retire(ShardedFreeList &FL);
 
   /// Drops the range without recycling the tail (heap teardown).
   void reset() {

@@ -1,9 +1,11 @@
-//===- FreeList.h - Segregated free-space manager ---------------*- C++ -*-===//
+//===- FreeList.h - One shard of the segregated free-space manager -*- C++ -*-===//
 ///
 /// \file
-/// The heap's free-space manager, feeding allocation-cache refills and
-/// large-object allocation. Bitwise sweep (Section 2.2) rebuilds it
-/// every cycle from the mark bit vector, which shapes the design:
+/// One shard of the heap's free-space manager (see ShardedFreeList.h
+/// for the address partition that owns these). A shard feeds
+/// allocation-cache refills and large-object allocation for its span
+/// of the heap. Bitwise sweep (Section 2.2) rebuilds it every cycle
+/// from the mark bit vector, which shapes the design:
 ///
 ///  - Large ranges (>= BinThresholdBytes) live in an address-ordered
 ///    map (coalescing with adjacent large ranges, so multi-chunk free
@@ -17,9 +19,11 @@
 /// and the refill path away from linear first-fit scans — standing in
 /// for the compaction-avoidance machinery of the paper's base collector.
 ///
-/// All operations are guarded by a single lock: the list is only
-/// touched on slow paths (refill, large allocation, sweep), matching
-/// the JVM's global heap lock.
+/// A shard's operations are guarded by its own lock, touched only on
+/// slow paths (refill, large allocation, sweep insertion). With one
+/// shard this degenerates to the original design — a single lock
+/// standing in for the JVM's global heap lock; with N shards the slow
+/// paths of different heap spans proceed concurrently.
 ///
 //===----------------------------------------------------------------------===//
 

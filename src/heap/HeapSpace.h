@@ -15,8 +15,8 @@
 
 #include "heap/BitVector8.h"
 #include "heap/CardTable.h"
-#include "heap/FreeList.h"
 #include "heap/ObjectModel.h"
+#include "heap/ShardedFreeList.h"
 
 #include <memory>
 
@@ -26,8 +26,10 @@ namespace cgc {
 class HeapSpace {
 public:
   /// Reserves a heap of \p SizeBytes (rounded up to the granule size) and
-  /// places the whole region on the free list.
-  explicit HeapSpace(size_t SizeBytes);
+  /// places the whole region on the free list, partitioned into
+  /// \p FreeListShards address shards (0 = auto, 1 = legacy single list;
+  /// see ShardedFreeList::resolveShardCount).
+  explicit HeapSpace(size_t SizeBytes, unsigned FreeListShards = 1);
   ~HeapSpace();
 
   HeapSpace(const HeapSpace &) = delete;
@@ -68,10 +70,11 @@ public:
   const BitVector8 &allocBits() const { return AllocBitsV; }
   CardTable &cards() { return CardsV; }
   const CardTable &cards() const { return CardsV; }
-  FreeList &freeList() { return FreeListV; }
-  const FreeList &freeList() const { return FreeListV; }
+  ShardedFreeList &freeList() { return FreeListV; }
+  const ShardedFreeList &freeList() const { return FreeListV; }
 
-  /// Free bytes currently on the free list.
+  /// Free bytes currently on the free list (aggregate over all shards,
+  /// summed from the relaxed per-shard counters).
   size_t freeBytes() const { return FreeListV.freeBytes(); }
 
   /// Bytes not on the free list (allocated or unswept).
@@ -96,7 +99,7 @@ private:
   BitVector8 MarkBitsV;
   BitVector8 AllocBitsV;
   CardTable CardsV;
-  FreeList FreeListV;
+  ShardedFreeList FreeListV;
 };
 
 } // namespace cgc

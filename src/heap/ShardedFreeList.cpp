@@ -1,0 +1,148 @@
+//===- ShardedFreeList.cpp - Address-partitioned free-space manager ----------//
+
+#include "heap/ShardedFreeList.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+using namespace cgc;
+
+unsigned ShardedFreeList::resolveShardCount(unsigned Requested,
+                                            size_t HeapBytes,
+                                            size_t MinShardBytes) {
+  if (Requested == 0) {
+    unsigned Hw = std::thread::hardware_concurrency();
+    Requested = Hw == 0 ? 1 : (Hw < 8 ? Hw : 8);
+  }
+  // Round down to a power of two (clears the lowest set bit until only
+  // the highest remains).
+  while (Requested & (Requested - 1))
+    Requested &= Requested - 1;
+  size_t Floor = MinShardBytes > 4096 ? MinShardBytes : 4096;
+  while (Requested > 1 && HeapBytes / Requested < Floor)
+    Requested >>= 1;
+  return Requested;
+}
+
+ShardedFreeList::ShardedFreeList(uint8_t *Base, size_t SizeBytes,
+                                 unsigned NumShards)
+    : Base(Base), Size(SizeBytes) {
+  NumShards = resolveShardCount(NumShards, SizeBytes, /*MinShardBytes=*/4096);
+  // Page-aligned spans: shard boundaries never split a granule, and the
+  // last shard absorbs the (page-rounded) remainder.
+  ShardSpan = (Size + NumShards - 1) / NumShards;
+  ShardSpan = (ShardSpan + 4095) & ~size_t{4095};
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<FreeList>());
+}
+
+void ShardedFreeList::addRange(uint8_t *Start, size_t Bytes) {
+  while (Bytes > 0) {
+    size_t Index = shardIndexFor(Start);
+    uint8_t *End = shardEnd(Index);
+    size_t Piece = static_cast<size_t>(End - Start);
+    if (Piece > Bytes)
+      Piece = Bytes;
+    Shards[Index]->addRange(Start, Piece);
+    Start += Piece;
+    Bytes -= Piece;
+  }
+}
+
+uint8_t *ShardedFreeList::allocate(size_t Bytes, size_t PreferredShard) {
+  size_t N = Shards.size();
+  for (size_t I = 0; I < N; ++I) {
+    FreeList &S = *Shards[(PreferredShard + I) % N];
+    // Relaxed pre-check: a shard whose total free count cannot cover the
+    // request has no single range that can either. Racing inserts are
+    // covered by the caller's collect-and-retry loop.
+    if (S.freeBytes() < Bytes)
+      continue;
+    if (uint8_t *P = S.allocate(Bytes))
+      return P;
+  }
+  return nullptr;
+}
+
+uint8_t *ShardedFreeList::allocateUpTo(size_t MinSize, size_t MaxSize,
+                                       size_t &OutSize,
+                                       size_t PreferredShard) {
+  size_t N = Shards.size();
+  if (N == 1) // Exact legacy single-list behavior.
+    return Shards[0]->allocateUpTo(MinSize, MaxSize, OutSize);
+  // Pass 1: a full-size grant from any shard beats a partial grant from
+  // the preferred one — otherwise affinity would shrink caches while
+  // other shards still hold whole spans.
+  for (size_t I = 0; I < N; ++I) {
+    FreeList &S = *Shards[(PreferredShard + I) % N];
+    if (S.freeBytes() < MaxSize)
+      continue;
+    if (uint8_t *P = S.allocateUpTo(MaxSize, MaxSize, OutSize))
+      return P;
+  }
+  // Pass 2: partial grants, preferred shard first.
+  for (size_t I = 0; I < N; ++I) {
+    FreeList &S = *Shards[(PreferredShard + I) % N];
+    if (S.freeBytes() < MinSize)
+      continue;
+    if (uint8_t *P = S.allocateUpTo(MinSize, MaxSize, OutSize))
+      return P;
+  }
+  return nullptr;
+}
+
+size_t ShardedFreeList::freeBytes() const {
+  size_t Sum = 0;
+  for (const auto &S : Shards)
+    Sum += S->freeBytes();
+  return Sum;
+}
+
+size_t ShardedFreeList::largestRange() const {
+  size_t Largest = 0;
+  for (const auto &S : Shards)
+    Largest = std::max(Largest, S->largestRange());
+  return Largest;
+}
+
+size_t ShardedFreeList::numRanges() const {
+  size_t Sum = 0;
+  for (const auto &S : Shards)
+    Sum += S->numRanges();
+  return Sum;
+}
+
+void ShardedFreeList::clear() {
+  for (const auto &S : Shards)
+    S->clear();
+}
+
+size_t ShardedFreeList::withdrawWithin(uint8_t *Lo, uint8_t *Hi) {
+  if (Lo < Base)
+    Lo = Base;
+  if (Hi > Base + Size)
+    Hi = Base + Size;
+  if (Lo >= Hi)
+    return 0;
+  // Per-shard ranges never extend outside their shard, so each shard
+  // overlapping the window handles it (and re-adds straddling outside
+  // parts) independently.
+  size_t First = shardIndexFor(Lo);
+  size_t Last = shardIndexFor(Hi - 1);
+  size_t Withdrawn = 0;
+  for (size_t I = First; I <= Last; ++I)
+    Withdrawn += Shards[I]->withdrawWithin(Lo, Hi);
+  return Withdrawn;
+}
+
+std::vector<std::pair<uint8_t *, size_t>>
+ShardedFreeList::snapshotRanges() const {
+  std::vector<std::pair<uint8_t *, size_t>> Result;
+  for (const auto &S : Shards) {
+    auto Part = S->snapshotRanges();
+    Result.insert(Result.end(), Part.begin(), Part.end());
+  }
+  return Result;
+}

@@ -104,6 +104,12 @@ public:
   AllocationCache &cache() { return Cache; }
   TraceContext &trace() { return Trace; }
 
+  /// Free-list shard this thread refills from first (assigned
+  /// round-robin at attach); other shards are stolen from only when it
+  /// is exhausted, so refills of different threads rarely share a lock.
+  unsigned preferredShard() const { return PreferredShardV; }
+  void setPreferredShard(unsigned Shard) { PreferredShardV = Shard; }
+
   ExecState state() const {
     return static_cast<ExecState>(State.load(std::memory_order_acquire));
   }
@@ -129,6 +135,7 @@ public:
 private:
   AllocationCache Cache;
   TraceContext Trace;
+  unsigned PreferredShardV = 0;
   mutable SpinLock RootsLock;
   std::vector<uintptr_t> Roots;
   std::atomic<uint8_t> State{static_cast<uint8_t>(ExecState::Running)};

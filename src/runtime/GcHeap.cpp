@@ -27,6 +27,9 @@ std::unique_ptr<GcHeap> GcHeap::create(const GcOptions &Options) {
   assert(Options.AllocCacheBytes < Options.HeapBytes / 4 &&
          "allocation cache too large for the heap");
   assert(Options.NumWorkPackets >= 4 && "too few work packets");
+  assert((Options.FreeListShards & (Options.FreeListShards - 1)) == 0 &&
+         "FreeListShards must be 0 (auto) or a power of two");
+  assert(Options.FreeListShards <= 64 && "too many free-list shards");
   return std::unique_ptr<GcHeap>(new GcHeap(Options));
 }
 
@@ -39,6 +42,10 @@ GcHeap::~GcHeap() {
 MutatorContext &GcHeap::attachThread() {
   auto Owned = std::make_unique<MutatorContext>(Core.Pool);
   MutatorContext *Ctx = Owned.get();
+  // Shard affinity: spread threads round-robin over the free-list
+  // shards so their refills rarely meet on a lock.
+  Ctx->setPreferredShard(NextShard.fetch_add(1, std::memory_order_relaxed) %
+                         Core.Heap.freeList().numShards());
   // Appear stopped while blocking on the collection lock: a running GC
   // must not wait for a thread that is not cooperating yet.
   Ctx->setState(ExecState::Idle);
@@ -74,11 +81,13 @@ bool GcHeap::refillCache(MutatorContext &Ctx, size_t MinBytes) {
   for (int Attempt = 0; Attempt < 3; ++Attempt) {
     size_t Granted = 0;
     uint8_t *Range = Core.Heap.freeList().allocateUpTo(
-        MinBytes, Core.Options.AllocCacheBytes, Granted);
+        MinBytes, Core.Options.AllocCacheBytes, Granted,
+        Ctx.preferredShard());
     if (!Range && Core.Sweep.lazySweepPending()) {
       Core.Sweep.sweepUntilFree(Core.Options.AllocCacheBytes);
       Range = Core.Heap.freeList().allocateUpTo(
-          MinBytes, Core.Options.AllocCacheBytes, Granted);
+          MinBytes, Core.Options.AllocCacheBytes, Granted,
+          Ctx.preferredShard());
     }
     if (Range) {
       // Assign BEFORE the pacing hook: the hook can run a full
@@ -135,10 +144,10 @@ Object *GcHeap::allocateLarge(MutatorContext &Ctx, size_t TotalBytes,
   Col->onAllocationSlowPath(Ctx, TotalBytes);
   uint8_t *Mem = nullptr;
   for (int Attempt = 0; Attempt < 3 && !Mem; ++Attempt) {
-    Mem = Core.Heap.freeList().allocate(TotalBytes);
+    Mem = Core.Heap.freeList().allocate(TotalBytes, Ctx.preferredShard());
     if (!Mem && Core.Sweep.lazySweepPending()) {
       Core.Sweep.sweepUntilFree(TotalBytes);
-      Mem = Core.Heap.freeList().allocate(TotalBytes);
+      Mem = Core.Heap.freeList().allocate(TotalBytes, Ctx.preferredShard());
     }
     if (!Mem)
       Col->collectNow(&Ctx);

@@ -133,6 +133,8 @@ private:
   GcCore Core;
   std::unique_ptr<Collector> Col;
   const bool BarrierEnabled;
+  /// Round-robin cursor for free-list shard affinity at attach.
+  std::atomic<unsigned> NextShard{0};
 
   SpinLock ContextsLock;
   std::vector<std::unique_ptr<MutatorContext>> Contexts;

@@ -132,4 +132,79 @@ TEST_F(SweeperTest, SweepAllReportsLiveBytes) {
   EXPECT_EQ(Sweep.liveBytes(), Total);
 }
 
+/// The same sweep scenarios across free-list shard counts: reclaimed
+/// ranges must land in the shard owning their addresses, accounting
+/// must not depend on the shard count, and no range may cross a shard
+/// boundary.
+class ShardedSweeperTest : public ::testing::TestWithParam<unsigned> {
+protected:
+  ShardedSweeperTest() : Heap(4u << 20, GetParam()), Sweep(Heap) {}
+
+  Object *plant(size_t Offset, uint32_t SizeBytes, bool Marked) {
+    Object *Obj = reinterpret_cast<Object *>(Heap.base() + Offset);
+    Obj->initialize(SizeBytes, 0, 0);
+    Heap.allocBits().set(Obj);
+    if (Marked)
+      Heap.markBits().set(Obj);
+    return Obj;
+  }
+
+  void expectShardInvariants() {
+    const ShardedFreeList &FL = Heap.freeList();
+    for (unsigned S = 0; S < FL.numShards(); ++S)
+      for (auto [Start, Size] : FL.shard(S).snapshotRanges()) {
+        EXPECT_EQ(FL.shardIndexFor(Start), S);
+        EXPECT_EQ(FL.shardIndexFor(Start + Size - 1), S);
+      }
+  }
+
+  HeapSpace Heap;
+  Sweeper Sweep;
+};
+
+TEST_P(ShardedSweeperTest, EmptyHeapBecomesOneRangePerShard) {
+  Heap.freeList().clear();
+  EXPECT_EQ(Sweep.sweepAll(nullptr), 0u);
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes());
+  // Boundary splitting caps coalescing at one maximal range per shard.
+  EXPECT_EQ(Heap.freeList().numRanges(), Heap.freeList().numShards());
+  expectShardInvariants();
+}
+
+TEST_P(ShardedSweeperTest, AccountingIsShardCountIndependent) {
+  plant(0, 64, true);
+  plant(4096, 128, true);
+  plant(8192, 256, false);
+  plant(Sweeper::ChunkBytes - 64, 4096, true); // Chunk straddler.
+  WorkerPool Workers(3);
+  uint64_t Live = Sweep.sweepAll(&Workers);
+  EXPECT_EQ(Live, 64u + 128u + 4096u);
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes() - 64 - 128 - 4096);
+  // Boundary splitting bounds any single range by the shard span.
+  EXPECT_LE(Heap.freeList().largestRange(),
+            Heap.freeList().shardSpanBytes());
+  expectShardInvariants();
+  for (auto [Start, Size] : Heap.freeList().snapshotRanges())
+    EXPECT_EQ(Heap.allocBits().countInRange(Start, Start + Size), 0u);
+}
+
+TEST_P(ShardedSweeperTest, ParallelSweepInsertsIntoOwningShards) {
+  // Kill everything: each shard must end up with exactly its span free,
+  // coalesced within the shard even though chunk sweeps insert pieces
+  // in arbitrary order.
+  plant(0, 64, false);
+  plant(Sweeper::ChunkBytes + 512, 64, false);
+  WorkerPool Workers(3);
+  Sweep.sweepAll(&Workers);
+  const ShardedFreeList &FL = Heap.freeList();
+  EXPECT_EQ(Heap.freeBytes(), Heap.sizeBytes());
+  for (unsigned S = 0; S < FL.numShards(); ++S)
+    EXPECT_EQ(FL.shard(S).numRanges(), 1u)
+        << "shard " << S << " did not coalesce its chunk pieces";
+  expectShardInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedSweeperTest,
+                         ::testing::Values(1u, 2u, 8u));
+
 } // namespace
