@@ -27,6 +27,11 @@ void CardCleaner::beginCycle(unsigned ConcurrentPasses) {
 bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
   if (FinalMode.load(std::memory_order_relaxed))
     return false;
+  // Simulated registration denial: cards stay dirty, a later attempt (or
+  // the final pass) picks them up. Callers already treat false as "no
+  // pass now" and retry, so this never loses work.
+  if (FI && FI->shouldFail(FaultSite::CardCleanBegin))
+    return false;
   if (PassesStarted.load(std::memory_order_acquire) >= PassBudget)
     return false;
   // try_lock, never block: a spinning registrar-in-waiting would stall
@@ -90,6 +95,10 @@ size_t CardCleaner::beginFinalPass() {
 size_t CardCleaner::cleanSome(TraceContext &Ctx, size_t MaxCards) {
   size_t Done = 0;
   bool Final = FinalMode.load(std::memory_order_relaxed);
+  // Concurrent passes only: the final pass loops until the card set is
+  // drained, so an always-failing site here would loop forever.
+  if (!Final && FI && FI->shouldFail(FaultSite::CardCleanStep))
+    return 0; // Cleaner yields early; registered cards remain claimable.
   while (Done < MaxCards) {
     // Bounded CAS claim: NextIndex must never pass RegisteredCount.
     // An unconditional fetch_add would let cleaners invoked while no

@@ -27,6 +27,7 @@
 #define CGC_GC_CARDCLEANER_H
 
 #include "heap/HeapSpace.h"
+#include "support/FaultInjector.h"
 #include "support/SpinLock.h"
 #include "workpackets/TraceContext.h"
 
@@ -42,8 +43,12 @@ class ThreadRegistry;
 /// Coordinates card-cleaning passes across all tracing participants.
 class CardCleaner {
 public:
-  CardCleaner(HeapSpace &Heap, ThreadRegistry &Registry)
-      : Heap(Heap), Registry(Registry) {}
+  /// \p FI (optional) arms the cleaner's fault-injection sites; they
+  /// only ever fire during concurrent passes — the final stop-the-world
+  /// pass must make progress unconditionally.
+  CardCleaner(HeapSpace &Heap, ThreadRegistry &Registry,
+              FaultInjector *FI = nullptr)
+      : Heap(Heap), Registry(Registry), FI(FI) {}
 
   /// Resets pass state for a new collection cycle allowing
   /// \p ConcurrentPasses concurrent passes.
@@ -104,6 +109,7 @@ private:
 
   HeapSpace &Heap;
   ThreadRegistry &Registry;
+  FaultInjector *FI;
 
   SpinLock RegistrarLock;
   std::vector<uint32_t> Registered;

@@ -14,6 +14,8 @@ ConcurrentCollector::ConcurrentCollector(GcCore &Core)
   BgThreads.reserve(C.Options.BackgroundThreads);
   for (unsigned I = 0; I < C.Options.BackgroundThreads; ++I)
     BgThreads.emplace_back([this] { backgroundLoop(); });
+  if (C.Options.CycleWatchdog)
+    Watchdog = std::thread([this] { watchdogLoop(); });
 }
 
 ConcurrentCollector::~ConcurrentCollector() { shutdown(); }
@@ -24,6 +26,8 @@ void ConcurrentCollector::shutdown() {
   for (std::thread &T : BgThreads)
     T.join();
   BgThreads.clear();
+  if (Watchdog.joinable())
+    Watchdog.join();
 }
 
 void ConcurrentCollector::onAllocationSlowPath(MutatorContext &Ctx,
@@ -303,6 +307,49 @@ void ConcurrentCollector::finishCycle(MutatorContext *Ctx,
   C.Registry.resumeTheWorld();
   BgPause.store(false, std::memory_order_release);
   C.CollectMutex.unlock();
+}
+
+void ConcurrentCollector::watchdogLoop() {
+  uint64_t LastProgress = 0;
+  unsigned StallTicks = 0, LagTicks = 0;
+  while (!ShuttingDown.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(C.Options.WatchdogIntervalMicros));
+    if (C.phase() != GcPhase::Concurrent ||
+        BgPause.load(std::memory_order_acquire)) {
+      // No concurrent phase to supervise (BgPause means someone is
+      // already finishing it): start fresh next time one runs.
+      StallTicks = LagTicks = 0;
+      continue;
+    }
+    if (concurrentWorkComplete()) {
+      // Tracing terminated but nobody noticed yet (every mutator sits in
+      // think time, background threads disabled): finish it ourselves.
+      finishCycle(nullptr, /*DueToFailure=*/false);
+      continue;
+    }
+    uint64_t Traced = C.Trace.cycleTracedBytes();
+    uint64_t Progress =
+        Traced + C.Cleaner.cleanedConcurrent() + C.Trace.deferredCount();
+    if (Progress == LastProgress) {
+      ++StallTicks;
+    } else {
+      StallTicks = 0;
+      LastProgress = Progress;
+    }
+    double K = C.Pace.currentRate(Traced, C.Heap.freeBytes());
+    bool Behind = K >= C.Options.kmax() - 1e-9 &&
+                  C.Heap.freeBytes() < C.Pace.kickoffThresholdBytes() / 4;
+    LagTicks = Behind ? LagTicks + 1 : 0;
+    if (StallTicks >= C.Options.WatchdogStallTicks ||
+        LagTicks >= C.Options.WatchdogLagTicks) {
+      StallTicks = LagTicks = 0;
+      LastProgress = 0;
+      C.Stats.noteWatchdogTrip();
+      C.Stats.noteEscalation(EscalationRung::StwFinish);
+      finishCycle(nullptr, /*DueToFailure=*/true);
+    }
+  }
 }
 
 void ConcurrentCollector::backgroundLoop() {

@@ -52,6 +52,13 @@ public:
   /// Termination test for the concurrent phase (public for tests).
   bool concurrentWorkComplete();
 
+  /// Explicit kickoff: starts a concurrent cycle now if the collector is
+  /// idle (no-op otherwise). Normal kickoff waits for free memory to
+  /// cross the Section 3.1 threshold, which a fragmented or sharded
+  /// free list can fail to reach before allocation fails outright;
+  /// tests and benches use this to open a cycle deterministically.
+  void startConcurrentCycle(MutatorContext *Ctx) { tryStartCycle(Ctx); }
+
 private:
   void tryStartCycle(MutatorContext *Ctx);
   void mutatorAssist(MutatorContext &Ctx, size_t Bytes);
@@ -75,6 +82,15 @@ private:
   /// finish its pass.
   void pauseBackground(MutatorContext *Self);
 
+  /// Cycle watchdog (Options.CycleWatchdog): samples the concurrent
+  /// phase every WatchdogIntervalMicros and escalates to the STW finish
+  /// when (a) tracing, card cleaning and deferral counts all stay flat
+  /// for WatchdogStallTicks samples (a stalled participant), or (b) the
+  /// progress formula stays pegged at Kmax with free memory under a
+  /// quarter of the kickoff threshold for WatchdogLagTicks samples (the
+  /// tracer cannot catch up even at the clamp).
+  void watchdogLoop();
+
   // Per-cycle accounting (mutated under the collect lock or with
   // relaxed atomics).
   std::atomic<uint64_t> AllocPreBytes{0};
@@ -93,6 +109,9 @@ private:
   std::atomic<bool> ShuttingDown{false};
   std::atomic<bool> BgPause{false};
   std::atomic<int> ActiveBg{0};
+
+  // Cycle watchdog.
+  std::thread Watchdog;
 };
 
 } // namespace cgc

@@ -40,19 +40,26 @@ enum class GcPhase : int {
 /// Bundle of all collector subsystems (one per GcHeap).
 struct GcCore {
   explicit GcCore(const GcOptions &Opts)
-      : Options(Opts),
+      : Options(Opts), Inject(Opts.Faults),
         Heap(Opts.HeapBytes,
              // Clamp so every shard can hand out a whole allocation
              // cache; FreeListShards = 1 keeps the legacy single list.
              ShardedFreeList::resolveShardCount(
-                 Opts.FreeListShards, Opts.HeapBytes, Opts.AllocCacheBytes)),
-        Pool(Opts.NumWorkPackets),
+                 Opts.FreeListShards, Opts.HeapBytes, Opts.AllocCacheBytes),
+             &Inject),
+        Pool(Opts.NumWorkPackets, &Inject),
         Compact(Heap, Opts.EvacuationAreaBytes),
-        Trace(Heap, Pool, Registry, &Compact, Opts.NaiveFenceAccounting),
-        Cleaner(Heap, Registry), Sweep(Heap), Workers(Opts.GcWorkerThreads),
-        Pace(Opts, Heap.sizeBytes()) {}
+        Trace(Heap, Pool, Registry, &Compact, Opts.NaiveFenceAccounting,
+              &Inject),
+        Cleaner(Heap, Registry, &Inject), Sweep(Heap),
+        Workers(Opts.GcWorkerThreads, &Inject), Pace(Opts, Heap.sizeBytes()) {
+  }
 
   GcOptions Options;
+  /// Fault injector shared by every subsystem below (declared first so
+  /// it outlives and predates them all). Disarmed unless Options.Faults
+  /// enables chaos mode.
+  FaultInjector Inject;
   HeapSpace Heap;
   PacketPool Pool;
   ThreadRegistry Registry;

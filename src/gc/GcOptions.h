@@ -11,6 +11,8 @@
 #ifndef CGC_GC_GCOPTIONS_H
 #define CGC_GC_GCOPTIONS_H
 
+#include "support/FaultInjector.h"
+
 #include <cstddef>
 #include <cstdint>
 
@@ -102,6 +104,29 @@ struct GcOptions {
 
   /// Background thread tracing quantum in bytes.
   size_t BackgroundQuantumBytes = 64u << 10;
+
+  /// Cycle watchdog: a low-priority thread that samples the concurrent
+  /// phase and forces the STW finish when the tracer falls behind the
+  /// pacer's progress formula or a background participant stalls.
+  bool CycleWatchdog = true;
+
+  /// Watchdog sample period (microseconds).
+  unsigned WatchdogIntervalMicros = 2000;
+
+  /// Consecutive no-progress samples (traced bytes, cleaned cards and
+  /// deferrals all flat while a concurrent phase is active) that trip
+  /// the watchdog's stall escalation.
+  unsigned WatchdogStallTicks = 250;
+
+  /// Consecutive samples with the progress formula pegged at Kmax while
+  /// free memory sits below a quarter of the kickoff threshold — the
+  /// tracer cannot catch up even at the clamp — that trip the watchdog's
+  /// pacer-lag escalation.
+  unsigned WatchdogLagTicks = 100;
+
+  /// Fault-injection plan (chaos mode). Disabled by default: every
+  /// injection site then costs one relaxed load behind a cold branch.
+  FaultPlan Faults;
 
   /// Returns Kmax.
   double kmax() const { return KmaxFactor * TracingRate; }

@@ -2,7 +2,45 @@
 
 #include "gc/GcStats.h"
 
+#include "support/TablePrinter.h"
+
 using namespace cgc;
+
+const char *cgc::escalationRungName(EscalationRung Rung) {
+  switch (Rung) {
+  case EscalationRung::RefillRetry:
+    return "refill-retry";
+  case EscalationRung::SweepFinish:
+    return "sweep-finish";
+  case EscalationRung::StwFinish:
+    return "stw-finish";
+  case EscalationRung::FullStw:
+    return "full-stw";
+  case EscalationRung::AllocationFailure:
+    return "allocation-failure";
+  case EscalationRung::NumRungs:
+    break;
+  }
+  return "unknown";
+}
+
+EscalationCounts GcStatsCollector::escalations() const {
+  EscalationCounts Counts;
+  for (unsigned I = 0; I < Counts.Rungs.size(); ++I)
+    Counts.Rungs[I] = Escalations[I].load(std::memory_order_relaxed);
+  Counts.WatchdogTrips = WatchdogTripsV.load(std::memory_order_relaxed);
+  return Counts;
+}
+
+void GcStatsCollector::printEscalations(std::FILE *Out) const {
+  EscalationCounts Counts = escalations();
+  TablePrinter Table({"degradation rung", "count"});
+  for (unsigned I = 0; I < Counts.Rungs.size(); ++I)
+    Table.addRow({escalationRungName(static_cast<EscalationRung>(I)),
+                  TablePrinter::num(Counts.Rungs[I])});
+  Table.addRow({"watchdog-trips", TablePrinter::num(Counts.WatchdogTrips)});
+  Table.print(Out);
+}
 
 GcAggregates GcAggregates::compute(const std::vector<CycleRecord> &Records) {
   GcAggregates A;

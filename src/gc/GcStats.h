@@ -16,11 +16,45 @@
 #include "support/SampleSeries.h"
 #include "support/SpinLock.h"
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <mutex>
 #include <vector>
 
 namespace cgc {
+
+/// Rungs of the allocation-failure degradation ladder, in escalation
+/// order (GcHeap::runAllocationLadder). The final stop-the-world finish
+/// rung is also the cycle watchdog's escalation target.
+enum class EscalationRung : unsigned {
+  /// Rung 1: retry the refill (transient contention/injection).
+  RefillRetry,
+  /// Rung 2: finish the pending lazy sweep, then retry.
+  SweepFinish,
+  /// Rung 3: force the active concurrent cycle to its STW finish.
+  StwFinish,
+  /// Rung 4: run a full stop-the-world collection.
+  FullStw,
+  /// Rung 5: report AllocationFailure to the caller (never abort).
+  AllocationFailure,
+  NumRungs
+};
+
+/// Human-readable rung name.
+const char *escalationRungName(EscalationRung Rung);
+
+/// Snapshot of the escalation counters.
+struct EscalationCounts {
+  std::array<uint64_t, static_cast<unsigned>(EscalationRung::NumRungs)>
+      Rungs{};
+  uint64_t WatchdogTrips = 0;
+
+  uint64_t rung(EscalationRung R) const {
+    return Rungs[static_cast<unsigned>(R)];
+  }
+};
 
 /// Everything measured about one collection cycle.
 struct CycleRecord {
@@ -108,15 +142,54 @@ public:
     return Cycles.size();
   }
 
-  /// Clears all records.
+  /// Clears all records and the escalation counters.
   void reset() {
-    std::lock_guard<SpinLock> Guard(Lock);
-    Cycles.clear();
+    {
+      std::lock_guard<SpinLock> Guard(Lock);
+      Cycles.clear();
+    }
+    for (auto &C : Escalations)
+      C.store(0, std::memory_order_relaxed);
+    WatchdogTripsV.store(0, std::memory_order_relaxed);
   }
+
+  /// --- Degradation-ladder accounting ---------------------------------
+
+  /// Records that the allocator escalated into \p Rung (counted on entry
+  /// to the rung, whether or not the rung's remedy then succeeded).
+  void noteEscalation(EscalationRung Rung) {
+    Escalations[static_cast<unsigned>(Rung)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Records one watchdog-forced STW finish.
+  void noteWatchdogTrip() {
+    WatchdogTripsV.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t escalationCount(EscalationRung Rung) const {
+    return Escalations[static_cast<unsigned>(Rung)].load(
+        std::memory_order_relaxed);
+  }
+
+  uint64_t watchdogTrips() const {
+    return WatchdogTripsV.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of all escalation counters.
+  EscalationCounts escalations() const;
+
+  /// Prints the degradation-ladder table (one row per rung that fired,
+  /// plus the watchdog) to \p Out.
+  void printEscalations(std::FILE *Out) const;
 
 private:
   mutable SpinLock Lock;
   std::vector<CycleRecord> Cycles;
+  std::array<std::atomic<uint64_t>,
+             static_cast<unsigned>(EscalationRung::NumRungs)>
+      Escalations{};
+  std::atomic<uint64_t> WatchdogTripsV{0};
 };
 
 /// Aggregates over a set of cycle records (helper for the benches).

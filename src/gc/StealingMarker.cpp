@@ -10,8 +10,9 @@
 
 using namespace cgc;
 
-StealingMarker::StealingMarker(HeapSpace &Heap, unsigned NumWorkers)
-    : Heap(Heap) {
+StealingMarker::StealingMarker(HeapSpace &Heap, unsigned NumWorkers,
+                               FaultInjector *FI)
+    : Heap(Heap), FI(FI) {
   assert(NumWorkers > 0 && "need at least one marker");
   States.reserve(NumWorkers);
   for (unsigned I = 0; I < NumWorkers; ++I)
@@ -47,6 +48,8 @@ void StealingMarker::pushWork(WorkerState &W, Object *Obj) {
 bool StealingMarker::stealFor(unsigned Index) {
   WorkerState &Self = *States[Index];
   unsigned N = static_cast<unsigned>(States.size());
+  if (FI)
+    FI->maybePerturb(FaultSite::MarkerSteal);
   for (unsigned Offset = 1; Offset <= N; ++Offset) {
     WorkerState &Victim = *States[(Index + Offset) % N];
     std::lock_guard<SpinLock> Guard(Victim.QueueLock);

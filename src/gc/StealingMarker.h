@@ -14,6 +14,7 @@
 #define CGC_GC_STEALINGMARKER_H
 
 #include "heap/HeapSpace.h"
+#include "support/FaultInjector.h"
 #include "support/SpinLock.h"
 
 #include <atomic>
@@ -28,8 +29,10 @@ class WorkerPool;
 /// Parallel STW marker with private stacks + stealing.
 class StealingMarker {
 public:
-  /// Creates a marker for \p NumWorkers participants.
-  StealingMarker(HeapSpace &Heap, unsigned NumWorkers);
+  /// Creates a marker for \p NumWorkers participants. \p FI (optional)
+  /// arms the steal-attempt perturbation site (scheduling chaos only).
+  StealingMarker(HeapSpace &Heap, unsigned NumWorkers,
+                 FaultInjector *FI = nullptr);
 
   /// Seeds root objects (single-threaded, before markParallel).
   void addRoot(Object *Obj);
@@ -68,6 +71,7 @@ private:
   void pushWork(WorkerState &W, Object *Obj);
 
   HeapSpace &Heap;
+  FaultInjector *FI;
   std::vector<std::unique_ptr<WorkerState>> States;
   std::atomic<uint64_t> TracedBytes{0};
   std::atomic<uint64_t> Steals{0};

@@ -71,6 +71,15 @@ size_t Tracer::traceWork(TraceContext &Ctx, size_t BudgetBytes,
   while (Done < BudgetBytes) {
     if (AbortOnStopRequest && Registry.stopRequested())
       break;
+    if (FI && CheckAllocBits) {
+      // Concurrent increments only (CheckAllocBits is false exactly when
+      // the world is stopped, and the final drain must run to
+      // completion): an injected hit ends the increment early so the
+      // pacer falls behind and the watchdog/ladder paths get exercised.
+      FI->maybePerturb(FaultSite::TracerStep);
+      if (FI->shouldFail(FaultSite::TracerStep))
+        break;
+    }
     if (!Ctx.ensureInputWork())
       break;
     WorkPacket *In = Ctx.input();

@@ -22,6 +22,7 @@
 
 #include "gc/Compactor.h"
 #include "heap/HeapSpace.h"
+#include "support/FaultInjector.h"
 #include "workpackets/TraceContext.h"
 
 #include <atomic>
@@ -34,10 +35,14 @@ class ThreadRegistry;
 /// Parallel marker over a HeapSpace using a PacketPool.
 class Tracer {
 public:
+  /// \p FI (optional) arms the tracer-step injection site: an injected
+  /// hit ends a tracing increment early (under-filling its budget), the
+  /// way a mutator outrunning the tracer looks to the pacer.
   Tracer(HeapSpace &Heap, PacketPool &Pool, ThreadRegistry &Registry,
-         Compactor *Compact = nullptr, bool NaiveFenceAccounting = false)
+         Compactor *Compact = nullptr, bool NaiveFenceAccounting = false,
+         FaultInjector *FI = nullptr)
       : Heap(Heap), Pool(Pool), Registry(Registry), Compact(Compact),
-        NaiveFences(NaiveFenceAccounting) {}
+        NaiveFences(NaiveFenceAccounting), FI(FI) {}
 
   /// Resets the per-cycle counters (call at cycle initialization).
   void beginCycle();
@@ -93,6 +98,7 @@ private:
   ThreadRegistry &Registry;
   Compactor *Compact;
   const bool NaiveFences;
+  FaultInjector *FI;
 
   std::atomic<uint64_t> TracedBytes{0};
   std::atomic<uint64_t> Overflows{0};

@@ -4,7 +4,7 @@
 
 using namespace cgc;
 
-WorkerPool::WorkerPool(unsigned NumWorkers) {
+WorkerPool::WorkerPool(unsigned NumWorkers, FaultInjector *FI) : FI(FI) {
   Workers.reserve(NumWorkers);
   for (unsigned I = 0; I < NumWorkers; ++I)
     Workers.emplace_back([this, I] { workerMain(I + 1); });
@@ -21,6 +21,14 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::runParallel(const std::function<void(unsigned)> &Job) {
+  if (FI && FI->shouldFail(FaultSite::WorkerDispatch)) {
+    // Degraded dispatch: run every participant index serially on the
+    // caller. Each index runs exactly once, so the job's work partition
+    // is preserved — only the parallelism is lost.
+    for (unsigned I = 0; I < numParticipants(); ++I)
+      Job(I);
+    return;
+  }
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     CurrentJob = &Job;
@@ -48,6 +56,8 @@ void WorkerPool::workerMain(unsigned Index) {
       SeenGeneration = JobGeneration;
       Job = CurrentJob;
     }
+    if (FI)
+      FI->maybePerturb(FaultSite::WorkerDispatch);
     (*Job)(Index);
     {
       std::lock_guard<std::mutex> Lock(Mutex);

@@ -12,6 +12,8 @@
 #ifndef CGC_GC_WORKERPOOL_H
 #define CGC_GC_WORKERPOOL_H
 
+#include "support/FaultInjector.h"
+
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -25,8 +27,11 @@ namespace cgc {
 class WorkerPool {
 public:
   /// Spawns \p NumWorkers threads (0 is allowed: runParallel then runs
-  /// the job only on the caller).
-  explicit WorkerPool(unsigned NumWorkers);
+  /// the job only on the caller). \p FI (optional) arms the dispatch
+  /// injection site: a hit degrades runParallel to serial execution of
+  /// every participant index on the caller — semantically equivalent,
+  /// just slower (workers "unavailable").
+  explicit WorkerPool(unsigned NumWorkers, FaultInjector *FI = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool &) = delete;
@@ -46,6 +51,7 @@ public:
 private:
   void workerMain(unsigned Index);
 
+  FaultInjector *FI;
   std::vector<std::thread> Workers;
   std::mutex Mutex;
   std::condition_variable WorkCV;

@@ -16,6 +16,7 @@
 
 #include "heap/BitVector8.h"
 #include "heap/ObjectModel.h"
+#include "support/FaultInjector.h"
 #include "support/Fences.h"
 
 #include <cassert>
@@ -65,6 +66,10 @@ public:
     return Obj;
   }
 
+  /// Attaches the heap's fault injector so chaos mode can stretch the
+  /// window between the flush fence and the bit publication.
+  void setFaultInjector(FaultInjector *Injector) { FI = Injector; }
+
   /// Section 5.2 mutator steps 2-3: one fence, then publish the
   /// allocation bits of every object allocated since the last flush.
   /// Returns the number of objects published.
@@ -72,6 +77,8 @@ public:
     if (FlushedTo == Cur)
       return 0;
     fence(FenceSite::AllocCacheFlush);
+    if (FI)
+      FI->maybePerturb(FaultSite::AllocCacheFlush);
     size_t Published = 0;
     uint8_t *P = FlushedTo;
     while (P < Cur) {
@@ -108,6 +115,7 @@ private:
   uint8_t *Cur = nullptr;
   uint8_t *FlushedTo = nullptr;
   uint8_t *End = nullptr;
+  FaultInjector *FI = nullptr;
 };
 
 } // namespace cgc

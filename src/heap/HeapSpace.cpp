@@ -12,12 +12,13 @@ static size_t roundUpToPage(size_t Bytes) {
   return (Bytes + 4095) & ~size_t{4095};
 }
 
-HeapSpace::HeapSpace(size_t SizeBytes, unsigned FreeListShards)
+HeapSpace::HeapSpace(size_t SizeBytes, unsigned FreeListShards,
+                     FaultInjector *FI)
     : Base(static_cast<uint8_t *>(
           std::aligned_alloc(4096, roundUpToPage(SizeBytes)))),
       Size(roundUpToPage(SizeBytes)), MarkBitsV(Base, Size),
       AllocBitsV(Base, Size), CardsV(Base, Size),
-      FreeListV(Base, Size, FreeListShards) {
+      FreeListV(Base, Size, FreeListShards, FI) {
   assert(Base && "heap reservation failed");
   FreeListV.addRange(Base, Size);
 }

@@ -28,8 +28,10 @@ public:
   /// Reserves a heap of \p SizeBytes (rounded up to the granule size) and
   /// places the whole region on the free list, partitioned into
   /// \p FreeListShards address shards (0 = auto, 1 = legacy single list;
-  /// see ShardedFreeList::resolveShardCount).
-  explicit HeapSpace(size_t SizeBytes, unsigned FreeListShards = 1);
+  /// see ShardedFreeList::resolveShardCount). \p FI (optional) arms the
+  /// free-space manager's fault-injection sites.
+  explicit HeapSpace(size_t SizeBytes, unsigned FreeListShards = 1,
+                     FaultInjector *FI = nullptr);
   ~HeapSpace();
 
   HeapSpace(const HeapSpace &) = delete;

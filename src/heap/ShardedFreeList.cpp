@@ -26,8 +26,8 @@ unsigned ShardedFreeList::resolveShardCount(unsigned Requested,
 }
 
 ShardedFreeList::ShardedFreeList(uint8_t *Base, size_t SizeBytes,
-                                 unsigned NumShards)
-    : Base(Base), Size(SizeBytes) {
+                                 unsigned NumShards, FaultInjector *FI)
+    : Base(Base), Size(SizeBytes), FI(FI) {
   NumShards = resolveShardCount(NumShards, SizeBytes, /*MinShardBytes=*/4096);
   // Page-aligned spans: shard boundaries never split a granule, and the
   // last shard absorbs the (page-rounded) remainder.
@@ -52,6 +52,8 @@ void ShardedFreeList::addRange(uint8_t *Start, size_t Bytes) {
 }
 
 uint8_t *ShardedFreeList::allocate(size_t Bytes, size_t PreferredShard) {
+  if (FI && FI->shouldFail(FaultSite::FreeListAllocate))
+    return nullptr; // Simulated transient exhaustion; callers escalate.
   size_t N = Shards.size();
   for (size_t I = 0; I < N; ++I) {
     FreeList &S = *Shards[(PreferredShard + I) % N];
@@ -69,6 +71,8 @@ uint8_t *ShardedFreeList::allocate(size_t Bytes, size_t PreferredShard) {
 uint8_t *ShardedFreeList::allocateUpTo(size_t MinSize, size_t MaxSize,
                                        size_t &OutSize,
                                        size_t PreferredShard) {
+  if (FI && FI->shouldFail(FaultSite::FreeListRefill))
+    return nullptr; // Simulated transient exhaustion; callers escalate.
   size_t N = Shards.size();
   if (N == 1) // Exact legacy single-list behavior.
     return Shards[0]->allocateUpTo(MinSize, MaxSize, OutSize);

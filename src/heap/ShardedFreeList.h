@@ -37,6 +37,7 @@
 #define CGC_HEAP_SHARDEDFREELIST_H
 
 #include "heap/FreeList.h"
+#include "support/FaultInjector.h"
 
 #include <memory>
 #include <vector>
@@ -47,8 +48,10 @@ namespace cgc {
 class ShardedFreeList {
 public:
   /// Builds the partition over [Base, Base + SizeBytes). \p NumShards
-  /// is resolved via resolveShardCount (0 = auto).
-  ShardedFreeList(uint8_t *Base, size_t SizeBytes, unsigned NumShards);
+  /// is resolved via resolveShardCount (0 = auto). \p FI (optional)
+  /// arms the transient-allocation-failure injection sites.
+  ShardedFreeList(uint8_t *Base, size_t SizeBytes, unsigned NumShards,
+                  FaultInjector *FI = nullptr);
 
   /// Resolves a requested shard count: 0 = auto (min(hardware
   /// concurrency, 8)); any value is rounded down to a power of two and
@@ -126,6 +129,7 @@ private:
   uint8_t *Base;
   size_t Size;
   size_t ShardSpan;
+  FaultInjector *FI;
   /// Heap-allocated so shards sit on separate cache lines.
   std::vector<std::unique_ptr<FreeList>> Shards;
 };

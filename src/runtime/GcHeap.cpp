@@ -46,6 +46,7 @@ MutatorContext &GcHeap::attachThread() {
   // shards so their refills rarely meet on a lock.
   Ctx->setPreferredShard(NextShard.fetch_add(1, std::memory_order_relaxed) %
                          Core.Heap.freeList().numShards());
+  Ctx->cache().setFaultInjector(&Core.Inject);
   // Appear stopped while blocking on the collection lock: a running GC
   // must not wait for a thread that is not cooperating yet.
   Ctx->setState(ExecState::Idle);
@@ -78,36 +79,40 @@ void GcHeap::detachThread(MutatorContext &Ctx) {
 }
 
 bool GcHeap::refillCache(MutatorContext &Ctx, size_t MinBytes) {
-  for (int Attempt = 0; Attempt < 3; ++Attempt) {
+  auto TryOnce = [&]() -> bool {
+    // Simulated transient refill failure: the attempt fails before any
+    // free-list traffic, so the ladder escalates deterministically.
+    if (Core.Inject.shouldFail(FaultSite::AllocCacheRefill))
+      return false;
     size_t Granted = 0;
     uint8_t *Range = Core.Heap.freeList().allocateUpTo(
         MinBytes, Core.Options.AllocCacheBytes, Granted,
         Ctx.preferredShard());
     if (!Range && Core.Sweep.lazySweepPending()) {
+      // Sweeping at allocation time is the lazy-sweep happy path, not an
+      // escalation — only a refill that still fails afterwards climbs
+      // the ladder.
       Core.Sweep.sweepUntilFree(Core.Options.AllocCacheBytes);
       Range = Core.Heap.freeList().allocateUpTo(
           MinBytes, Core.Options.AllocCacheBytes, Granted,
           Ctx.preferredShard());
     }
-    if (Range) {
-      // Assign BEFORE the pacing hook: the hook can run a full
-      // collection, and memory not yet owned by a cache would be swept
-      // back onto the free list (double ownership).
-      Ctx.cache().assignRange(Range, Granted);
-      // Pacing hook (Section 3): the kickoff check and the incremental
-      // tracing increment are driven by the bytes actually granted — a
-      // nearly full heap hands out partial caches, and each one only
-      // owes tracing for its real size.
-      Col->onAllocationSlowPath(Ctx, Granted);
-      if (Ctx.cache().hasRange())
-        return true;
-      // A collection inside the hook reclaimed the fresh cache; retry.
-      continue;
-    }
-    // Allocation failure: run (or finish) a collection and retry.
-    Col->collectNow(&Ctx);
-  }
-  return false;
+    if (!Range)
+      return false;
+    // Assign BEFORE the pacing hook: the hook can run a full
+    // collection, and memory not yet owned by a cache would be swept
+    // back onto the free list (double ownership).
+    Ctx.cache().assignRange(Range, Granted);
+    // Pacing hook (Section 3): the kickoff check and the incremental
+    // tracing increment are driven by the bytes actually granted — a
+    // nearly full heap hands out partial caches, and each one only
+    // owes tracing for its real size.
+    Col->onAllocationSlowPath(Ctx, Granted);
+    // A collection inside the hook may have reclaimed the fresh cache;
+    // that attempt failed and the ladder retries.
+    return Ctx.cache().hasRange();
+  };
+  return runAllocationLadder(Ctx, MinBytes, TryOnce);
 }
 
 Object *GcHeap::allocate(MutatorContext &Ctx, size_t PayloadBytes,
@@ -143,16 +148,15 @@ Object *GcHeap::allocateLarge(MutatorContext &Ctx, size_t TotalBytes,
   // "on allocations of large objects and allocation caches").
   Col->onAllocationSlowPath(Ctx, TotalBytes);
   uint8_t *Mem = nullptr;
-  for (int Attempt = 0; Attempt < 3 && !Mem; ++Attempt) {
+  auto TryOnce = [&]() -> bool {
     Mem = Core.Heap.freeList().allocate(TotalBytes, Ctx.preferredShard());
     if (!Mem && Core.Sweep.lazySweepPending()) {
       Core.Sweep.sweepUntilFree(TotalBytes);
       Mem = Core.Heap.freeList().allocate(TotalBytes, Ctx.preferredShard());
     }
-    if (!Mem)
-      Col->collectNow(&Ctx);
-  }
-  if (!Mem)
+    return Mem != nullptr;
+  };
+  if (!runAllocationLadder(Ctx, TotalBytes, TryOnce))
     return nullptr;
   Object *Obj = reinterpret_cast<Object *>(Mem);
   Obj->initialize(static_cast<uint32_t>(TotalBytes), NumRefs, ClassId);

@@ -61,9 +61,11 @@ public:
   /// --- Allocation and mutation ----------------------------------------
 
   /// Allocates an object with \p PayloadBytes of raw data and
-  /// \p NumRefs reference slots (all null). Returns nullptr when the
-  /// heap is exhausted even after a full collection. Performs the
-  /// incremental tracing increment of Section 3 on cache refills.
+  /// \p NumRefs reference slots (all null). Returns nullptr only when
+  /// the heap is exhausted after the whole degradation ladder (retry,
+  /// sweep finish, STW finish, full collections) — never aborts.
+  /// Performs the incremental tracing increment of Section 3 on cache
+  /// refills.
   Object *allocate(MutatorContext &Ctx, size_t PayloadBytes, uint16_t NumRefs,
                    uint16_t ClassId = 0);
 
@@ -129,6 +131,52 @@ private:
   Object *allocateLarge(MutatorContext &Ctx, size_t TotalBytes,
                         uint16_t NumRefs, uint16_t ClassId);
   bool refillCache(MutatorContext &Ctx, size_t MinBytes);
+
+  /// The graceful-degradation ladder behind every allocation slow path.
+  /// \p TryOnce attempts the allocation (returning success) and is
+  /// retried after each escalation rung's remedy, in order:
+  ///   1. RefillRetry  — plain retry (transient contention/injection).
+  ///   2. SweepFinish  — finish enough of the pending lazy sweep.
+  ///   3. StwFinish    — force the active concurrent cycle to its
+  ///                     stop-the-world finish (skipped when no
+  ///                     concurrent phase is active).
+  ///   4. FullStw      — full stop-the-world collection (twice: the
+  ///                     first collection may complete a cycle whose
+  ///                     sweep frees little; the second starts fresh).
+  ///   5. AllocationFailure — give up and report to the caller; the
+  ///                     heap never aborts on exhaustion.
+  /// Each rung is counted in GcStats when escalated INTO (even when its
+  /// remedy is a no-op), so tests observe a deterministic order.
+  template <typename TryFn>
+  bool runAllocationLadder(MutatorContext &Ctx, size_t WantedBytes,
+                           TryFn TryOnce) {
+    if (TryOnce())
+      return true;
+    Core.Stats.noteEscalation(EscalationRung::RefillRetry);
+    if (TryOnce())
+      return true;
+    Core.Stats.noteEscalation(EscalationRung::SweepFinish);
+    if (Core.Sweep.lazySweepPending())
+      Core.Sweep.sweepUntilFree(WantedBytes);
+    if (TryOnce())
+      return true;
+    if (Col->concurrentPhaseActive()) {
+      Core.Stats.noteEscalation(EscalationRung::StwFinish);
+      Col->collectNow(&Ctx);
+      if (TryOnce())
+        return true;
+    }
+    for (int I = 0; I < 2; ++I) {
+      Core.Stats.noteEscalation(EscalationRung::FullStw);
+      Col->collectNow(&Ctx);
+      if (Core.Sweep.lazySweepPending())
+        Core.Sweep.sweepUntilFree(WantedBytes);
+      if (TryOnce())
+        return true;
+    }
+    Core.Stats.noteEscalation(EscalationRung::AllocationFailure);
+    return false;
+  }
 
   GcCore Core;
   std::unique_ptr<Collector> Col;

@@ -8,8 +8,8 @@
 
 using namespace cgc;
 
-PacketPool::PacketPool(uint32_t NumPackets)
-    : NumPackets(NumPackets), Packets(new WorkPacket[NumPackets]) {
+PacketPool::PacketPool(uint32_t NumPackets, FaultInjector *FI)
+    : NumPackets(NumPackets), Packets(new WorkPacket[NumPackets]), FI(FI) {
   assert(NumPackets > 0 && "pool needs at least one packet");
   for (uint32_t I = 0; I < NumPackets; ++I)
     pushTo(Empty, &Packets[I]);
@@ -21,6 +21,8 @@ void PacketPool::pushTo(SubPool &SP, WorkPacket *Packet) {
   uint32_t Index = static_cast<uint32_t>(Packet - Packets.get());
   TaggedHead Old = SP.Head.load(std::memory_order_relaxed);
   for (;;) {
+    if (FI)
+      FI->maybePerturb(FaultSite::PacketCas);
     Packet->Next = headIndex(Old);
     TaggedHead New = makeHead(Index + 1, static_cast<uint32_t>(Old >> 32) + 1);
     SyncOps.fetch_add(1, std::memory_order_relaxed);
@@ -33,6 +35,8 @@ void PacketPool::pushTo(SubPool &SP, WorkPacket *Packet) {
 WorkPacket *PacketPool::popFrom(SubPool &SP) {
   TaggedHead Old = SP.Head.load(std::memory_order_acquire);
   for (;;) {
+    if (FI)
+      FI->maybePerturb(FaultSite::PacketCas);
     uint32_t IndexPlus1 = headIndex(Old);
     if (IndexPlus1 == 0)
       return nullptr;
@@ -102,32 +106,73 @@ void PacketPool::notePutPacket(const WorkPacket *Packet) {
     ;
 }
 
-WorkPacket *PacketPool::getInput() {
+bool PacketPool::injectAcquireFault(FaultSite Site,
+                                    PacketAcquireStatus *Status) {
+  if (!FI || !FI->shouldFail(Site))
+    return false;
+  InjectedGets.fetch_add(1, std::memory_order_relaxed);
+  FailedGets.fetch_add(1, std::memory_order_relaxed);
+  if (Status)
+    *Status = PacketAcquireStatus::Injected;
+  return true;
+}
+
+WorkPacket *PacketPool::getInput(PacketAcquireStatus *Status) {
+  if (injectAcquireFault(FaultSite::PacketAcquireInput, Status))
+    return nullptr;
   // Highest possible occupancy range first (Section 4.2).
-  if (WorkPacket *Packet = takeFrom(SPAlmostFull))
+  if (WorkPacket *Packet = takeFrom(SPAlmostFull)) {
+    if (Status)
+      *Status = PacketAcquireStatus::Ok;
     return Packet;
-  if (WorkPacket *Packet = takeFrom(SPNonEmpty))
+  }
+  if (WorkPacket *Packet = takeFrom(SPNonEmpty)) {
+    if (Status)
+      *Status = PacketAcquireStatus::Ok;
     return Packet;
+  }
   FailedGets.fetch_add(1, std::memory_order_relaxed);
+  if (Status)
+    *Status = PacketAcquireStatus::Exhausted;
   return nullptr;
 }
 
-WorkPacket *PacketPool::getOutput() {
+WorkPacket *PacketPool::getOutput(PacketAcquireStatus *Status) {
+  if (injectAcquireFault(FaultSite::PacketAcquireOutput, Status))
+    return nullptr;
   // Lowest possible occupancy range first (Section 4.2).
-  if (WorkPacket *Packet = takeFrom(SPEmpty))
+  if (WorkPacket *Packet = takeFrom(SPEmpty)) {
+    if (Status)
+      *Status = PacketAcquireStatus::Ok;
     return Packet;
-  if (WorkPacket *Packet = takeFrom(SPNonEmpty))
+  }
+  if (WorkPacket *Packet = takeFrom(SPNonEmpty)) {
+    if (Status)
+      *Status = PacketAcquireStatus::Ok;
     return Packet;
-  if (WorkPacket *Packet = takeFrom(SPAlmostFull))
+  }
+  if (WorkPacket *Packet = takeFrom(SPAlmostFull)) {
+    if (Status)
+      *Status = PacketAcquireStatus::Ok;
     return Packet;
+  }
   FailedGets.fetch_add(1, std::memory_order_relaxed);
+  if (Status)
+    *Status = PacketAcquireStatus::Exhausted;
   return nullptr;
 }
 
-WorkPacket *PacketPool::getEmpty() {
-  if (WorkPacket *Packet = takeFrom(SPEmpty))
+WorkPacket *PacketPool::getEmpty(PacketAcquireStatus *Status) {
+  if (injectAcquireFault(FaultSite::PacketAcquireEmpty, Status))
+    return nullptr;
+  if (WorkPacket *Packet = takeFrom(SPEmpty)) {
+    if (Status)
+      *Status = PacketAcquireStatus::Ok;
     return Packet;
+  }
   FailedGets.fetch_add(1, std::memory_order_relaxed);
+  if (Status)
+    *Status = PacketAcquireStatus::Exhausted;
   return nullptr;
 }
 
@@ -182,12 +227,14 @@ PacketPoolStats PacketPool::stats() const {
       PacketsInUseWatermark.load(std::memory_order_relaxed);
   S.SlotsInUseWatermark = SlotsWatermark.load(std::memory_order_relaxed);
   S.FailedGets = FailedGets.load(std::memory_order_relaxed);
+  S.InjectedGets = InjectedGets.load(std::memory_order_relaxed);
   return S;
 }
 
 void PacketPool::resetStats() {
   SyncOps.store(0, std::memory_order_relaxed);
   FailedGets.store(0, std::memory_order_relaxed);
+  InjectedGets.store(0, std::memory_order_relaxed);
   PacketsInUseWatermark.store(0, std::memory_order_relaxed);
   SlotsWatermark.store(0, std::memory_order_relaxed);
 }

@@ -24,6 +24,7 @@
 #ifndef CGC_WORKPACKETS_PACKETPOOL_H
 #define CGC_WORKPACKETS_PACKETPOOL_H
 
+#include "support/FaultInjector.h"
 #include "workpackets/WorkPacket.h"
 
 #include <atomic>
@@ -32,10 +33,25 @@
 
 namespace cgc {
 
+/// Why a packet acquire handed back nullptr (the typed status of the
+/// pool-exhaustion path — callers used to have to guess from context).
+enum class PacketAcquireStatus : uint8_t {
+  /// A packet was returned.
+  Ok,
+  /// No eligible packet exists in any searched sub-pool: genuine
+  /// exhaustion; the caller must take the overflow/deferral fallback.
+  Exhausted,
+  /// Fault injection denied the acquire (chaos mode); the pool itself
+  /// may hold packets.
+  Injected
+};
+
 /// Aggregate statistics for the load-balancing evaluation (Section 6.3).
 struct PacketPoolStats {
   /// CAS/atomic synchronization operations spent on get/put.
   uint64_t SyncOps = 0;
+  /// Number of get operations denied by fault injection.
+  uint64_t InjectedGets = 0;
   /// High-water mark of packets simultaneously busy: held by a thread
   /// or sitting non-empty in a sub-pool (the paper's upper bound on the
   /// memory the mechanism needs).
@@ -50,7 +66,8 @@ struct PacketPoolStats {
 class PacketPool {
 public:
   /// Creates \p NumPackets empty packets, all in the Empty sub-pool.
-  explicit PacketPool(uint32_t NumPackets);
+  /// \p FI (optional) arms the pool's fault-injection sites.
+  explicit PacketPool(uint32_t NumPackets, FaultInjector *FI = nullptr);
 
   PacketPool(const PacketPool &) = delete;
   PacketPool &operator=(const PacketPool &) = delete;
@@ -59,17 +76,21 @@ public:
   uint32_t numPackets() const { return NumPackets; }
 
   /// Gets an input packet: highest-occupancy sub-pool first (Almost full,
-  /// then Non-empty). Returns nullptr when no tracing work is available.
-  WorkPacket *getInput();
+  /// then Non-empty). Returns nullptr when no tracing work is available;
+  /// \p Status (optional) says whether that was genuine exhaustion or an
+  /// injected fault.
+  WorkPacket *getInput(PacketAcquireStatus *Status = nullptr);
 
   /// Gets an output packet: lowest-occupancy sub-pool first (Empty, then
   /// Non-empty, then Almost full — which may hand back a full packet, a
   /// rare case the caller treats as overflow). Returns nullptr when no
-  /// packet is available at all.
-  WorkPacket *getOutput();
+  /// packet is available at all; \p Status reports why.
+  WorkPacket *getOutput(PacketAcquireStatus *Status = nullptr);
 
   /// Gets a guaranteed-empty packet (deferred-object side packet).
-  WorkPacket *getEmpty();
+  /// Returns nullptr when the Empty sub-pool is drained; \p Status
+  /// reports why — the caller takes the mark-and-dirty-card fallback.
+  WorkPacket *getEmpty(PacketAcquireStatus *Status = nullptr);
 
   /// Returns \p Packet to the sub-pool matching its occupancy. Performs
   /// the Section 5.1 publish fence when the packet carries entries.
@@ -154,8 +175,13 @@ private:
   void noteGotPacket(const WorkPacket *Packet);
   void notePutPacket(const WorkPacket *Packet);
 
+  /// True when fault injection denies this acquire; records the typed
+  /// status and the statistics.
+  bool injectAcquireFault(FaultSite Site, PacketAcquireStatus *Status);
+
   uint32_t NumPackets;
   std::unique_ptr<WorkPacket[]> Packets;
+  FaultInjector *FI;
 
   SubPool Empty, NonEmpty, AlmostFull, Deferred;
   std::atomic<uint32_t> EmptyCount{0};
@@ -166,6 +192,7 @@ private:
   // Statistics.
   std::atomic<uint64_t> SyncOps{0};
   std::atomic<uint64_t> FailedGets{0};
+  std::atomic<uint64_t> InjectedGets{0};
   std::atomic<uint32_t> PacketsInUse{0};
   std::atomic<uint64_t> PacketsInUseWatermark{0};
   std::atomic<int64_t> SlotsQueued{0};

@@ -1,0 +1,42 @@
+//===- TestSeed.h - CGC_SEED environment override for tests ----*- C++ -*-===//
+///
+/// \file
+/// Seed plumbing for the randomized suites (soak, concurrent GC, fault
+/// injection): `CGC_SEED=<n>` (decimal, or 0x-prefixed hex) overrides a
+/// test's default seed, and the effective seed is printed to stderr so a
+/// failing run's log always carries the line needed to reproduce it
+/// (`ctest --output-on-failure` shows test output only on failure).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_TESTS_TESTSEED_H
+#define CGC_TESTS_TESTSEED_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgc {
+
+/// Returns CGC_SEED from the environment if set (base auto-detected), or
+/// \p Default. Prints the effective seed as "[ cgc ] <label>: CGC_SEED=N".
+inline uint64_t testSeed(uint64_t Default, const char *Label) {
+  uint64_t Seed = Default;
+  if (const char *Env = std::getenv("CGC_SEED")) {
+    char *End = nullptr;
+    uint64_t Parsed = std::strtoull(Env, &End, 0);
+    if (End && End != Env && *End == '\0')
+      Seed = Parsed;
+    else
+      std::fprintf(stderr, "[ cgc ] %s: ignoring unparsable CGC_SEED=%s\n",
+                   Label, Env);
+  }
+  std::fprintf(stderr,
+               "[ cgc ] %s: CGC_SEED=%llu (set CGC_SEED to reproduce)\n",
+               Label, static_cast<unsigned long long>(Seed));
+  return Seed;
+}
+
+} // namespace cgc
+
+#endif // CGC_TESTS_TESTSEED_H

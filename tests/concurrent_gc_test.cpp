@@ -1,7 +1,9 @@
 //===- concurrent_gc_test.cpp - mostly-concurrent collector --------------------//
 
+#include "TestSeed.h"
 #include "gc/ConcurrentCollector.h"
 #include "runtime/GcHeap.h"
+#include "support/Random.h"
 
 #include <gtest/gtest.h>
 
@@ -79,7 +81,10 @@ TEST(ConcurrentGcTest, ConcurrentCyclesActuallyHappen) {
 
 TEST(ConcurrentGcTest, MutationDuringConcurrentPhaseIsSafe) {
   // Continuously rewire a live structure while cycles run; the final
-  // structure must be exactly what the mutator built.
+  // structure must be exactly what the mutator built. The old-holder
+  // rewire targets are randomized (CGC_SEED reproduces a failing
+  // interleaving's mutation pattern).
+  Random Rng(testSeed(0x11e7a7e, "MutationDuringConcurrentPhaseIsSafe"));
   auto Heap = GcHeap::create(cgcOptions());
   MutatorContext &Ctx = Heap->attachThread();
   constexpr int NumSlots = 128;
@@ -96,15 +101,16 @@ TEST(ConcurrentGcTest, MutationDuringConcurrentPhaseIsSafe) {
     Heap->writeRef(Ctx, Holder, 0, Payload);
     Ctx.setRoot(Slot, Holder);
     Expected[Slot] = Tag;
-    // Also rewire an OLD holder (dirty-card path).
-    Object *Old = Ctx.getRoot((Slot + 64) % NumSlots);
-    if (Old) {
+    // Also rewire a random OLD holder (dirty-card path).
+    int OldSlot = static_cast<int>(Rng.nextBelow(NumSlots));
+    Object *Old = Ctx.getRoot(OldSlot);
+    if (Old && OldSlot != Slot) {
       Object *Fresh = Heap->allocate(Ctx, 16, 0, 0);
       ASSERT_NE(Fresh, nullptr);
       uint32_t Tag2 = Tag ^ 0xA5A5A5A5;
       std::memcpy(Fresh->payload(), &Tag2, 4);
       Heap->writeRef(Ctx, Old, 0, Fresh);
-      Expected[(Slot + 64) % NumSlots] = Tag2;
+      Expected[OldSlot] = Tag2;
     }
   }
   Heap->requestGC(&Ctx);

@@ -155,6 +155,65 @@ TEST(PacketPoolTest, FailedGetsCounted) {
   Pool.put(P);
 }
 
+TEST(PacketPoolTest, AcquireStatusDistinguishesExhaustion) {
+  PacketPool Pool(1);
+  PacketAcquireStatus Status = PacketAcquireStatus::Injected;
+  WorkPacket *P = Pool.getOutput(&Status);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(Status, PacketAcquireStatus::Ok);
+  // The one packet is held: every sub-pool search comes up genuinely dry.
+  EXPECT_EQ(Pool.getOutput(&Status), nullptr);
+  EXPECT_EQ(Status, PacketAcquireStatus::Exhausted);
+  EXPECT_EQ(Pool.getEmpty(&Status), nullptr);
+  EXPECT_EQ(Status, PacketAcquireStatus::Exhausted);
+  EXPECT_EQ(Pool.getInput(&Status), nullptr);
+  EXPECT_EQ(Status, PacketAcquireStatus::Exhausted);
+  EXPECT_EQ(Pool.stats().InjectedGets, 0u);
+  Pool.put(P);
+}
+
+TEST(PacketPoolTest, InjectedAcquireFailureIsTyped) {
+  FaultPlan Plan;
+  Plan.failEveryNth(FaultSite::PacketAcquireEmpty, 2);
+  FaultInjector Inject(Plan);
+  PacketPool Pool(4, &Inject);
+  PacketAcquireStatus Status = PacketAcquireStatus::Ok;
+  // Visit 1: no injection; visit 2: injected even though packets exist.
+  WorkPacket *P = Pool.getEmpty(&Status);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(Status, PacketAcquireStatus::Ok);
+  EXPECT_EQ(Pool.getEmpty(&Status), nullptr);
+  EXPECT_EQ(Status, PacketAcquireStatus::Injected);
+  EXPECT_EQ(Pool.stats().InjectedGets, 1u);
+  EXPECT_EQ(Pool.stats().FailedGets, 1u);
+  EXPECT_EQ(Inject.injected(FaultSite::PacketAcquireEmpty), 1u);
+  Pool.put(P);
+}
+
+TEST(PacketPoolTest, DrainToZeroThenStatusAndRecovery) {
+  // Regression for the overflow path: drain the pool to zero packets
+  // held, observe typed exhaustion (not a silent spin), then return
+  // everything and observe full recovery.
+  constexpr uint32_t NumPackets = 8;
+  PacketPool Pool(NumPackets);
+  std::vector<WorkPacket *> Held;
+  PacketAcquireStatus Status;
+  while (WorkPacket *P = Pool.getOutput(&Status))
+    Held.push_back(P);
+  EXPECT_EQ(Held.size(), NumPackets);
+  EXPECT_EQ(Status, PacketAcquireStatus::Exhausted);
+  EXPECT_EQ(Pool.getEmpty(&Status), nullptr);
+  EXPECT_EQ(Status, PacketAcquireStatus::Exhausted);
+  for (WorkPacket *P : Held)
+    Pool.put(P);
+  EXPECT_TRUE(Pool.verifyAllReturned());
+  WorkPacket *Again = Pool.getEmpty(&Status);
+  ASSERT_NE(Again, nullptr);
+  EXPECT_EQ(Status, PacketAcquireStatus::Ok);
+  Pool.put(Again);
+  EXPECT_TRUE(Pool.verifyAllReturned());
+}
+
 TEST(PacketPoolTest, ConcurrentChurnConservesPackets) {
   // Threads continuously get/put packets with random occupancy; at the
   // end every packet must be back and empty (conservation + ABA).

@@ -8,6 +8,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "TestSeed.h"
 #include "runtime/GcHeap.h"
 #include "workloads/BinaryTrees.h"
 #include "workloads/Compiler.h"
@@ -23,6 +24,9 @@ using namespace cgc;
 namespace {
 
 TEST(SoakTest, MixedWorkloadsShareOneHeap) {
+  // Per-workload seeds derive from one base seed so a single CGC_SEED
+  // value reproduces the whole run.
+  uint64_t Seed = testSeed(0x5eed, "SoakTest.MixedWorkloadsShareOneHeap");
   GcOptions Opts;
   Opts.Kind = CollectorKind::MostlyConcurrent;
   Opts.HeapBytes = 24u << 20;
@@ -38,24 +42,28 @@ TEST(SoakTest, MixedWorkloadsShareOneHeap) {
   WarehouseConfig WConfig;
   WConfig.Threads = 2;
   WConfig.DurationMs = Millis;
+  WConfig.Seed = Seed;
   WConfig.sizeLiveSet(6u << 20);
   WarehouseWorkload Warehouse(*Heap, WConfig);
 
   GraphChurnConfig GConfig;
   GConfig.Threads = 2;
   GConfig.DurationMs = Millis;
+  GConfig.Seed = Seed + 1;
   GraphChurnWorkload Graph(*Heap, GConfig);
 
   CompilerConfig CConfig;
   CConfig.Threads = 1;
   CConfig.DurationMs = Millis;
   CConfig.RetainedUnits = 4000;
+  CConfig.Seed = Seed + 2;
   CompilerWorkload Compiler(*Heap, CConfig);
 
   BinaryTreesConfig BConfig;
   BConfig.Threads = 1;
   BConfig.DurationMs = Millis;
   BConfig.LongLivedDepth = 11;
+  BConfig.Seed = Seed + 3;
   BinaryTreesWorkload Trees(*Heap, BConfig);
 
   WorkloadResult WR, GR, CR, BR;
