@@ -3,6 +3,7 @@
 #include "gc/CardCleaner.h"
 
 #include "mutator/ThreadRegistry.h"
+#include "support/Atomics.h"
 #include "support/Fences.h"
 
 #include <cassert>
@@ -11,7 +12,7 @@
 using namespace cgc;
 
 void CardCleaner::beginCycle(unsigned ConcurrentPasses) {
-  std::lock_guard<SpinLock> Guard(RegistrarLock);
+  SpinLockGuard Guard(RegistrarLock);
   Registered.clear();
   RegisteredCount.store(0, std::memory_order_relaxed);
   NextIndex.store(0, std::memory_order_relaxed);
@@ -38,7 +39,7 @@ bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
   // the current registrar's fence handshake.
   if (!RegistrarLock.try_lock())
     return false;
-  std::lock_guard<SpinLock> Guard(RegistrarLock, std::adopt_lock);
+  SpinLockGuard Guard(RegistrarLock, std::adopt_lock);
   if (FinalMode.load(std::memory_order_relaxed) ||
       PassesStarted.load(std::memory_order_relaxed) >= PassBudget ||
       !currentPassDrained())
@@ -64,7 +65,7 @@ bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
 }
 
 size_t CardCleaner::beginFinalPass() {
-  std::lock_guard<SpinLock> Guard(RegistrarLock);
+  SpinLockGuard Guard(RegistrarLock);
   // May be called repeatedly: overflows during the final drain re-dirty
   // cards, and the caller loops until none remain.
   FinalMode.store(true, std::memory_order_relaxed);
@@ -106,17 +107,10 @@ size_t CardCleaner::cleanSome(TraceContext &Ctx, size_t MaxCards) {
     // zero) burn indices, permanently skipping cards whose dirty flags
     // the registration already cleared.
     size_t Count = RegisteredCount.load(std::memory_order_acquire);
-    size_t I = NextIndex.load(std::memory_order_relaxed);
-    for (;;) {
-      if (I >= Count)
-        break;
-      if (NextIndex.compare_exchange_weak(I, I + 1,
-                                          std::memory_order_relaxed))
-        break;
-    }
-    if (I >= Count)
+    std::optional<size_t> I = atomicClaimBelow(NextIndex, Count);
+    if (!I)
       break;
-    cleanCard(Ctx, Registered[I]);
+    cleanCard(Ctx, Registered[*I]);
     Cleaned.fetch_add(1, std::memory_order_release);
     if (Final)
       CleanedFinal.fetch_add(1, std::memory_order_relaxed);

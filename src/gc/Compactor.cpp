@@ -22,7 +22,7 @@ void Compactor::armForCycle() {
     NextAreaOffset = 0;
 
   {
-    std::lock_guard<SpinLock> Guard(SlotsLock);
+    SpinLockGuard Guard(SlotsLock);
     Slots.clear();
   }
   AreaStart.store(Start, std::memory_order_relaxed);
@@ -34,7 +34,7 @@ void Compactor::disarm() {
   Armed.store(false, std::memory_order_release);
   AreaStart.store(nullptr, std::memory_order_relaxed);
   AreaEnd.store(nullptr, std::memory_order_relaxed);
-  std::lock_guard<SpinLock> Guard(SlotsLock);
+  SpinLockGuard Guard(SlotsLock);
   Slots.clear();
 }
 
@@ -92,7 +92,7 @@ Compactor::Stats Compactor::evacuate(ThreadRegistry &Registry) {
   // 3. Fix up the recorded slots in place (before any copy, so moving
   //    holders copy already-fixed slot values).
   {
-    std::lock_guard<SpinLock> Guard(SlotsLock);
+    SpinLockGuard Guard(SlotsLock);
     Result.SlotRecords = Slots.size();
     for (auto [Holder, Index] : Slots) {
       if (!Heap.markBits().test(Holder))

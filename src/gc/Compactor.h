@@ -69,7 +69,7 @@ public:
   /// area when the tracer scanned it. Thread-safe; duplicates are fine
   /// (fix-up re-validates every slot).
   void recordSlot(Object *Holder, uint32_t Index) {
-    std::lock_guard<SpinLock> Guard(SlotsLock);
+    SpinLockGuard Guard(SlotsLock);
     Slots.emplace_back(Holder, Index);
   }
 

@@ -21,7 +21,7 @@ ConcurrentCollector::ConcurrentCollector(GcCore &Core)
 ConcurrentCollector::~ConcurrentCollector() { shutdown(); }
 
 void ConcurrentCollector::shutdown() {
-  if (ShuttingDown.exchange(true))
+  if (ShuttingDown.exchange(true, std::memory_order_acq_rel))
     return;
   for (std::thread &T : BgThreads)
     T.join();
@@ -36,7 +36,11 @@ void ConcurrentCollector::onAllocationSlowPath(MutatorContext &Ctx,
   bool WasIdle = C.phase() == GcPhase::Idle;
   if (WasIdle) {
     AllocPreBytes.fetch_add(Bytes, std::memory_order_relaxed);
-    if (C.Heap.freeBytes() <= C.Pace.kickoffThresholdBytes())
+    // Kickoff paces off *refillable* free bytes: raw free can stay above
+    // the threshold while every shard is too fragmented to refill a
+    // cache (DESIGN.md §9 stranding), which would start the cycle only
+    // at allocation failure.
+    if (C.Pace.shouldKickoff(C.Heap.refillableFreeBytes()))
       tryStartCycle(&Ctx);
   }
   if (C.phase() == GcPhase::Concurrent) {
@@ -99,7 +103,9 @@ void ConcurrentCollector::mutatorAssist(MutatorContext &Ctx, size_t Bytes) {
   // fresh objects pass the conservative filter.
   uint64_t Seen = Ctx.StackScanCycle.load(std::memory_order_relaxed);
   if (Seen < Cycle &&
-      Ctx.StackScanCycle.compare_exchange_strong(Seen, Cycle)) {
+      Ctx.StackScanCycle.compare_exchange_strong(Seen, Cycle,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
     Ctx.cache().flushAllocBits(C.Heap.allocBits());
     scanRootsOf(Ctx, Ctx.trace());
   }
@@ -149,7 +155,10 @@ size_t ConcurrentCollector::scanOneUnscannedStack(TraceContext &Ctx) {
     if (Victim)
       return;
     uint64_t Seen = M.StackScanCycle.load(std::memory_order_relaxed);
-    if (Seen < Cycle && M.StackScanCycle.compare_exchange_strong(Seen, Cycle))
+    if (Seen < Cycle &&
+        M.StackScanCycle.compare_exchange_strong(Seen, Cycle,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed))
       Victim = &M;
   });
   if (!Victim)
@@ -338,8 +347,11 @@ void ConcurrentCollector::watchdogLoop() {
       LastProgress = Progress;
     }
     double K = C.Pace.currentRate(Traced, C.Heap.freeBytes());
+    // Lag detection watches refillable free for the same reason the
+    // kickoff does: stranded fragmented shards must count as pressure.
     bool Behind = K >= C.Options.kmax() - 1e-9 &&
-                  C.Heap.freeBytes() < C.Pace.kickoffThresholdBytes() / 4;
+                  C.Heap.refillableFreeBytes() <
+                      C.Pace.kickoffThresholdBytes() / 4;
     LagTicks = Behind ? LagTicks + 1 : 0;
     if (StallTicks >= C.Options.WatchdogStallTicks ||
         LagTicks >= C.Options.WatchdogLagTicks) {

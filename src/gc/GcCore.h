@@ -46,7 +46,11 @@ struct GcCore {
              // cache; FreeListShards = 1 keeps the legacy single list.
              ShardedFreeList::resolveShardCount(
                  Opts.FreeListShards, Opts.HeapBytes, Opts.AllocCacheBytes),
-             &Inject),
+             &Inject,
+             // Ranges below the large-object threshold cannot be relied
+             // on for cache refills, so they don't count as refillable
+             // (the pacer's stranding-aware kickoff input, DESIGN.md §10).
+             Opts.LargeObjectBytes),
         Pool(Opts.NumWorkPackets, &Inject),
         Compact(Heap, Opts.EvacuationAreaBytes),
         Trace(Heap, Pool, Registry, &Compact, Opts.NaiveFenceAccounting,

@@ -126,26 +126,26 @@ class GcStatsCollector {
 public:
   /// Appends a finished cycle's record.
   void addCycle(const CycleRecord &Record) {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     Cycles.push_back(Record);
   }
 
   /// Copies out all records.
   std::vector<CycleRecord> snapshot() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     return Cycles;
   }
 
   /// Number of completed cycles.
   size_t numCycles() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     return Cycles.size();
   }
 
   /// Clears all records and the escalation counters.
   void reset() {
     {
-      std::lock_guard<SpinLock> Guard(Lock);
+      SpinLockGuard Guard(Lock);
       Cycles.clear();
     }
     for (auto &C : Escalations)

@@ -15,7 +15,7 @@ Pacer::Pacer(const GcOptions &Options, size_t HeapBytes)
       BestEst(0.0, Options.SmoothingAlpha) {}
 
 size_t Pacer::kickoffThresholdBytes() const {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   double Threshold = (LEst.value() + MEst.value()) / K0;
   return Threshold <= 0 ? 0 : static_cast<size_t>(Threshold);
 }
@@ -23,7 +23,7 @@ size_t Pacer::kickoffThresholdBytes() const {
 double Pacer::currentRate(uint64_t TracedBytes, uint64_t FreeBytes) const {
   double L, M, Best;
   {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     L = LEst.value();
     M = MEst.value();
     Best = BestEst.value();
@@ -56,7 +56,7 @@ void Pacer::noteAllocation(size_t Bytes) {
   if (Allocated == 0)
     return;
   double B = static_cast<double>(BgTraced) / static_cast<double>(Allocated);
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   BestEst.addSample(B);
 }
 
@@ -66,22 +66,22 @@ void Pacer::noteBackgroundTrace(size_t Bytes) {
 
 void Pacer::endCycle(uint64_t ActualTracedBytes,
                      uint64_t ActualDirtyCardBytes) {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   LEst.addSample(static_cast<double>(ActualTracedBytes));
   MEst.addSample(static_cast<double>(ActualDirtyCardBytes));
 }
 
 double Pacer::estimateL() const {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   return LEst.value();
 }
 
 double Pacer::estimateM() const {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   return MEst.value();
 }
 
 double Pacer::estimateBest() const {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   return BestEst.value();
 }

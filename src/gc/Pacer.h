@@ -24,12 +24,12 @@
 #define CGC_GC_PACER_H
 
 #include "gc/GcOptions.h"
+#include "support/Annotations.h"
 #include "support/Smoothing.h"
 #include "support/SpinLock.h"
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 namespace cgc {
 
@@ -41,6 +41,15 @@ public:
   /// Free-memory threshold that triggers a new concurrent phase:
   /// (L + M) / K0.
   size_t kickoffThresholdBytes() const;
+
+  /// Kickoff decision. \p RefillableFreeBytes must be the free bytes
+  /// actually able to serve allocation-cache refills (HeapSpace::
+  /// refillableFreeBytes()), not the raw aggregate: a fragmented shard
+  /// set can hold free bytes no refill can use, and paging the cycle
+  /// off the raw number starts it too late (DESIGN.md §9 stranding).
+  bool shouldKickoff(size_t RefillableFreeBytes) const {
+    return RefillableFreeBytes <= kickoffThresholdBytes();
+  }
 
   /// The current tracing rate K for a mutator increment, given \p
   /// TracedBytes traced so far this cycle and \p FreeBytes currently
@@ -75,14 +84,16 @@ private:
   const double Kmax;
   const double C;
   mutable SpinLock Lock;
-  ExponentialAverage LEst;
-  ExponentialAverage MEst;
-  ExponentialAverage BestEst;
+  ExponentialAverage LEst CGC_GUARDED_BY(Lock);
+  ExponentialAverage MEst CGC_GUARDED_BY(Lock);
+  ExponentialAverage BestEst CGC_GUARDED_BY(Lock);
 
   /// Best measurement window (Section 3.2): B is re-evaluated every time
   /// mutators allocate WindowBytes.
   static constexpr uint64_t WindowBytes = 256u << 10;
+  CGC_ATOMIC_DOC("mutators add, window closer exchanges; relaxed counter")
   std::atomic<uint64_t> WindowAllocated{0};
+  CGC_ATOMIC_DOC("tracers add, window closer exchanges; relaxed counter")
   std::atomic<uint64_t> WindowBgTraced{0};
 };
 

@@ -25,7 +25,7 @@ void StealingMarker::addRoot(Object *Obj) {
   // Round-robin the roots over the workers' stealable queues.
   static_cast<void>(SyncOps.fetch_add(1, std::memory_order_relaxed));
   WorkerState &W = *States[Obj->sizeBytes() % States.size()];
-  std::lock_guard<SpinLock> Guard(W.QueueLock);
+  SpinLockGuard Guard(W.QueueLock);
   W.Stealable.push_back(Obj);
 }
 
@@ -35,7 +35,7 @@ void StealingMarker::pushWork(WorkerState &W, Object *Obj) {
     return;
   }
   // Expose a batch of the excess for stealing (Endo-style shared queue).
-  std::lock_guard<SpinLock> Guard(W.QueueLock);
+  SpinLockGuard Guard(W.QueueLock);
   SyncOps.fetch_add(1, std::memory_order_relaxed);
   W.Stealable.push_back(Obj);
   for (size_t I = 0; I < ExposeBatch && W.Private.size() > PrivateTarget / 2;
@@ -52,7 +52,7 @@ bool StealingMarker::stealFor(unsigned Index) {
     FI->maybePerturb(FaultSite::MarkerSteal);
   for (unsigned Offset = 1; Offset <= N; ++Offset) {
     WorkerState &Victim = *States[(Index + Offset) % N];
-    std::lock_guard<SpinLock> Guard(Victim.QueueLock);
+    SpinLockGuard Guard(Victim.QueueLock);
     SyncOps.fetch_add(1, std::memory_order_relaxed);
     if (Victim.Stealable.empty())
       continue;
@@ -75,7 +75,7 @@ void StealingMarker::workerMark(unsigned Index) {
     if (W.Private.empty()) {
       // Pull back own exposed work first, then steal.
       {
-        std::lock_guard<SpinLock> Guard(W.QueueLock);
+        SpinLockGuard Guard(W.QueueLock);
         SyncOps.fetch_add(1, std::memory_order_relaxed);
         while (!W.Stealable.empty()) {
           W.Private.push_back(W.Stealable.back());
@@ -92,7 +92,7 @@ void StealingMarker::workerMark(unsigned Index) {
           if (NumHungry.load(std::memory_order_acquire) == States.size()) {
             bool AnyWork = false;
             for (auto &S : States) {
-              std::lock_guard<SpinLock> Guard(S->QueueLock);
+              SpinLockGuard Guard(S->QueueLock);
               if (!S->Stealable.empty())
                 AnyWork = true;
             }

@@ -13,6 +13,7 @@ void FreeList::insertLargeLocked(uint8_t *Start, size_t Size) {
   static_cast<void>(Inserted);
   LargeBySize.emplace(Size, Start);
   static_cast<void>(It);
+  noteRangeTracked(Size);
 }
 
 void FreeList::eraseLargeLocked(std::map<uint8_t *, size_t>::iterator It) {
@@ -22,6 +23,7 @@ void FreeList::eraseLargeLocked(std::map<uint8_t *, size_t>::iterator It) {
       LargeBySize.erase(SizeIt);
       break;
     }
+  noteRangeUntracked(It->second);
   Large.erase(It);
 }
 
@@ -30,12 +32,13 @@ void FreeList::addRange(uint8_t *Start, size_t Size) {
   // object fits anyway); the next sweep reclaims it from the bitmap.
   if (Size < BinGranuleBytes)
     return;
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   FreeByteCount.fetch_add(Size, std::memory_order_relaxed);
 
   if (Size < BinThresholdBytes) {
     Bins[binIndex(Size)].emplace_back(Start, static_cast<uint32_t>(Size));
     ++SmallRangeCount;
+    noteRangeTracked(Size);
     return;
   }
 
@@ -80,6 +83,7 @@ uint8_t *FreeList::takeLocked(uint8_t *Start, size_t RangeSize,
     Bins[binIndex(Remainder)].emplace_back(
         Rest, static_cast<uint32_t>(Remainder));
     ++SmallRangeCount;
+    noteRangeTracked(Remainder);
   } else {
     insertLargeLocked(Rest, Remainder);
   }
@@ -88,7 +92,7 @@ uint8_t *FreeList::takeLocked(uint8_t *Start, size_t RangeSize,
 
 uint8_t *FreeList::allocate(size_t Size) {
   assert(Size > 0 && "empty allocation");
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   // Best fit among the large ranges.
   auto BySize = LargeBySize.lower_bound(Size);
   if (BySize != LargeBySize.end()) {
@@ -108,6 +112,7 @@ uint8_t *FreeList::allocate(size_t Size) {
       auto [Start, RangeSize] = Bin.back();
       Bin.pop_back();
       --SmallRangeCount;
+      noteRangeUntracked(RangeSize);
       return takeLocked(Start, RangeSize, Size);
     }
     // The floor class may still hold a large-enough entry.
@@ -118,6 +123,7 @@ uint8_t *FreeList::allocate(size_t Size) {
         Bin[I] = Bin.back();
         Bin.pop_back();
         --SmallRangeCount;
+        noteRangeUntracked(RangeSize);
         return takeLocked(Start, RangeSize, Size);
       }
   }
@@ -127,7 +133,7 @@ uint8_t *FreeList::allocate(size_t Size) {
 uint8_t *FreeList::allocateUpTo(size_t MinSize, size_t MaxSize,
                                 size_t &OutSize) {
   assert(MinSize > 0 && MinSize <= MaxSize && "bad refill bounds");
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
 
   // Prefer a full-size grant from the large ranges (best fit).
   auto BySize = LargeBySize.lower_bound(MaxSize);
@@ -167,6 +173,7 @@ uint8_t *FreeList::allocateUpTo(size_t MinSize, size_t MaxSize,
       Bin[I] = Bin.back();
       Bin.pop_back();
       --SmallRangeCount;
+      noteRangeUntracked(RangeSize);
       OutSize = RangeSize;
       return takeLocked(Start, RangeSize, RangeSize);
     }
@@ -178,7 +185,7 @@ size_t FreeList::withdrawWithin(uint8_t *Lo, uint8_t *Hi) {
   std::vector<std::pair<uint8_t *, size_t>> Outside;
   size_t Withdrawn = 0;
   {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     // Large ranges: the first candidate may straddle Lo from below.
     auto It = Large.lower_bound(Lo);
     if (It != Large.begin() && std::prev(It)->first + std::prev(It)->second > Lo)
@@ -207,6 +214,7 @@ size_t FreeList::withdrawWithin(uint8_t *Lo, uint8_t *Hi) {
         if (Start < Hi && Start + Size > Lo) {
           Withdrawn += Size;
           FreeByteCount.fetch_sub(Size, std::memory_order_relaxed);
+          noteRangeUntracked(Size);
           Bin[I] = Bin.back();
           Bin.pop_back();
           --SmallRangeCount;
@@ -222,7 +230,7 @@ size_t FreeList::withdrawWithin(uint8_t *Lo, uint8_t *Hi) {
 }
 
 size_t FreeList::largestRange() const {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   if (!LargeBySize.empty())
     return std::prev(LargeBySize.end())->first;
   for (size_t Class = NumBins; Class-- > 0;) {
@@ -237,22 +245,23 @@ size_t FreeList::largestRange() const {
 }
 
 size_t FreeList::numRanges() const {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   return Large.size() + SmallRangeCount;
 }
 
 void FreeList::clear() {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   Large.clear();
   LargeBySize.clear();
   for (auto &Bin : Bins)
     Bin.clear();
   SmallRangeCount = 0;
   FreeByteCount.store(0, std::memory_order_relaxed);
+  RefillableByteCount.store(0, std::memory_order_relaxed);
 }
 
 std::vector<std::pair<uint8_t *, size_t>> FreeList::snapshotRanges() const {
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   std::vector<std::pair<uint8_t *, size_t>> Result;
   Result.reserve(Large.size() + SmallRangeCount);
   for (const auto &[Start, Size] : Large)

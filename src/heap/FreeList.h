@@ -30,13 +30,13 @@
 #ifndef CGC_HEAP_FREELIST_H
 #define CGC_HEAP_FREELIST_H
 
+#include "support/Annotations.h"
 #include "support/SpinLock.h"
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -53,6 +53,13 @@ public:
   /// [64 * I, 64 * I + 63] bytes (I >= 1).
   static constexpr size_t BinGranuleBytes = 64;
   static constexpr size_t NumBins = BinThresholdBytes / BinGranuleBytes;
+
+  /// \p RefillThresholdBytes tunes the refillable-bytes counter: only
+  /// ranges at least this big count as refillable (able to serve any
+  /// allocation-cache refill regardless of the request's MinSize). 0
+  /// makes refillableFreeBytes() identical to freeBytes().
+  explicit FreeList(size_t RefillThresholdBytes = 0)
+      : RefillThreshold(RefillThresholdBytes) {}
 
   /// Inserts [Start, Start + Size). Large ranges merge with adjacent
   /// large ranges; small ranges are binned unmerged.
@@ -71,6 +78,14 @@ public:
   /// Total free bytes currently tracked.
   size_t freeBytes() const {
     return FreeByteCount.load(std::memory_order_relaxed);
+  }
+
+  /// Free bytes sitting in ranges large enough (>= RefillThreshold) to
+  /// serve an allocation-cache refill. A fragmented shard can hold many
+  /// free bytes none of which are refillable — the pacer's kickoff must
+  /// look at this number, not freeBytes() (DESIGN.md §9 stranding).
+  size_t refillableFreeBytes() const {
+    return RefillableByteCount.load(std::memory_order_relaxed);
   }
 
   /// Size of the largest single free range.
@@ -96,21 +111,42 @@ public:
 private:
   static size_t binIndex(size_t Size) { return Size / BinGranuleBytes; }
 
+  /// Refillable accounting: called for every range entering/leaving the
+  /// tracked set (the sub-granule crumbs takeLocked abandons never were
+  /// tracked). Counter updates stay inside the shard lock; the relaxed
+  /// atomic is only for cross-thread readers of the aggregate.
+  void noteRangeTracked(size_t Size) {
+    if (Size >= RefillThreshold)
+      RefillableByteCount.fetch_add(Size, std::memory_order_relaxed);
+  }
+  void noteRangeUntracked(size_t Size) {
+    if (Size >= RefillThreshold)
+      RefillableByteCount.fetch_sub(Size, std::memory_order_relaxed);
+  }
+
   /// Takes [Start, Start+Size) out of the map (both indices); caller
   /// holds the lock and re-adds any remainder.
-  void eraseLargeLocked(std::map<uint8_t *, size_t>::iterator It);
-  void insertLargeLocked(uint8_t *Start, size_t Size);
-  uint8_t *takeLocked(uint8_t *Start, size_t RangeSize, size_t Take);
+  void eraseLargeLocked(std::map<uint8_t *, size_t>::iterator It)
+      CGC_REQUIRES(Lock);
+  void insertLargeLocked(uint8_t *Start, size_t Size) CGC_REQUIRES(Lock);
+  uint8_t *takeLocked(uint8_t *Start, size_t RangeSize, size_t Take)
+      CGC_REQUIRES(Lock);
 
   mutable SpinLock Lock;
   /// Start address -> size, ranges >= BinThresholdBytes, coalesced.
-  std::map<uint8_t *, size_t> Large;
+  std::map<uint8_t *, size_t> Large CGC_GUARDED_BY(Lock);
   /// Size -> start address index over Large (multimap: sizes repeat).
-  std::multimap<size_t, uint8_t *> LargeBySize;
+  std::multimap<size_t, uint8_t *> LargeBySize CGC_GUARDED_BY(Lock);
   /// Segregated small ranges: (start, exact size) per size class.
-  std::array<std::vector<std::pair<uint8_t *, uint32_t>>, NumBins> Bins;
+  std::array<std::vector<std::pair<uint8_t *, uint32_t>>, NumBins>
+      Bins CGC_GUARDED_BY(Lock);
+  CGC_ATOMIC_DOC("written under Lock; relaxed cross-thread aggregate reads")
   std::atomic<size_t> FreeByteCount{0};
-  size_t SmallRangeCount = 0;
+  CGC_ATOMIC_DOC("written under Lock; relaxed cross-thread aggregate reads")
+  std::atomic<size_t> RefillableByteCount{0};
+  size_t SmallRangeCount CGC_GUARDED_BY(Lock) = 0;
+  /// Immutable after construction.
+  const size_t RefillThreshold;
 };
 
 } // namespace cgc

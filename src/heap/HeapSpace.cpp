@@ -13,12 +13,12 @@ static size_t roundUpToPage(size_t Bytes) {
 }
 
 HeapSpace::HeapSpace(size_t SizeBytes, unsigned FreeListShards,
-                     FaultInjector *FI)
+                     FaultInjector *FI, size_t RefillThresholdBytes)
     : Base(static_cast<uint8_t *>(
           std::aligned_alloc(4096, roundUpToPage(SizeBytes)))),
       Size(roundUpToPage(SizeBytes)), MarkBitsV(Base, Size),
       AllocBitsV(Base, Size), CardsV(Base, Size),
-      FreeListV(Base, Size, FreeListShards, FI) {
+      FreeListV(Base, Size, FreeListShards, FI, RefillThresholdBytes) {
   assert(Base && "heap reservation failed");
   FreeListV.addRange(Base, Size);
 }

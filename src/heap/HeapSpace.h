@@ -30,8 +30,11 @@ public:
   /// \p FreeListShards address shards (0 = auto, 1 = legacy single list;
   /// see ShardedFreeList::resolveShardCount). \p FI (optional) arms the
   /// free-space manager's fault-injection sites.
+  /// \p RefillThresholdBytes is forwarded to the free-space manager's
+  /// refillable-bytes accounting (0 = refillable == free).
   explicit HeapSpace(size_t SizeBytes, unsigned FreeListShards = 1,
-                     FaultInjector *FI = nullptr);
+                     FaultInjector *FI = nullptr,
+                     size_t RefillThresholdBytes = 0);
   ~HeapSpace();
 
   HeapSpace(const HeapSpace &) = delete;
@@ -78,6 +81,12 @@ public:
   /// Free bytes currently on the free list (aggregate over all shards,
   /// summed from the relaxed per-shard counters).
   size_t freeBytes() const { return FreeListV.freeBytes(); }
+
+  /// Free bytes in ranges big enough to serve an allocation-cache
+  /// refill (the pacer's stranding-aware kickoff input; <= freeBytes()).
+  size_t refillableFreeBytes() const {
+    return FreeListV.refillableFreeBytes();
+  }
 
   /// Bytes not on the free list (allocated or unswept).
   size_t occupiedBytes() const { return Size - freeBytes(); }

@@ -26,7 +26,8 @@ unsigned ShardedFreeList::resolveShardCount(unsigned Requested,
 }
 
 ShardedFreeList::ShardedFreeList(uint8_t *Base, size_t SizeBytes,
-                                 unsigned NumShards, FaultInjector *FI)
+                                 unsigned NumShards, FaultInjector *FI,
+                                 size_t RefillThresholdBytes)
     : Base(Base), Size(SizeBytes), FI(FI) {
   NumShards = resolveShardCount(NumShards, SizeBytes, /*MinShardBytes=*/4096);
   // Page-aligned spans: shard boundaries never split a granule, and the
@@ -35,7 +36,7 @@ ShardedFreeList::ShardedFreeList(uint8_t *Base, size_t SizeBytes,
   ShardSpan = (ShardSpan + 4095) & ~size_t{4095};
   Shards.reserve(NumShards);
   for (unsigned I = 0; I < NumShards; ++I)
-    Shards.push_back(std::make_unique<FreeList>());
+    Shards.push_back(std::make_unique<FreeList>(RefillThresholdBytes));
 }
 
 void ShardedFreeList::addRange(uint8_t *Start, size_t Bytes) {
@@ -101,6 +102,13 @@ size_t ShardedFreeList::freeBytes() const {
   size_t Sum = 0;
   for (const auto &S : Shards)
     Sum += S->freeBytes();
+  return Sum;
+}
+
+size_t ShardedFreeList::refillableFreeBytes() const {
+  size_t Sum = 0;
+  for (const auto &S : Shards)
+    Sum += S->refillableFreeBytes();
   return Sum;
 }
 

@@ -50,8 +50,12 @@ public:
   /// Builds the partition over [Base, Base + SizeBytes). \p NumShards
   /// is resolved via resolveShardCount (0 = auto). \p FI (optional)
   /// arms the transient-allocation-failure injection sites.
+  /// \p RefillThresholdBytes is forwarded to every shard: only ranges
+  /// at least this big count toward refillableFreeBytes() (0 = count
+  /// everything, i.e. refillable == free).
   ShardedFreeList(uint8_t *Base, size_t SizeBytes, unsigned NumShards,
-                  FaultInjector *FI = nullptr);
+                  FaultInjector *FI = nullptr,
+                  size_t RefillThresholdBytes = 0);
 
   /// Resolves a requested shard count: 0 = auto (min(hardware
   /// concurrency, 8)); any value is rounded down to a power of two and
@@ -99,6 +103,13 @@ public:
   /// (Monotonic consistency is not needed: the pacer formulas tolerate
   /// the same slack a single relaxed counter already had.)
   size_t freeBytes() const;
+
+  /// Free bytes sitting in ranges big enough to serve a refill, summed
+  /// over the shards (per-shard values via shard(I).refillableFreeBytes()).
+  /// This is the stranding-aware number the pacer's kickoff consumes: a
+  /// fragmented shard can hold plenty of raw free bytes that cannot
+  /// refill any allocation cache (DESIGN.md §9/§10).
+  size_t refillableFreeBytes() const;
 
   /// Largest single free range: max over the shards' O(log n) per-shard
   /// answers. Never builds a snapshot.

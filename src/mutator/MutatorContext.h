@@ -12,6 +12,7 @@
 #define CGC_MUTATOR_MUTATORCONTEXT_H
 
 #include "heap/AllocationCache.h"
+#include "support/Annotations.h"
 #include "support/SpinLock.h"
 #include "workpackets/TraceContext.h"
 
@@ -46,7 +47,7 @@ public:
 
   /// Sizes the root array to \p N slots (all null).
   void reserveRoots(size_t N) {
-    std::lock_guard<SpinLock> Guard(RootsLock);
+    SpinLockGuard Guard(RootsLock);
     Roots.assign(N, 0);
   }
 
@@ -54,26 +55,26 @@ public:
   /// rescanned during the final stop-the-world phase, exactly as in the
   /// paper.
   void setRoot(size_t I, Object *Value) {
-    std::lock_guard<SpinLock> Guard(RootsLock);
+    SpinLockGuard Guard(RootsLock);
     Roots[I] = reinterpret_cast<uintptr_t>(Value);
   }
 
   /// Reads root slot \p I.
   Object *getRoot(size_t I) const {
-    std::lock_guard<SpinLock> Guard(RootsLock);
+    SpinLockGuard Guard(RootsLock);
     return reinterpret_cast<Object *>(Roots[I]);
   }
 
   /// Number of root slots.
   size_t numRoots() const {
-    std::lock_guard<SpinLock> Guard(RootsLock);
+    SpinLockGuard Guard(RootsLock);
     return Roots.size();
   }
 
   /// Writes a raw (possibly non-reference) word into a root slot; used by
   /// tests to exercise the conservative filter.
   void setRootWord(size_t I, uintptr_t Word) {
-    std::lock_guard<SpinLock> Guard(RootsLock);
+    SpinLockGuard Guard(RootsLock);
     Roots[I] = Word;
   }
 
@@ -81,13 +82,13 @@ public:
   /// objects under construction (e.g. a parser's partial ASTs) exactly
   /// like values on a real thread stack would.
   void pushRoot(Object *Value) {
-    std::lock_guard<SpinLock> Guard(RootsLock);
+    SpinLockGuard Guard(RootsLock);
     Roots.push_back(reinterpret_cast<uintptr_t>(Value));
   }
 
   /// Pops the \p N most recently pushed shadow-stack roots.
   void popRoots(size_t N) {
-    std::lock_guard<SpinLock> Guard(RootsLock);
+    SpinLockGuard Guard(RootsLock);
     assert(Roots.size() >= N && "popping more roots than pushed");
     Roots.resize(Roots.size() - N);
   }
@@ -95,7 +96,7 @@ public:
   /// Runs \p Fn over a snapshot of the root words while holding the root
   /// lock (so a concurrent scanner sees a consistent vector).
   template <typename FnT> void withRoots(FnT Fn) const {
-    std::lock_guard<SpinLock> Guard(RootsLock);
+    SpinLockGuard Guard(RootsLock);
     Fn(Roots);
   }
 
@@ -118,18 +119,22 @@ public:
   }
 
   /// Handshake epoch this thread has acknowledged.
+  CGC_ATOMIC_DOC("owner stores release at poll; registrar acquire-scans")
   std::atomic<uint64_t> HandshakeAck{0};
 
   /// Collection cycle number whose stack scan this thread has completed
   /// (0 = never). Claimed with compare-exchange by whichever participant
   /// performs the scan.
+  CGC_ATOMIC_DOC("claimed by acq_rel CAS from owner or background scanner")
   std::atomic<uint64_t> StackScanCycle{0};
 
   /// Bytes of small-object allocation performed (monotonic).
+  CGC_ATOMIC_DOC("owner adds relaxed; reporting reads racily")
   std::atomic<uint64_t> BytesAllocated{0};
 
   /// Number of transactions/operations completed; maintained by
   /// workloads for throughput reporting.
+  CGC_ATOMIC_DOC("owner adds relaxed; reporting reads racily")
   std::atomic<uint64_t> OpsCompleted{0};
 
 private:
@@ -137,7 +142,8 @@ private:
   TraceContext Trace;
   unsigned PreferredShardV = 0;
   mutable SpinLock RootsLock;
-  std::vector<uintptr_t> Roots;
+  std::vector<uintptr_t> Roots CGC_GUARDED_BY(RootsLock);
+  CGC_ATOMIC_DOC("owner stores release; collector acquire-reads at stops")
   std::atomic<uint8_t> State{static_cast<uint8_t>(ExecState::Running)};
 };
 

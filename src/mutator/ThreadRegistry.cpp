@@ -12,7 +12,7 @@
 using namespace cgc;
 
 void ThreadRegistry::attach(MutatorContext *Ctx) {
-  std::lock_guard<SpinLock> Guard(ThreadsLock);
+  SpinLockGuard Guard(ThreadsLock);
   assert(std::find(Threads.begin(), Threads.end(), Ctx) == Threads.end() &&
          "context attached twice");
   // A freshly attached thread has acknowledged everything so far.
@@ -22,19 +22,19 @@ void ThreadRegistry::attach(MutatorContext *Ctx) {
 }
 
 void ThreadRegistry::detach(MutatorContext *Ctx) {
-  std::lock_guard<SpinLock> Guard(ThreadsLock);
+  SpinLockGuard Guard(ThreadsLock);
   auto It = std::find(Threads.begin(), Threads.end(), Ctx);
   assert(It != Threads.end() && "detaching unknown context");
   Threads.erase(It);
 }
 
 size_t ThreadRegistry::numThreads() const {
-  std::lock_guard<SpinLock> Guard(ThreadsLock);
+  SpinLockGuard Guard(ThreadsLock);
   return Threads.size();
 }
 
 void ThreadRegistry::forEach(const std::function<void(MutatorContext &)> &Fn) {
-  std::lock_guard<SpinLock> Guard(ThreadsLock);
+  SpinLockGuard Guard(ThreadsLock);
   for (MutatorContext *Ctx : Threads)
     Fn(*Ctx);
 }
@@ -104,7 +104,7 @@ void ThreadRegistry::stopTheWorld(MutatorContext *Self,
       acknowledgeHandshake(*Self, AllocBits);
     bool AllStopped = true;
     {
-      std::lock_guard<SpinLock> Guard(ThreadsLock);
+      SpinLockGuard Guard(ThreadsLock);
       for (MutatorContext *Ctx : Threads) {
         if (Ctx == Self)
           continue;
@@ -139,7 +139,7 @@ void ThreadRegistry::requestFenceHandshake(MutatorContext *Self,
   for (;;) {
     bool Done = true;
     {
-      std::lock_guard<SpinLock> Guard(ThreadsLock);
+      SpinLockGuard Guard(ThreadsLock);
       for (MutatorContext *Ctx : Threads) {
         if (Ctx->HandshakeAck.load(std::memory_order_acquire) >= Epoch)
           continue;

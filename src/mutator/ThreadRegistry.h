@@ -22,6 +22,7 @@
 #define CGC_MUTATOR_THREADREGISTRY_H
 
 #include "mutator/MutatorContext.h"
+#include "support/Annotations.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -95,9 +96,11 @@ private:
   void park(MutatorContext &Ctx);
 
   mutable SpinLock ThreadsLock;
-  std::vector<MutatorContext *> Threads;
+  std::vector<MutatorContext *> Threads CGC_GUARDED_BY(ThreadsLock);
 
+  CGC_ATOMIC_DOC("initiator stores; mutators acquire-poll at safepoints")
   std::atomic<bool> StopRequested{false};
+  CGC_ATOMIC_DOC("registrar bumps (release); mutators acquire-compare at poll")
   std::atomic<uint64_t> HandshakeEpoch{0};
 
   std::mutex ParkMutex;

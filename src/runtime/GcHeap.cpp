@@ -53,7 +53,7 @@ MutatorContext &GcHeap::attachThread() {
   {
     std::lock_guard<std::mutex> Lock(Core.CollectMutex);
     Core.Registry.attach(Ctx);
-    std::lock_guard<SpinLock> Guard(ContextsLock);
+    SpinLockGuard Guard(ContextsLock);
     Contexts.push_back(std::move(Owned));
   }
   Core.Registry.exitIdle(*Ctx, Core.Heap.allocBits());
@@ -69,7 +69,7 @@ void GcHeap::detachThread(MutatorContext &Ctx) {
     Ctx.cache().flushAllocBits(Core.Heap.allocBits());
     Ctx.cache().retire(Core.Heap.freeList());
     Core.Registry.detach(&Ctx);
-    std::lock_guard<SpinLock> Guard(ContextsLock);
+    SpinLockGuard Guard(ContextsLock);
     auto It = std::find_if(
         Contexts.begin(), Contexts.end(),
         [&](const std::unique_ptr<MutatorContext> &P) { return P.get() == &Ctx; });

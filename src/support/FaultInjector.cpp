@@ -43,7 +43,7 @@ const char *cgc::faultSiteName(FaultSite Site) {
 
 void FaultInjector::reconfigure(const FaultPlan &NewPlan) {
   {
-    std::lock_guard<SpinLock> Guard(PlanLock);
+    SpinLockGuard Guard(PlanLock);
     Plan = NewPlan;
   }
   // Publish the armed flag last so a racing fast-path that sees the flag
@@ -79,7 +79,7 @@ bool FaultInjector::shouldFailSlow(FaultSite S) {
   FaultSiteConfig Config;
   uint64_t Seed;
   {
-    std::lock_guard<SpinLock> Guard(PlanLock);
+    SpinLockGuard Guard(PlanLock);
     Config = Plan.Sites[I];
     Seed = Plan.Seed;
   }
@@ -98,7 +98,7 @@ void FaultInjector::perturbSlow(FaultSite S) {
   unsigned I = static_cast<unsigned>(S);
   FaultSiteConfig Config;
   {
-    std::lock_guard<SpinLock> Guard(PlanLock);
+    SpinLockGuard Guard(PlanLock);
     Config = Plan.Sites[I];
   }
   if (Config.YieldCount == 0 && Config.StallMicros == 0)

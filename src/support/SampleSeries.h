@@ -26,25 +26,25 @@ class SampleSeries {
 public:
   /// Appends one observation.
   void add(double Sample) {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     Samples.push_back(Sample);
   }
 
   /// Number of observations recorded.
   size_t count() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     return Samples.size();
   }
 
   /// Arithmetic mean, or 0 when empty.
   double mean() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     return meanLocked();
   }
 
   /// Largest observation, or 0 when empty.
   double max() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     double Max = 0.0;
     for (double S : Samples)
       if (S > Max)
@@ -54,7 +54,7 @@ public:
 
   /// Smallest observation, or 0 when empty.
   double min() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     if (Samples.empty())
       return 0.0;
     double Min = Samples.front();
@@ -66,7 +66,7 @@ public:
 
   /// Sum of all observations.
   double sum() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     double Sum = 0.0;
     for (double S : Samples)
       Sum += S;
@@ -75,7 +75,7 @@ public:
 
   /// Population standard deviation, or 0 when fewer than two samples.
   double stddev() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     if (Samples.size() < 2)
       return 0.0;
     double Mean = meanLocked();
@@ -87,14 +87,14 @@ public:
 
   /// Copies out the raw samples (for custom reductions in benches).
   std::vector<double> snapshot() const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     return Samples;
   }
 
   /// The \p Q quantile (0 <= Q <= 1) by nearest-rank, or 0 when empty.
   /// percentile(0.99) is the p99.
   double percentile(double Q) const {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     if (Samples.empty())
       return 0.0;
     std::vector<double> Sorted = Samples;
@@ -109,7 +109,7 @@ public:
 
   /// Discards all samples.
   void reset() {
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     Samples.clear();
   }
 

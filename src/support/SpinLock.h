@@ -2,15 +2,20 @@
 ///
 /// \file
 /// A minimal spin lock for short critical sections (free-list access,
-/// registry snapshots). Satisfies the Lockable named requirement so it
-/// works with std::lock_guard.
+/// registry snapshots), annotated as a Clang Thread Safety capability,
+/// plus the scoped guard the rest of the tree must use (cgc-lint rule R4
+/// bans `std::lock_guard<SpinLock>`, whose acquire/release the analysis
+/// cannot see through).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CGC_SUPPORT_SPINLOCK_H
 #define CGC_SUPPORT_SPINLOCK_H
 
+#include "support/Annotations.h"
+
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 namespace cgc {
@@ -18,9 +23,9 @@ namespace cgc {
 /// Test-and-test-and-set spin lock that yields while contended. On the
 /// single-core reproduction host yielding (rather than pure spinning) is
 /// essential for forward progress.
-class SpinLock {
+class CGC_CAPABILITY("mutex") SpinLock {
 public:
-  void lock() {
+  void lock() CGC_ACQUIRE() {
     for (;;) {
       if (!Flag.exchange(true, std::memory_order_acquire))
         return;
@@ -29,15 +34,32 @@ public:
     }
   }
 
-  bool try_lock() {
+  bool try_lock() CGC_TRY_ACQUIRE(true) {
     return !Flag.load(std::memory_order_relaxed) &&
            !Flag.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { Flag.store(false, std::memory_order_release); }
+  void unlock() CGC_RELEASE() { Flag.store(false, std::memory_order_release); }
 
 private:
+  CGC_ATOMIC_DOC("acquire exchange / release store; the lock itself")
   std::atomic<bool> Flag{false};
+};
+
+/// RAII guard for SpinLock, visible to the thread-safety analysis. The
+/// adopt overload takes ownership of an already-held lock (used after a
+/// successful try_lock).
+class CGC_SCOPED_CAPABILITY SpinLockGuard {
+public:
+  explicit SpinLockGuard(SpinLock &L) CGC_ACQUIRE(L) : Lock(L) { Lock.lock(); }
+  SpinLockGuard(SpinLock &L, std::adopt_lock_t) CGC_REQUIRES(L) : Lock(L) {}
+  ~SpinLockGuard() CGC_RELEASE() { Lock.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard &) = delete;
+  SpinLockGuard &operator=(const SpinLockGuard &) = delete;
+
+private:
+  SpinLock &Lock;
 };
 
 } // namespace cgc

@@ -2,6 +2,7 @@
 
 #include "workpackets/PacketPool.h"
 
+#include "support/Atomics.h"
 #include "support/Fences.h"
 
 #include <cassert>
@@ -19,35 +20,44 @@ PacketPool::PacketPool(uint32_t NumPackets, FaultInjector *FI)
 
 void PacketPool::pushTo(SubPool &SP, WorkPacket *Packet) {
   uint32_t Index = static_cast<uint32_t>(Packet - Packets.get());
-  TaggedHead Old = SP.Head.load(std::memory_order_relaxed);
-  for (;;) {
-    if (FI)
-      FI->maybePerturb(FaultSite::PacketCas);
-    Packet->Next = headIndex(Old);
-    TaggedHead New = makeHead(Index + 1, static_cast<uint32_t>(Old >> 32) + 1);
-    SyncOps.fetch_add(1, std::memory_order_relaxed);
-    if (SP.Head.compare_exchange_weak(Old, New, std::memory_order_release,
-                                      std::memory_order_relaxed))
-      return;
-  }
+  // Treiber push through the shared retry skeleton (R3): link the packet
+  // to the observed head, bump the ABA tag, release-publish.
+  atomicCasLoop(
+      SP.Head, std::memory_order_relaxed, std::memory_order_release,
+      std::memory_order_relaxed,
+      [&](TaggedHead Old) -> std::optional<TaggedHead> {
+        Packet->Next = headIndex(Old);
+        return makeHead(Index + 1, static_cast<uint32_t>(Old >> 32) + 1);
+      },
+      [&] {
+        if (FI)
+          FI->maybePerturb(FaultSite::PacketCas);
+        SyncOps.fetch_add(1, std::memory_order_relaxed);
+      });
 }
 
 WorkPacket *PacketPool::popFrom(SubPool &SP) {
-  TaggedHead Old = SP.Head.load(std::memory_order_acquire);
-  for (;;) {
-    if (FI)
-      FI->maybePerturb(FaultSite::PacketCas);
-    uint32_t IndexPlus1 = headIndex(Old);
-    if (IndexPlus1 == 0)
-      return nullptr;
-    WorkPacket *Packet = &Packets[IndexPlus1 - 1];
-    TaggedHead New =
-        makeHead(Packet->Next, static_cast<uint32_t>(Old >> 32) + 1);
-    SyncOps.fetch_add(1, std::memory_order_relaxed);
-    if (SP.Head.compare_exchange_weak(Old, New, std::memory_order_acquire,
-                                      std::memory_order_acquire))
-      return Packet;
-  }
+  // Treiber pop: reading Packet->Next for a packet another thread may
+  // concurrently pop-and-repush is safe because a stale link makes the
+  // tagged CAS fail (the tag advanced), never corrupts the stack.
+  std::optional<TaggedHead> Popped = atomicCasLoop(
+      SP.Head, std::memory_order_acquire, std::memory_order_acquire,
+      std::memory_order_acquire,
+      [&](TaggedHead Old) -> std::optional<TaggedHead> {
+        uint32_t IndexPlus1 = headIndex(Old);
+        if (IndexPlus1 == 0)
+          return std::nullopt; // Stack observed empty: give up.
+        WorkPacket *Packet = &Packets[IndexPlus1 - 1];
+        return makeHead(Packet->Next, static_cast<uint32_t>(Old >> 32) + 1);
+      },
+      [&] {
+        if (FI)
+          FI->maybePerturb(FaultSite::PacketCas);
+        SyncOps.fetch_add(1, std::memory_order_relaxed);
+      });
+  if (!Popped)
+    return nullptr;
+  return &Packets[headIndex(*Popped) - 1];
 }
 
 WorkPacket *PacketPool::takeFrom(SubPoolKind Kind) {
@@ -82,11 +92,7 @@ void PacketPool::noteGotPacket(const WorkPacket *Packet) {
                   NonEmptyCount.load(std::memory_order_relaxed) +
                   AlmostFullCount.load(std::memory_order_relaxed) +
                   DeferredCount.load(std::memory_order_relaxed);
-  uint64_t Watermark = PacketsInUseWatermark.load(std::memory_order_relaxed);
-  while (Busy > Watermark &&
-         !PacketsInUseWatermark.compare_exchange_weak(
-             Watermark, Busy, std::memory_order_relaxed))
-    ;
+  atomicStoreMax(PacketsInUseWatermark, Busy);
   if (Packet->count())
     SlotsQueued.fetch_sub(Packet->count(), std::memory_order_relaxed);
 }
@@ -98,12 +104,8 @@ void PacketPool::notePutPacket(const WorkPacket *Packet) {
   int64_t Slots =
       SlotsQueued.fetch_add(Packet->count(), std::memory_order_relaxed) +
       Packet->count();
-  uint64_t Watermark = SlotsWatermark.load(std::memory_order_relaxed);
-  while (Slots > 0 && static_cast<uint64_t>(Slots) > Watermark &&
-         !SlotsWatermark.compare_exchange_weak(
-             Watermark, static_cast<uint64_t>(Slots),
-             std::memory_order_relaxed))
-    ;
+  if (Slots > 0)
+    atomicStoreMax(SlotsWatermark, static_cast<uint64_t>(Slots));
 }
 
 bool PacketPool::injectAcquireFault(FaultSite Site,

@@ -24,6 +24,7 @@
 #ifndef CGC_WORKPACKETS_PACKETPOOL_H
 #define CGC_WORKPACKETS_PACKETPOOL_H
 
+#include "support/Annotations.h"
 #include "support/FaultInjector.h"
 #include "workpackets/WorkPacket.h"
 
@@ -143,6 +144,7 @@ private:
   }
 
   struct SubPool {
+    CGC_ATOMIC_DOC("Treiber head; tagged CAS by all threads, Section 4.1")
     std::atomic<TaggedHead> Head{0};
   };
 
@@ -184,18 +186,34 @@ private:
   FaultInjector *FI;
 
   SubPool Empty, NonEmpty, AlmostFull, Deferred;
+  /// Sub-pool counters trail the stack operations (updated after each
+  /// push/pop), so they race benignly with them — exactly the Section
+  /// 4.3 design. The Empty counter's acquire read is the termination
+  /// test; see tests/packet_model_check.cpp for why the trailing
+  /// updates cannot overstate it into a false termination.
+  CGC_ATOMIC_DOC("all threads add/sub after push/pop; acquire termination read")
   std::atomic<uint32_t> EmptyCount{0};
+  CGC_ATOMIC_DOC("all threads add/sub after push/pop; relaxed approx reads")
   std::atomic<uint32_t> NonEmptyCount{0};
+  CGC_ATOMIC_DOC("all threads add/sub after push/pop; relaxed approx reads")
   std::atomic<uint32_t> AlmostFullCount{0};
+  CGC_ATOMIC_DOC("all threads add/sub after push/pop; relaxed hasDeferred read")
   std::atomic<uint32_t> DeferredCount{0};
 
   // Statistics.
+  CGC_ATOMIC_DOC("relaxed counter, all threads; snapshot in stats()")
   std::atomic<uint64_t> SyncOps{0};
+  CGC_ATOMIC_DOC("relaxed counter, all threads; snapshot in stats()")
   std::atomic<uint64_t> FailedGets{0};
+  CGC_ATOMIC_DOC("relaxed counter, all threads; snapshot in stats()")
   std::atomic<uint64_t> InjectedGets{0};
+  CGC_ATOMIC_DOC("relaxed counter, all threads; feeds the busy watermark")
   std::atomic<uint32_t> PacketsInUse{0};
+  CGC_ATOMIC_DOC("monotonic max via atomicStoreMax, relaxed")
   std::atomic<uint64_t> PacketsInUseWatermark{0};
+  CGC_ATOMIC_DOC("relaxed counter, all threads; feeds the slots watermark")
   std::atomic<int64_t> SlotsQueued{0};
+  CGC_ATOMIC_DOC("monotonic max via atomicStoreMax, relaxed")
   std::atomic<uint64_t> SlotsWatermark{0};
 };
 

@@ -1,0 +1,22 @@
+// fixture-as: heap/Clean.cpp
+// A fully-conforming file: the scanner must report nothing, and must
+// not be confused by literals, comments, or the preprocessor.
+#include <atomic>
+
+#define NOT_CODE(X)                                                            \
+  do {                                                                         \
+    X.load();                                                                  \
+  } while (0)
+
+void good(std::atomic<unsigned> &A) {
+  A.store(1, std::memory_order_release);
+  (void)A.load(std::memory_order_acquire);
+  (void)A.fetch_add(1, std::memory_order_relaxed);
+  const char *S = "A.load(); fence(FenceSite::Nope); while (1) "
+                  "A.compare_exchange_weak(x, y);";
+  (void)S;
+  /* atomic_thread_fence(std::memory_order_seq_cst); in a comment */
+  // fence(FenceSite::AllocCacheFlush); also in a comment
+  char Q = '"';
+  (void)Q;
+}

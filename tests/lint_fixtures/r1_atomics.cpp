@@ -1,0 +1,35 @@
+// fixture-as: gc/R1Fixture.cpp
+// Rule R1: every atomic access spells its memory_order.
+#include <atomic>
+
+void accesses(std::atomic<int> &A, std::atomic<int> &B, int X) {
+  (void)A.load(); // expect(R1)
+  (void)A.load(std::memory_order_acquire);
+  A.store(1); // expect(R1)
+  A.store(1, std::memory_order_release);
+  (void)A.exchange(2); // expect(R1)
+  (void)A.exchange(2, std::memory_order_acq_rel);
+  (void)A.fetch_add(1); // expect(R1)
+  (void)A.fetch_add(1, std::memory_order_relaxed);
+  (void)A.fetch_sub(1, std::memory_order_relaxed);
+  // compare_exchange needs BOTH success and failure orders:
+  (void)A.compare_exchange_strong(X, 3, std::memory_order_acq_rel); // expect(R1)
+  (void)A.compare_exchange_strong(X, 3, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed);
+  // An inner call's order must not vouch for the outer call:
+  A.store(B.load(std::memory_order_acquire)); // expect(R1)
+  // Suppression applies to its own line...
+  (void)A.load(); // cgc-lint: allow(R1) fixture suppression
+  // ...and to the line after a standalone comment:
+  // cgc-lint: allow(R1) next-line suppression
+  (void)A.load();
+}
+
+struct Holder {
+  std::atomic<int> Flag{0}; // not a core header: R4 does not apply here
+  void clear() { Flag.store(0, std::memory_order_relaxed); }
+};
+
+void notAtomics(std::vector<int> &V) {
+  V.clear(); // member named like vector ops must not trip R1
+}

@@ -1,0 +1,25 @@
+// fixture-as: gc/Tracer.cpp
+// Rule R2: fence(FenceSite::X) only at documented (file, site) pairs;
+// raw atomic_thread_fence only inside support/Fences.h.
+#include <atomic>
+
+namespace cgc {
+
+void flushBatch() {
+  fence(FenceSite::TracerBatch); // allowed: the Section-5.1 tracer batch site
+  fence(FenceSite::AllocCacheFlush); // expect(R2)
+  std::atomic_thread_fence(std::memory_order_seq_cst); // expect(R2)
+}
+
+void dynamicSite(FenceSite S) {
+  fence(S); // expect(R2)
+}
+
+struct WithMember {
+  // Even declaring a `fence(` outside the wrapper is flagged -- the
+  // scanner is deliberately conservative about shadowing the name:
+  void fence(); // expect(R2)
+  void call() { this->fence(); } // calls through ./-> are not the wrapper
+};
+
+} // namespace cgc

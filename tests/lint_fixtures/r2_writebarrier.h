@@ -1,0 +1,12 @@
+// fixture-as: heap/CardTable.h
+// Rule R2: the write barrier / card-table fast path must be fence free
+// (paper Section 5.1); any fence here is a build error.
+namespace cgc {
+
+inline void writeBarrierSlot(void *Slot, void *Value) {
+  fence(FenceSite::PacketPublish); // expect(R2)
+  (void)Slot;
+  (void)Value;
+}
+
+} // namespace cgc

@@ -1,0 +1,23 @@
+// fixture-as: gc/R3Fixture.cpp
+// Rule R3: no hand-rolled compare_exchange retry loops outside support/.
+#include <atomic>
+
+void casLoops(std::atomic<int> &A) {
+  int V = A.load(std::memory_order_relaxed);
+  while (!A.compare_exchange_weak(V, V + 1, std::memory_order_acq_rel, // expect(R3)
+                                  std::memory_order_relaxed)) {
+  }
+  for (;;) {
+    if (A.compare_exchange_strong(V, 0, std::memory_order_acq_rel, // expect(R3)
+                                  std::memory_order_relaxed))
+      break;
+  }
+  do {
+    V = 1;
+  } while (V != 1);
+  // A single (non-looping) compare_exchange is a plain conditional
+  // update, not a retry loop: allowed anywhere.
+  int Expected = 0;
+  (void)A.compare_exchange_strong(Expected, 1, std::memory_order_acq_rel,
+                                  std::memory_order_relaxed);
+}

@@ -1,0 +1,31 @@
+// fixture-as: workpackets/PacketPool.h
+// Rule R4: atomics in core component headers carry CGC_ATOMIC_DOC or
+// CGC_GUARDED_BY; std::lock_guard<SpinLock> is banned tree-wide.
+#include "support/Annotations.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace cgc {
+
+class Fixture {
+  std::atomic<unsigned> Undocumented{0}; // expect(R4)
+
+  CGC_ATOMIC_DOC("workers fetch_add relaxed; stats only")
+  std::atomic<unsigned> Documented{0};
+
+  mutable SpinLock Lock;
+  std::atomic<bool> Guarded CGC_GUARDED_BY(Lock);
+
+  // A signature mentioning an atomic is a function, not a member:
+  std::atomic<uint32_t> &counterFor(int Kind);
+};
+
+inline void bad(SpinLock &L) {
+  std::lock_guard<SpinLock> G(L); // expect(R4)
+}
+
+inline void good(SpinLock &L) { SpinLockGuard G(L); }
+
+} // namespace cgc

@@ -1,0 +1,153 @@
+//===- lint_selftest.cpp - cgc-lint rule engine self-test ---------------------//
+///
+/// \file
+/// Drives the cgc-lint rule engine (tools/cgc-lint/LintCore.h) over the
+/// fixture files in tests/lint_fixtures/ and checks that each rule
+/// fires exactly where the fixtures say it should — and nowhere else.
+///
+/// Fixture format:
+///   - line 1: `// fixture-as: <relpath>` — the tree-relative path the
+///     fixture is linted as (rules R2/R3/R4 are path-sensitive).
+///   - `// expect(R1)` on a line declares one expected finding there;
+///     `expect(R1,R4)` declares several.
+///
+/// The set equality in both directions is the point: a rule that stops
+/// firing (regression) and a rule that starts over-firing (false
+/// positive) both fail this suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "LintCore.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Fixture {
+  std::string FileName; // fixture file name, for messages
+  std::string LintAs;   // tree-relative path from the directive
+  std::string Content;
+  std::multiset<std::pair<std::string, int>> Expected; // (rule, line)
+};
+
+std::vector<Fixture> loadFixtures() {
+  std::vector<Fixture> Out;
+  for (const auto &Entry : fs::directory_iterator(CGC_LINT_FIXTURE_DIR)) {
+    if (!Entry.is_regular_file())
+      continue;
+    Fixture F;
+    F.FileName = Entry.path().filename().string();
+    std::ifstream In(Entry.path());
+    std::stringstream SS;
+    SS << In.rdbuf();
+    F.Content = SS.str();
+
+    std::istringstream Lines(F.Content);
+    std::string Line;
+    int LineNo = 0;
+    while (std::getline(Lines, Line)) {
+      ++LineNo;
+      if (LineNo == 1) {
+        const std::string Directive = "// fixture-as: ";
+        EXPECT_EQ(Line.rfind(Directive, 0), 0u)
+            << F.FileName << ": first line must be '" << Directive
+            << "<relpath>'";
+        F.LintAs = Line.substr(Directive.size());
+        continue;
+      }
+      size_t At = Line.find("expect(");
+      if (At == std::string::npos)
+        continue;
+      size_t Close = Line.find(')', At);
+      EXPECT_NE(Close, std::string::npos) << F.FileName << ":" << LineNo;
+      if (Close == std::string::npos)
+        continue;
+      std::stringstream RuleSS(Line.substr(At + 7, Close - At - 7));
+      std::string Rule;
+      while (std::getline(RuleSS, Rule, ','))
+        F.Expected.insert({Rule, LineNo});
+    }
+    Out.push_back(std::move(F));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const Fixture &A, const Fixture &B) {
+              return A.FileName < B.FileName;
+            });
+  return Out;
+}
+
+std::string describe(const std::multiset<std::pair<std::string, int>> &S) {
+  std::string Out;
+  for (const auto &[Rule, Line] : S)
+    Out += "  " + Rule + " @ line " + std::to_string(Line) + "\n";
+  return Out.empty() ? "  (none)\n" : Out;
+}
+
+TEST(LintSelfTest, FixturesMatchExactly) {
+  auto Fixtures = loadFixtures();
+  ASSERT_FALSE(Fixtures.empty()) << "no fixtures under " CGC_LINT_FIXTURE_DIR;
+  for (const Fixture &F : Fixtures) {
+    auto Violations = cgclint::lintSource(F.LintAs, F.Content);
+    std::multiset<std::pair<std::string, int>> Actual;
+    for (const auto &V : Violations) {
+      EXPECT_EQ(V.File, F.LintAs);
+      Actual.insert({V.Rule, V.Line});
+    }
+    EXPECT_EQ(Actual, F.Expected)
+        << F.FileName << " (as " << F.LintAs << ")\nexpected:\n"
+        << describe(F.Expected) << "actual:\n"
+        << describe(Actual);
+  }
+}
+
+TEST(LintSelfTest, EveryRuleIsCoveredByAFixture) {
+  std::set<std::string> Fired;
+  for (const Fixture &F : loadFixtures())
+    for (const auto &[Rule, Line] : F.Expected)
+      Fired.insert(Rule);
+  for (const char *Rule : {"R1", "R2", "R3", "R4"})
+    EXPECT_TRUE(Fired.count(Rule))
+        << "no fixture exercises rule " << Rule;
+}
+
+TEST(LintSelfTest, SuppressionCoversOwnAndNextLine) {
+  const std::string Src = "#include <atomic>\n"
+                          "void f(std::atomic<int> &A) {\n"
+                          "  (void)A.load(); // cgc-lint: allow(R1)\n"
+                          "  // cgc-lint: allow(all)\n"
+                          "  (void)A.load();\n"
+                          "  (void)A.load();\n" // line 6: NOT suppressed
+                          "}\n";
+  auto V = cgclint::lintSource("gc/X.cpp", Src);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].Rule, "R1");
+  EXPECT_EQ(V[0].Line, 6);
+}
+
+TEST(LintSelfTest, FormatViolation) {
+  cgclint::LintViolation V{"R2", "gc/Tracer.cpp", 12, "boom"};
+  EXPECT_EQ(cgclint::formatViolation(V), "gc/Tracer.cpp:12: [R2] boom");
+}
+
+TEST(LintSelfTest, LintTreeOnRealSourcesIsClean) {
+  // The same invariant the `cgc_lint` ctest enforces, reachable from the
+  // unit suite so a violating edit fails close to the change.
+  fs::path SrcRoot = fs::path(CGC_LINT_FIXTURE_DIR).parent_path().parent_path() / "src";
+  ASSERT_TRUE(fs::exists(SrcRoot)) << SrcRoot;
+  auto Violations = cgclint::lintTree(SrcRoot.string());
+  for (const auto &V : Violations)
+    ADD_FAILURE() << cgclint::formatViolation(V);
+}
+
+} // namespace

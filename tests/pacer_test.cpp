@@ -130,4 +130,35 @@ TEST(PacerTest, RateNeverNegative) {
       EXPECT_GE(P.currentRate(Traced, Free), 0.0);
 }
 
+//===----------------------------------------------------------------------===//
+// Shard-stranding awareness: kickoff keys off refillable free bytes
+//===----------------------------------------------------------------------===//
+
+TEST(PacerTest, ShouldKickoffComparesAgainstThreshold) {
+  GcOptions Opts = baseOptions();
+  Pacer P(Opts, Opts.HeapBytes);
+  size_t T = P.kickoffThresholdBytes();
+  ASSERT_GT(T, 0u);
+  EXPECT_FALSE(P.shouldKickoff(T + 1));
+  EXPECT_TRUE(P.shouldKickoff(T));
+  EXPECT_TRUE(P.shouldKickoff(0));
+}
+
+TEST(PacerTest, FragmentationKicksOffWhileRawFreeLooksHealthy) {
+  // The regression the refillable counter exists for: a heap whose free
+  // bytes sit in sub-refill fragments. Judged by raw free space the
+  // pacer would wait; judged by refillable space it must start now,
+  // because mutators cannot refill their caches from fragments and
+  // would otherwise slam into allocation failure before tracing ends.
+  GcOptions Opts = baseOptions();
+  Pacer P(Opts, Opts.HeapBytes);
+  size_t T = P.kickoffThresholdBytes();
+  size_t RawFree = 2 * T + (1u << 20); // comfortably above threshold
+  size_t Refillable = T / 2;           // but almost none of it usable
+  EXPECT_FALSE(P.shouldKickoff(RawFree))
+      << "sanity: raw free alone would not trigger";
+  EXPECT_TRUE(P.shouldKickoff(Refillable))
+      << "fragmented heap must trigger kickoff";
+}
+
 } // namespace

@@ -1,0 +1,686 @@
+//===- packet_model_check.cpp - Packet-protocol model checker -----------------//
+///
+/// \file
+/// Exhaustive interleaving exploration of an abstract model of the
+/// work-packet protocol (PacketPool + the drain/termination logic in
+/// CollectorBase::drainAllPackets / parallelFinalMark), checking the
+/// Section 4.3 termination claim:
+///
+///   termination is declared iff every packet is empty and no published
+///   reference has been lost.
+///
+/// The model captures exactly the races the real code exhibits:
+///
+///  - Each sub-pool (Empty / Non-empty / Almost-full / Deferred) is a
+///    LIFO stack; push and pop are single atomic steps (the real Treiber
+///    CAS is linearizable, and the ABA tag makes it behave like one).
+///  - The per-sub-pool counters TRAIL the stack operations: pop and its
+///    fetch_sub, push and its fetch_add, are separate micro-steps, so
+///    counters transiently disagree with stack membership — the benign
+///    races the paper describes. (They can even go transiently negative,
+///    hence signed counters here; the real uint32 wraps, which is
+///    equally != NumPackets.)
+///  - The Section 5.1 publish fence is an explicit step: entries written
+///    into a held packet are "unpublished" (visible only to the writer)
+///    until the fence publishes them. A consumer that pops the packet
+///    sees only published entries. Disabling the fence models the lost-
+///    reference bug the paper's fence discipline exists to prevent.
+///  - Packet-pool exhaustion takes the mark-and-dirty-card fallback: the
+///    entry leaves the packet system into a dirty-card counter and is
+///    re-injected by the cleaner before (or between) drain rounds,
+///    mirroring the parallelFinalMark outer loop.
+///  - Mutator-side deferral: a flusher actor acquires an Empty side
+///    packet, fills it, and parks it in Deferred; the controller
+///    redistributes Deferred before the drain, as the real collector
+///    does after the final handshake.
+///  - Termination: a worker holding nothing that finds both input
+///    probes empty reads EmptyCount (one atomic load) and declares done
+///    iff it equals NumPackets. Reads are gated to the STW drain phase
+///    (after the flusher handshake + redistribution), as in the real
+///    final mark. All-workers-declared with dirty cards pending loops
+///    back through re-injection, like the parallelFinalMark loop.
+///
+/// Simplifications (all conservative for the checked property):
+///  - Output acquisition tries only the Empty sub-pool before the
+///    overflow fallback (the real getOutput also tries Non-empty /
+///    Almost-full; that only reduces overflows).
+///  - A consumer never observes another thread's unpublished entries
+///    (real hardware may eventually show them; "never" is the worst
+///    case for losing work, and same-thread re-pops are rare).
+///
+/// Checked properties over the FULL reachable state space:
+///  - Safety: in every state where all workers have declared, no packet
+///    holds a published or unpublished entry (dirty cards are allowed:
+///    the outer loop re-injects them and rolls the workers back in).
+///  - Liveness (existential): a terminal success state — all declared,
+///    no dirty cards, controller finished — is reachable.
+///
+/// Mutation smoke tests flip one protocol rule at a time and assert the
+/// checker notices: NoPublishFence (skip Section 5.1 publish),
+/// DeferredCountsAsEmpty (putDeferred bumps EmptyCount — corrupts the
+/// termination counter), SkipRedistribute (deferred packets never
+/// return to circulation before the final drain).
+///
+//===----------------------------------------------------------------------===//
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+constexpr int MaxP = 4;  // packets
+constexpr int MaxW = 3;  // drain workers
+constexpr int Cap = 3;   // entries per packet; almost-full at >= 2
+
+enum Mutation : uint8_t {
+  None,
+  NoPublishFence,        // put/putDeferred skip the Section 5.1 publish
+  DeferredCountsAsEmpty, // putDeferred's trailing inc hits EmptyCount
+  SkipRedistribute       // controller never redistributes Deferred
+};
+
+struct Config {
+  int Workers = 2;
+  int Packets = 3;
+  int RootEntries = 2;   // pre-published entries in packet 0
+  int SpawnBudget = 2;   // how many child entries tracing may create
+  int FlushBatches = 1;  // side-packet fills by the mutator flusher
+  int FillPerBatch = 1;  // entries per flush
+  Mutation Mut = None;
+};
+
+enum Pool : uint8_t { PE = 0, PN = 1, PA = 2, PD = 3 };
+
+// Worker program counters. put = push and trailing inc as separate
+// steps; acquisition = pop and trailing dec as separate steps.
+enum WPc : uint8_t {
+  WIdle,        // probe Almost-full
+  WTriedAF,     // probe Non-empty
+  WDecIn,       // trailing fetch_sub for the input pop
+  WProcess,     // consume published entries from held input
+  WPlaceChild,  // route one spawned child to an output packet
+  WDecOut,      // trailing fetch_sub for the output pop
+  WPutInPush,   // push exhausted input to its sub-pool
+  WPutInInc,    // trailing fetch_add for that push
+  WPutOutFence, // Section 5.1 publish before pushing the output
+  WPutOutPush,
+  WPutOutInc,
+  WMaybeDeclare, // both probes failed: read EmptyCount once
+  WDone
+};
+
+enum FPc : uint8_t { FIdle, FDecE, FFill, FFence, FPush, FInc, FDone };
+
+enum CPc : uint8_t {
+  CWait,       // handshake: wait for the flusher to quiesce
+  CRedist,     // pop Deferred until empty
+  CRedistDec,
+  CRedistPush,
+  CRedistInc,
+  CInject,     // re-inject dirty cards; then flip to the drain phase
+  CInjDec,
+  CInjFill,
+  CInjFence,
+  CInjPush,
+  CInjInc,
+  CDone
+};
+
+// Byte-only POD: no padding, so memcmp/byte-hash are exact.
+struct Worker {
+  uint8_t Pc = WIdle;
+  uint8_t HeldIn = 0;  // packet index + 1, 0 = none
+  uint8_t HeldOut = 0;
+  uint8_t PendPool = 0;   // sub-pool for the trailing dec/inc step
+  uint8_t PendChild = 0;  // a spawned child still needs placing
+  bool operator<(const Worker &O) const {
+    return std::memcmp(this, &O, sizeof(Worker)) < 0;
+  }
+};
+
+struct State {
+  uint8_t Pub[MaxP] = {};    // published entries
+  uint8_t Unpub[MaxP] = {};  // written but not yet fence-published
+  uint8_t Stack[4][MaxP] = {};
+  uint8_t Size[4] = {};
+  int8_t Count[4] = {};      // trailing sub-pool counters
+  uint8_t Dirty = 0;         // entries parked via mark-and-dirty-card
+  uint8_t Spawn = 0;         // remaining spawn budget
+  uint8_t Drain = 0;         // 0 = concurrent phase, 1 = STW drain
+  uint8_t FPcV = FIdle, FHeld = 0, FBatches = 0;
+  uint8_t CPcV = CWait, CHeld = 0, CPend = 0;
+  Worker W[MaxW];
+
+  bool operator==(const State &O) const {
+    return std::memcmp(this, &O, sizeof(State)) == 0;
+  }
+};
+
+static_assert(sizeof(State) ==
+                  2 * MaxP + 4 * MaxP + 4 + 4 + 1 + 1 + 1 + 3 + 3 +
+                      MaxW * sizeof(Worker),
+              "State must stay padding-free for hashing");
+
+struct StateHash {
+  size_t operator()(const State &S) const {
+    const uint8_t *B = reinterpret_cast<const uint8_t *>(&S);
+    uint64_t H = 1469598103934665603ull;
+    for (size_t I = 0; I < sizeof(State); ++I) {
+      H ^= B[I];
+      H *= 1099511628211ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+struct Result {
+  size_t States = 0;
+  bool CompletionReachable = false;
+  std::vector<std::string> Violations;
+};
+
+class Model {
+public:
+  explicit Model(const Config &C) : C(C) {}
+
+  Result run() {
+    State Init;
+    // Packet 0 carries the pre-published root entries (the STW stack
+    // scan precedes concurrent tracing); everything else starts Empty.
+    for (int I = 0; I < C.Packets; ++I) {
+      if (I == 0 && C.RootEntries > 0) {
+        Init.Pub[0] = static_cast<uint8_t>(C.RootEntries);
+        push(Init, classify(Init.Pub[0]), 0);
+        ++Init.Count[classify(Init.Pub[0])];
+      } else {
+        push(Init, PE, static_cast<uint8_t>(I));
+        ++Init.Count[PE];
+      }
+    }
+    Init.Spawn = static_cast<uint8_t>(C.SpawnBudget);
+    Init.FBatches = static_cast<uint8_t>(C.FlushBatches);
+
+    canonicalize(Init);
+    Seen.insert(Init);
+    std::vector<State> Stack{Init};
+    while (!Stack.empty()) {
+      State S = Stack.back();
+      Stack.pop_back();
+      ++R.States;
+      inspect(S);
+      Succ.clear();
+      expand(S);
+      for (State &N : Succ) {
+        canonicalize(N);
+        if (Seen.insert(N).second)
+          Stack.push_back(N);
+      }
+    }
+    return R;
+  }
+
+private:
+  static uint8_t classify(int Entries) {
+    if (Entries == 0)
+      return PE;
+    return Entries * 2 >= Cap ? PA : PN;
+  }
+
+  static void push(State &S, uint8_t Pool, uint8_t Idx) {
+    S.Stack[Pool][S.Size[Pool]++] = Idx;
+  }
+  /// Pops the stack top into \p Idx; false when empty. One atomic step,
+  /// like the real tagged CAS.
+  static bool pop(State &S, uint8_t Pool, uint8_t &Idx) {
+    if (S.Size[Pool] == 0)
+      return false;
+    Idx = S.Stack[Pool][--S.Size[Pool]];
+    return true;
+  }
+
+  void canonicalize(State &S) const {
+    // Workers run identical programs: sorting their sub-states merges
+    // symmetric interleavings.
+    std::sort(S.W, S.W + C.Workers);
+  }
+
+  bool allDeclared(const State &S) const {
+    for (int I = 0; I < C.Workers; ++I)
+      if (S.W[I].Pc != WDone)
+        return false;
+    return true;
+  }
+
+  int packetEntries(const State &S) const {
+    int Total = 0;
+    for (int I = 0; I < C.Packets; ++I)
+      Total += S.Pub[I] + S.Unpub[I];
+    return Total;
+  }
+
+  void inspect(const State &S) {
+    if (!allDeclared(S))
+      return;
+    if (int Left = packetEntries(S); Left != 0 && R.Violations.size() < 8)
+      R.Violations.push_back(
+          "termination declared with " + std::to_string(Left) +
+          " entr(ies) still in packets (EmptyCount=" +
+          std::to_string(S.Count[PE]) + ")");
+    if (S.Dirty == 0 && S.CPcV == CDone)
+      R.CompletionReachable = true;
+  }
+
+  void emit(const State &N) { Succ.push_back(N); }
+
+  void expand(const State &S) {
+    for (int I = 0; I < C.Workers; ++I)
+      expandWorker(S, I);
+    expandFlusher(S);
+    expandController(S);
+  }
+
+  void publish(State &S, uint8_t Packet) const {
+    if (C.Mut != NoPublishFence) {
+      S.Pub[Packet] = static_cast<uint8_t>(S.Pub[Packet] + S.Unpub[Packet]);
+      S.Unpub[Packet] = 0;
+    }
+  }
+
+  void expandWorker(const State &S, int I) {
+    const Worker &W = S.W[I];
+    State N = S;
+    Worker &V = N.W[I];
+    uint8_t Idx = 0;
+    switch (W.Pc) {
+    case WIdle: // getInput, highest occupancy first: probe Almost-full.
+      if (pop(N, PA, Idx)) {
+        V.HeldIn = Idx + 1;
+        V.PendPool = PA;
+        V.Pc = WDecIn;
+      } else {
+        V.Pc = WTriedAF;
+      }
+      emit(N);
+      break;
+    case WTriedAF:
+      if (pop(N, PN, Idx)) {
+        V.HeldIn = Idx + 1;
+        V.PendPool = PN;
+        V.Pc = WDecIn;
+      } else {
+        V.Pc = WMaybeDeclare;
+      }
+      emit(N);
+      break;
+    case WDecIn:
+      --N.Count[W.PendPool];
+      V.Pc = WProcess;
+      emit(N);
+      break;
+    case WProcess: {
+      uint8_t P = W.HeldIn - 1;
+      if (S.Pub[P] == 0) {
+        // The consumer sees only published entries; an exhausted-looking
+        // packet goes back (possibly still carrying unpublished limbo —
+        // exactly the bug the fence prevents).
+        V.Pc = WPutInPush;
+        emit(N);
+        break;
+      }
+      // Consume one entry, spawning no child...
+      --N.Pub[P];
+      V.Pc = WProcess;
+      emit(N);
+      // ...or consume it and spawn one child (separate branch).
+      if (S.Spawn > 0) {
+        State M = S;
+        Worker &U = M.W[I];
+        --M.Pub[P];
+        --M.Spawn;
+        U.PendChild = 1;
+        U.Pc = WPlaceChild;
+        emit(M);
+      }
+      break;
+    }
+    case WPlaceChild: {
+      if (W.HeldOut != 0) {
+        uint8_t O = W.HeldOut - 1;
+        if (S.Pub[O] + S.Unpub[O] < Cap) {
+          ++N.Unpub[O]; // plain store; published at the put fence
+          V.PendChild = 0;
+          V.Pc = WProcess;
+        } else {
+          V.Pc = WPutOutFence; // full: put it, then come back
+        }
+        emit(N);
+        break;
+      }
+      if (pop(N, PE, Idx)) {
+        V.HeldOut = Idx + 1;
+        V.PendPool = PE;
+        V.Pc = WDecOut;
+      } else {
+        // Pool exhausted: mark-and-dirty-card fallback (Section 5.2).
+        ++N.Dirty;
+        V.PendChild = 0;
+        V.Pc = WProcess;
+      }
+      emit(N);
+      break;
+    }
+    case WDecOut:
+      --N.Count[PE];
+      V.Pc = WPlaceChild;
+      emit(N);
+      break;
+    case WPutInPush: {
+      uint8_t P = W.HeldIn - 1;
+      V.PendPool = classify(S.Pub[P]); // putter sees its own view
+      push(N, V.PendPool, P);
+      V.HeldIn = 0;
+      V.Pc = WPutInInc;
+      emit(N);
+      break;
+    }
+    case WPutInInc:
+      ++N.Count[W.PendPool];
+      V.Pc = (W.HeldOut != 0) ? WPutOutFence : WIdle;
+      emit(N);
+      break;
+    case WPutOutFence:
+      publish(N, W.HeldOut - 1);
+      V.Pc = WPutOutPush;
+      emit(N);
+      break;
+    case WPutOutPush: {
+      uint8_t O = W.HeldOut - 1;
+      // The putter's own writes are visible to itself regardless of the
+      // fence, so classification uses the true count.
+      V.PendPool = classify(S.Pub[O] + S.Unpub[O]);
+      push(N, V.PendPool, O);
+      V.HeldOut = 0;
+      V.Pc = WPutOutInc;
+      emit(N);
+      break;
+    }
+    case WPutOutInc:
+      ++N.Count[W.PendPool];
+      V.Pc = W.PendChild ? WPlaceChild : WIdle;
+      emit(N);
+      break;
+    case WMaybeDeclare:
+      // One atomic load of EmptyCount, only meaningful during the STW
+      // drain (the concurrent phase's reads only pace the collector).
+      if (S.Drain && S.CPcV == CDone && S.Count[PE] == C.Packets)
+        V.Pc = WDone;
+      else
+        V.Pc = WIdle;
+      emit(N);
+      break;
+    case WDone:
+      break;
+    }
+  }
+
+  void expandFlusher(const State &S) {
+    State N = S;
+    uint8_t Idx = 0;
+    switch (S.FPcV) {
+    case FIdle:
+      if (S.FBatches == 0) {
+        N.FPcV = FDone;
+        emit(N);
+        break;
+      }
+      if (pop(N, PE, Idx)) { // getEmpty: side packet for deferred objects
+        N.FHeld = Idx + 1;
+        N.FPcV = FDecE;
+      } else {
+        // Empty pool drained: mark-and-dirty-card fallback.
+        N.Dirty = static_cast<uint8_t>(N.Dirty + C.FillPerBatch);
+        --N.FBatches;
+      }
+      emit(N);
+      break;
+    case FDecE:
+      --N.Count[PE];
+      N.FPcV = FFill;
+      emit(N);
+      break;
+    case FFill:
+      N.Unpub[S.FHeld - 1] =
+          static_cast<uint8_t>(N.Unpub[S.FHeld - 1] + C.FillPerBatch);
+      N.FPcV = FFence;
+      emit(N);
+      break;
+    case FFence: // putDeferred always fences (the packet carries work)
+      publish(N, S.FHeld - 1);
+      N.FPcV = FPush;
+      emit(N);
+      break;
+    case FPush:
+      push(N, PD, S.FHeld - 1);
+      N.FHeld = 0;
+      N.FPcV = FInc;
+      emit(N);
+      break;
+    case FInc:
+      // Trailing counter update for putDeferred. The mutation routes it
+      // to EmptyCount, silently inflating the termination counter.
+      ++N.Count[C.Mut == DeferredCountsAsEmpty ? PE : PD];
+      --N.FBatches;
+      N.FPcV = FIdle;
+      emit(N);
+      break;
+    case FDone:
+      break;
+    }
+  }
+
+  void expandController(const State &S) {
+    State N = S;
+    uint8_t Idx = 0;
+    switch (S.CPcV) {
+    case CWait: // the final handshake: all mutator flushers quiescent
+      if (S.FPcV == FDone) {
+        N.CPcV = (C.Mut == SkipRedistribute) ? CInject : CRedist;
+        emit(N);
+      }
+      break;
+    case CRedist:
+      if (pop(N, PD, Idx)) {
+        N.CHeld = Idx + 1;
+        N.CPcV = CRedistDec;
+      } else {
+        N.CPcV = CInject;
+      }
+      emit(N);
+      break;
+    case CRedistDec:
+      --N.Count[PD];
+      N.CPcV = CRedistPush;
+      emit(N);
+      break;
+    case CRedistPush:
+      // put(): the controller classifies by what IT can see — only the
+      // published entries (it did not write the deferred objects).
+      N.CPend = classify(S.Pub[S.CHeld - 1]);
+      push(N, N.CPend, S.CHeld - 1);
+      N.CHeld = 0;
+      N.CPcV = CRedistInc;
+      emit(N);
+      break;
+    case CRedistInc:
+      ++N.Count[S.CPend];
+      N.CPcV = CRedist;
+      emit(N);
+      break;
+    case CInject:
+      if (S.Dirty == 0) {
+        N.Drain = 1; // cleaning complete: enter the STW drain phase
+        N.CPcV = CDone;
+        emit(N);
+        break;
+      }
+      if (pop(N, PE, Idx)) { // cleaner needs an output packet
+        N.CHeld = Idx + 1;
+        N.CPcV = CInjDec;
+        emit(N);
+      }
+      // else: wait for workers to return a packet (no enabled step).
+      break;
+    case CInjDec:
+      --N.Count[PE];
+      N.CPcV = CInjFill;
+      emit(N);
+      break;
+    case CInjFill: {
+      uint8_t Take = static_cast<uint8_t>(S.Dirty < Cap ? S.Dirty : Cap);
+      N.Dirty = static_cast<uint8_t>(N.Dirty - Take);
+      N.Unpub[S.CHeld - 1] = static_cast<uint8_t>(N.Unpub[S.CHeld - 1] + Take);
+      N.CPcV = CInjFence;
+      emit(N);
+      break;
+    }
+    case CInjFence:
+      publish(N, S.CHeld - 1);
+      N.CPcV = CInjPush;
+      emit(N);
+      break;
+    case CInjPush:
+      N.CPend = classify(S.Pub[S.CHeld - 1] + S.Unpub[S.CHeld - 1]);
+      push(N, N.CPend, S.CHeld - 1);
+      N.CHeld = 0;
+      N.CPcV = CInjInc;
+      emit(N);
+      break;
+    case CInjInc:
+      ++N.Count[S.CPend];
+      N.CPcV = CInject;
+      emit(N);
+      break;
+    case CDone:
+      // Overflows during the drain re-dirty cards; once every worker
+      // has declared, loop them back through injection + another drain
+      // round — the parallelFinalMark outer loop.
+      if (S.Dirty != 0 && allDeclared(S)) {
+        for (int I = 0; I < C.Workers; ++I)
+          N.W[I] = Worker{};
+        N.CPcV = CInject;
+        emit(N);
+      }
+      break;
+    }
+  }
+
+  Config C;
+  Result R;
+  std::unordered_set<State, StateHash> Seen;
+  std::vector<State> Succ;
+};
+
+Result check(const Config &C) { return Model(C).run(); }
+
+std::string summarize(const Result &R) {
+  std::string Out = std::to_string(R.States) + " states; completion " +
+                    (R.CompletionReachable ? "reachable" : "UNREACHABLE");
+  for (const auto &V : R.Violations)
+    Out += "\n  violation: " + V;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Unmutated protocol: exhaustive, no violations, completion reachable.
+//===----------------------------------------------------------------------===//
+
+TEST(PacketModelCheck, TwoWorkersThreePackets) {
+  Config C;
+  C.Workers = 2;
+  C.Packets = 3;
+  C.RootEntries = 2;
+  C.SpawnBudget = 2;
+  C.FlushBatches = 1;
+  Result R = check(C);
+  EXPECT_TRUE(R.Violations.empty()) << summarize(R);
+  EXPECT_TRUE(R.CompletionReachable) << summarize(R);
+  EXPECT_GT(R.States, 1000u);
+}
+
+TEST(PacketModelCheck, ThreeWorkersFourPackets) {
+  Config C;
+  C.Workers = 3;
+  C.Packets = 4;
+  C.RootEntries = 2;
+  C.SpawnBudget = 2;
+  C.FlushBatches = 1;
+  Result R = check(C);
+  EXPECT_TRUE(R.Violations.empty()) << summarize(R);
+  EXPECT_TRUE(R.CompletionReachable) << summarize(R);
+}
+
+TEST(PacketModelCheck, DeferralAndOverflowPressure) {
+  // Few packets + a big flush forces the Empty pool dry: exercises the
+  // getEmpty failure path, dirty-card overflow, and re-injection.
+  Config C;
+  C.Workers = 2;
+  C.Packets = 2;
+  C.RootEntries = 2;
+  C.SpawnBudget = 3;
+  C.FlushBatches = 2;
+  C.FillPerBatch = 2;
+  Result R = check(C);
+  EXPECT_TRUE(R.Violations.empty()) << summarize(R);
+  EXPECT_TRUE(R.CompletionReachable) << summarize(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation smoke tests: each flipped rule must be caught, either as a
+// safety violation (declared with work outstanding) or as a liveness
+// failure (completion unreachable).
+//===----------------------------------------------------------------------===//
+
+Config mutated(Mutation M) {
+  Config C;
+  C.Workers = 2;
+  C.Packets = 3;
+  C.RootEntries = 2;
+  C.SpawnBudget = 2;
+  C.FlushBatches = 1;
+  C.Mut = M;
+  return C;
+}
+
+TEST(PacketModelCheck, MutationNoPublishFenceIsCaught) {
+  // Without the Section 5.1 fence, entries parked in a deferred packet
+  // are invisible to the redistributing controller, which classifies
+  // the packet Empty — the references are lost and termination is
+  // declared anyway.
+  Result R = check(mutated(NoPublishFence));
+  EXPECT_FALSE(R.Violations.empty()) << summarize(R);
+}
+
+TEST(PacketModelCheck, MutationDeferredCountsAsEmptyIsCaught) {
+  // Routing putDeferred's counter update into EmptyCount inflates the
+  // termination counter: either a worker declares while the deferred
+  // work is still circulating, or the counter never equals NumPackets
+  // again and the drain cannot finish.
+  Result R = check(mutated(DeferredCountsAsEmpty));
+  EXPECT_TRUE(!R.Violations.empty() || !R.CompletionReachable)
+      << summarize(R);
+}
+
+TEST(PacketModelCheck, MutationSkipRedistributeIsCaught) {
+  // Deferred packets that never return to circulation keep EmptyCount
+  // below NumPackets forever: the drain can never terminate.
+  Result R = check(mutated(SkipRedistribute));
+  EXPECT_FALSE(R.CompletionReachable) << summarize(R);
+}
+
+} // namespace

@@ -304,4 +304,81 @@ TEST_F(ShardedFreeListTest, HammerThreadsMatchSingleThreadedOracle) {
   expectNoBoundaryCrossing(List);
 }
 
+//===----------------------------------------------------------------------===//
+// Refillable-free accounting (pacer shard-stranding awareness)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ShardedFreeListTest, RefillableCountsOnlyRangesAtOrAboveThreshold) {
+  constexpr size_t Threshold = 8u << 10;
+  ShardedFreeList List(at(0), RegionBytes, 4, nullptr, Threshold);
+  // One range comfortably above the threshold, one exactly at it, one
+  // below: only the first two are refill material.
+  List.addRange(at(0), 32u << 10);
+  List.addRange(at(64u << 10), Threshold);
+  List.addRange(at(128u << 10), 4u << 10);
+  EXPECT_EQ(List.freeBytes(), (32u << 10) + Threshold + (4u << 10));
+  EXPECT_EQ(List.refillableFreeBytes(), (32u << 10) + Threshold);
+
+  // Carving the large range down below the threshold must untrack it.
+  uint8_t *P = List.allocate((32u << 10) - (4u << 10), 0);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(List.refillableFreeBytes(), Threshold)
+      << "a remainder below the threshold still counted as refillable";
+  EXPECT_EQ(List.freeBytes(), Threshold + (4u << 10) + (4u << 10));
+
+  List.clear();
+  EXPECT_EQ(List.refillableFreeBytes(), 0u);
+}
+
+TEST_F(ShardedFreeListTest, ThresholdZeroMeansRefillableEqualsFree) {
+  // The default (threshold 0) preserves the old behaviour exactly:
+  // every free byte counts as refillable, through arbitrary churn.
+  ShardedFreeList List(at(0), RegionBytes, 4);
+  List.addRange(at(0), RegionBytes);
+  Random Rng(7);
+  std::vector<std::pair<uint8_t *, size_t>> Held;
+  for (int I = 0; I < 2000; ++I) {
+    if (Rng.nextBool(0.6) || Held.empty()) {
+      size_t Got = 0;
+      if (uint8_t *P = List.allocateUpTo(64, 16u << 10, Got, I % 4))
+        Held.emplace_back(P, Got);
+    } else {
+      auto [P, Size] = Held.back();
+      Held.pop_back();
+      List.addRange(P, Size);
+    }
+    ASSERT_EQ(List.refillableFreeBytes(), List.freeBytes())
+        << "threshold 0 must keep refillable == free (step " << I << ")";
+  }
+}
+
+TEST_F(ShardedFreeListTest, FragmentedShardsStrandFreeBytes) {
+  // The pacer-stranding scenario: plenty of free bytes in aggregate,
+  // but every range is smaller than an allocation-cache refill, so no
+  // mutator can actually use them. refillableFreeBytes() must report
+  // (near) zero while freeBytes() stays high -- this gap is what drives
+  // the earlier collection kickoff.
+  constexpr size_t Threshold = 8u << 10;
+  ShardedFreeList List(at(0), RegionBytes, 4, nullptr, Threshold);
+  constexpr size_t Fragment = 4u << 10;  // half the refill threshold
+  constexpr size_t Stride = 16u << 10;   // gaps prevent coalescing
+  constexpr size_t Reserved = 64u << 10; // kept for the large block below
+  size_t Added = 0;
+  for (size_t Off = 0; Off + Fragment <= RegionBytes - Reserved;
+       Off += Stride) {
+    List.addRange(at(Off), Fragment);
+    Added += Fragment;
+  }
+  EXPECT_EQ(List.freeBytes(), Added);
+  EXPECT_GT(List.freeBytes(), 1u << 20) << "scenario needs real volume";
+  EXPECT_EQ(List.refillableFreeBytes(), 0u)
+      << "sub-threshold fragments must not count as refillable";
+
+  // Refillable never exceeds raw free, and returning a large block
+  // makes it refill material again.
+  List.addRange(at(RegionBytes - Reserved), Reserved);
+  EXPECT_EQ(List.refillableFreeBytes(), Reserved);
+  EXPECT_LE(List.refillableFreeBytes(), List.freeBytes());
+}
+
 } // namespace

@@ -1,0 +1,34 @@
+//===- main.cpp - cgc-lint CLI ------------------------------------------------//
+///
+/// \file
+/// Usage: cgc-lint <src-root> [<src-root>...]
+///
+/// Lints every .h/.cpp under each root against the concurrency
+/// discipline (see LintCore.h). Prints one line per finding and exits
+/// non-zero if any finding survives suppression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "LintCore.h"
+
+#include <cstdio>
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: cgc-lint <src-root> [<src-root>...]\n");
+    return 2;
+  }
+  size_t Total = 0;
+  for (int I = 1; I < argc; ++I) {
+    auto Violations = cgclint::lintTree(argv[I]);
+    for (const auto &V : Violations)
+      std::fprintf(stderr, "%s\n", cgclint::formatViolation(V).c_str());
+    Total += Violations.size();
+  }
+  if (Total) {
+    std::fprintf(stderr, "cgc-lint: %zu violation(s)\n", Total);
+    return 1;
+  }
+  std::printf("cgc-lint: clean\n");
+  return 0;
+}
