@@ -10,15 +10,28 @@
 #ifndef CGC_BENCH_BENCHUTIL_H
 #define CGC_BENCH_BENCHUTIL_H
 
+#include "observe/BenchJsonWriter.h"
+#include "observe/ChromeTraceExporter.h"
 #include "runtime/GcHeap.h"
 #include "support/TablePrinter.h"
 #include "workloads/Compiler.h"
 #include "workloads/Warehouse.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 namespace cgc::bench {
+
+/// Pause quantiles from the observer's TotalPause histogram (all ms).
+struct PauseQuantiles {
+  double P50Ms = 0;
+  double P95Ms = 0;
+  double P99Ms = 0;
+  double MaxMs = 0;
+  uint64_t Samples = 0;
+};
 
 /// Everything a table row needs from one run.
 struct RunOutcome {
@@ -27,12 +40,72 @@ struct RunOutcome {
   GcAggregates Agg;
   PacketPoolStats Pool;
   size_t HeapBytes = 0;
+  /// From the observability layer (runs always enable GcOptions::Observe;
+  /// zeros when the tree is built with CGC_OBSERVE=OFF).
+  PauseQuantiles Pauses;
+  /// Mean achieved tracing rate over concurrent cycles (Table 1's K).
+  double KActualAvg = 0;
+  /// Mean estimated floating garbage as a fraction of the heap.
+  double FloatingGarbageFrac = 0;
+  /// Events overwritten before export (ring too small for the run).
+  uint64_t DroppedEvents = 0;
 };
 
-/// Runs the warehouse workload on a fresh heap with \p Options.
+/// Chrome-trace dump directory (env CGC_BENCH_TRACE_DIR), empty = off.
+inline const char *traceDir() {
+  const char *Dir = std::getenv("CGC_BENCH_TRACE_DIR");
+  return Dir && *Dir ? Dir : nullptr;
+}
+
+namespace detail {
+
+inline void harvestObservability(GcHeap &Heap, RunOutcome &Out) {
+  GcObserver &Obs = Heap.core().Obs;
+  const PauseHistogram &H =
+      Obs.metrics().histogram(PauseMetric::TotalPause);
+  Out.Pauses.Samples = H.count();
+  Out.Pauses.P50Ms = static_cast<double>(H.quantile(0.50)) / 1e6;
+  Out.Pauses.P95Ms = static_cast<double>(H.quantile(0.95)) / 1e6;
+  Out.Pauses.P99Ms = static_cast<double>(H.quantile(0.99)) / 1e6;
+  Out.Pauses.MaxMs = static_cast<double>(H.max()) / 1e6;
+
+  std::vector<CycleGauges> Gauges = Obs.metrics().cycleGauges();
+  uint64_t NumConcurrent = 0;
+  for (const CycleGauges &G : Gauges) {
+    if (G.Concurrent) {
+      Out.KActualAvg += G.KActual;
+      ++NumConcurrent;
+    }
+    if (G.HeapBytes)
+      Out.FloatingGarbageFrac += static_cast<double>(G.FloatingGarbageBytes) /
+                                 static_cast<double>(G.HeapBytes);
+  }
+  if (NumConcurrent)
+    Out.KActualAvg /= static_cast<double>(NumConcurrent);
+  if (!Gauges.empty())
+    Out.FloatingGarbageFrac /= static_cast<double>(Gauges.size());
+
+  if (const char *Dir = traceDir()) {
+    static unsigned RunSeq = 0; // Benches are single-threaded mains.
+    std::vector<EventRecord> Events = Obs.drainAll();
+    std::string Path =
+        std::string(Dir) + "/trace_run" + std::to_string(RunSeq++) + ".json";
+    if (ChromeTraceExporter::writeFile(Path, Events))
+      std::fprintf(stderr, "chrome trace: %s (%zu events)\n", Path.c_str(),
+                   Events.size());
+  }
+  Out.DroppedEvents = Obs.droppedEvents();
+}
+
+} // namespace detail
+
+/// Runs the warehouse workload on a fresh heap with \p Options
+/// (observability is always enabled so pause quantiles are collected).
 inline RunOutcome runWarehouse(const GcOptions &Options,
                                const WarehouseConfig &Config) {
-  auto Heap = GcHeap::create(Options);
+  GcOptions Opts = Options;
+  Opts.Observe = true;
+  auto Heap = GcHeap::create(Opts);
   WarehouseWorkload Workload(*Heap, Config);
   RunOutcome Out;
   Out.Workload = Workload.run();
@@ -40,13 +113,16 @@ inline RunOutcome runWarehouse(const GcOptions &Options,
   Out.Agg = GcAggregates::compute(Out.Cycles);
   Out.Pool = Heap->core().Pool.stats();
   Out.HeapBytes = Heap->core().Heap.sizeBytes();
+  detail::harvestObservability(*Heap, Out);
   return Out;
 }
 
 /// Runs the compiler workload on a fresh heap with \p Options.
 inline RunOutcome runCompiler(const GcOptions &Options,
                               const CompilerConfig &Config) {
-  auto Heap = GcHeap::create(Options);
+  GcOptions Opts = Options;
+  Opts.Observe = true;
+  auto Heap = GcHeap::create(Opts);
   CompilerWorkload Workload(*Heap, Config);
   RunOutcome Out;
   Out.Workload = Workload.run();
@@ -54,7 +130,59 @@ inline RunOutcome runCompiler(const GcOptions &Options,
   Out.Agg = GcAggregates::compute(Out.Cycles);
   Out.Pool = Heap->core().Pool.stats();
   Out.HeapBytes = Heap->core().Heap.sizeBytes();
+  detail::harvestObservability(*Heap, Out);
   return Out;
+}
+
+/// Workload duration override: env CGC_BENCH_MILLIS (for quick CI runs)
+/// or \p Default.
+inline uint64_t benchMillis(uint64_t Default) {
+  if (const char *Env = std::getenv("CGC_BENCH_MILLIS")) {
+    uint64_t Millis = std::strtoull(Env, nullptr, 10);
+    if (Millis > 0)
+      return Millis;
+  }
+  return Default;
+}
+
+/// Series-length override: env CGC_BENCH_MAX_SERIES caps the number of
+/// series points (warehouse counts, tracing rates, ...) a bench sweeps.
+inline unsigned benchMaxSeries(unsigned Default) {
+  if (const char *Env = std::getenv("CGC_BENCH_MAX_SERIES")) {
+    unsigned Max = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+    if (Max > 0 && Max < Default)
+      return Max;
+  }
+  return Default;
+}
+
+/// Adds the standard observability metrics every bench row reports.
+inline void addCommonMetrics(BenchJsonWriter &Json, const RunOutcome &Run) {
+  Json.addMetric("pause_p50_ms", Run.Pauses.P50Ms, "ms");
+  Json.addMetric("pause_p95_ms", Run.Pauses.P95Ms, "ms");
+  Json.addMetric("pause_p99_ms", Run.Pauses.P99Ms, "ms");
+  Json.addMetric("pause_max_ms", Run.Pauses.MaxMs, "ms");
+  Json.addMetric("pause_avg_ms", Run.Agg.AvgPauseMs, "ms");
+  Json.addMetric("mark_avg_ms", Run.Agg.AvgMarkMs, "ms");
+  Json.addMetric("sweep_avg_ms", Run.Agg.AvgSweepMs, "ms");
+  Json.addMetric("throughput_per_s", Run.Workload.throughput(), "per_s");
+  Json.addMetric("gc_cycles_count",
+                 static_cast<double>(Run.Agg.NumCycles), "count");
+  Json.addMetric("k_actual_ratio", Run.KActualAvg, "ratio");
+  Json.addMetric("floating_garbage_ratio", Run.FloatingGarbageFrac, "ratio");
+  Json.addMetric("dropped_events_count",
+                 static_cast<double>(Run.DroppedEvents), "count");
+}
+
+/// Writes `BENCH_<name>.json` into CGC_BENCH_OUT_DIR (default ".") and
+/// reports the result on stdout.
+inline void emitBenchJson(const BenchJsonWriter &Json) {
+  const char *Dir = std::getenv("CGC_BENCH_OUT_DIR");
+  std::string Path = Json.writeFile(Dir && *Dir ? Dir : ".");
+  if (Path.empty())
+    std::fprintf(stderr, "bench json: WRITE FAILED\n");
+  else
+    std::printf("\nbench json: %s\n", Path.c_str());
 }
 
 /// Warehouse config sized for ~\p Occupancy of \p Options' heap.

@@ -25,7 +25,7 @@ int main() {
          "paper; scaled to a 96 MB heap here");
 
   constexpr size_t HeapBytes = 96u << 20;
-  constexpr uint64_t Millis = 4000;
+  const uint64_t Millis = benchMillis(4000);
   // Occupancy sweep mirroring the paper's 40..80 warehouses (57%..91%).
   struct Level {
     unsigned Warehouses;
@@ -33,13 +33,18 @@ int main() {
   };
   const Level Levels[] = {{40, 0.57}, {50, 0.65}, {60, 0.74},
                           {70, 0.83}, {80, 0.91}};
+  const unsigned NumLevels = benchMaxSeries(5);
 
   TablePrinter Table({"warehouses", "occupancy", "CGC max", "CGC avg",
                       "CGC mark avg", "CGC sweep avg", "sweep share",
                       "STW avg"});
+  BenchJsonWriter Json("fig2");
 
   double FirstMark = 0, LastMark = 0, FirstOcc = 0, LastOcc = 0;
+  unsigned LevelIdx = 0;
   for (const Level &L : Levels) {
+    if (LevelIdx++ >= NumLevels)
+      break;
     GcOptions Cgc;
     Cgc.Kind = CollectorKind::MostlyConcurrent;
     Cgc.HeapBytes = HeapBytes;
@@ -68,6 +73,24 @@ int main() {
          TablePrinter::percent(SweepShare, 0),
          TablePrinter::num(StwRun.Agg.AvgPauseMs, 1)});
 
+    auto emitRow = [&](const char *Collector, const RunOutcome &Run) {
+      Json.beginRow("warehouses=" + std::to_string(L.Warehouses) +
+                    ",collector=" + Collector);
+      Json.addConfig("warehouses", L.Warehouses);
+      Json.addConfig("occupancy", L.Occupancy);
+      Json.addConfig("heap_mb", static_cast<double>(HeapBytes >> 20));
+      Json.addConfig("duration_ms", static_cast<double>(Millis));
+      Json.addConfig("concurrent", Collector[0] == 'c' ? 1 : 0);
+      addCommonMetrics(Json, Run);
+      Json.addMetric("sweep_share_ratio",
+                     Run.Agg.AvgPauseMs > 0
+                         ? Run.Agg.AvgSweepMs / Run.Agg.AvgPauseMs
+                         : 0,
+                     "ratio");
+    };
+    emitRow("cgc", CgcRun);
+    emitRow("stw", StwRun);
+
     if (L.Warehouses == 40) { // 57% occupancy = the paper's "50" point.
       FirstMark = CgcRun.Agg.AvgMarkMs;
       FirstOcc = L.Occupancy;
@@ -86,5 +109,6 @@ int main() {
   std::printf("expected shape: mark time grows much slower than occupancy; "
               "sweep is a large share of the remaining CGC pause "
               "(paper: 42%% at 80 warehouses).\n");
+  emitBenchJson(Json);
   return 0;
 }

@@ -21,7 +21,7 @@ int main() {
          "the paper; scaled to a 48 MB heap here");
 
   constexpr size_t HeapBytes = 48u << 20;
-  constexpr uint64_t Millis = 5000;
+  const uint64_t Millis = benchMillis(5000);
   constexpr unsigned Warehouses = 8;
 
   GcOptions Stw;
@@ -32,17 +32,24 @@ int main() {
   double StwLive = StwRun.Agg.AvgLiveBytesAfter;
 
   const double Rates[] = {1.0, 4.0, 8.0, 10.0};
+  const unsigned NumRates = benchMaxSeries(4);
   std::vector<RunOutcome> Runs;
+  std::vector<double> UsedRates;
   for (double Rate : Rates) {
+    if (UsedRates.size() >= NumRates)
+      break;
     GcOptions Cgc = Stw;
     Cgc.Kind = CollectorKind::MostlyConcurrent;
     Cgc.TracingRate = Rate;
     Cgc.BackgroundThreads = 1; // 1 per CPU, as in the paper's 4-on-4.
     Runs.push_back(runWarehouse(Cgc, Config));
+    UsedRates.push_back(Rate);
   }
 
-  TablePrinter Table({"Measurement", "STW", "TR 1", "TR 4", "TR 8",
-                      "TR 10"});
+  std::vector<std::string> Headers{"Measurement", "STW"};
+  for (double Rate : UsedRates)
+    Headers.push_back("TR " + TablePrinter::num(Rate, 0));
+  TablePrinter Table(Headers);
   auto row = [&](const char *Name, auto Fn, std::string StwCell) {
     std::vector<std::string> Cells{Name, std::move(StwCell)};
     for (const RunOutcome &Run : Runs)
@@ -83,6 +90,29 @@ int main() {
       },
       TablePrinter::num(static_cast<uint64_t>(StwRun.Agg.NumCycles)));
   Table.print();
+
+  BenchJsonWriter Json("table1");
+  auto emitRow = [&](const std::string &Label, double Rate,
+                     const RunOutcome &Run) {
+    Json.beginRow(Label);
+    Json.addConfig("warehouses", Warehouses);
+    Json.addConfig("heap_mb", static_cast<double>(HeapBytes >> 20));
+    Json.addConfig("duration_ms", static_cast<double>(Millis));
+    Json.addConfig("tracing_rate", Rate); // 0 = STW baseline.
+    addCommonMetrics(Json, Run);
+    double Extra = (Run.Agg.AvgLiveBytesAfter - StwLive) /
+                   static_cast<double>(HeapBytes);
+    Json.addMetric("floating_garbage_vs_stw_ratio", Extra < 0 ? 0 : Extra,
+                   "ratio");
+    Json.addMetric("final_cards_cleaned_count", Run.Agg.AvgCardsCleanedFinal,
+                   "count");
+  };
+  emitRow("stw", 0, StwRun);
+  for (size_t I = 0; I < Runs.size(); ++I)
+    emitRow("tr=" + TablePrinter::num(UsedRates[I], 0), UsedRates[I],
+            Runs[I]);
+  emitBenchJson(Json);
+
   std::printf("\nexpected shape (paper): floating garbage 18%% -> 4.2%% and "
               "final card cleaning 93627 -> 8394 as TR goes 1 -> 10; "
               "pauses shrink with higher TR; every TR beats STW pauses.\n");

@@ -1,0 +1,42 @@
+//===- validate_bench_json.cpp - cgc-bench-v1 schema validator ----------------//
+///
+/// CI gate for machine-readable bench output: reads each BENCH_*.json
+/// named on the command line and checks it against the cgc-bench-v1
+/// schema (see observe/BenchJsonWriter.h). Exit status is the number of
+/// invalid files, so `validate_bench_json BENCH_fig1.json` fails the
+/// build exactly when the document is malformed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "observe/BenchJsonWriter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_<name>.json...\n", Argv[0]);
+    return 2;
+  }
+  int Invalid = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::ifstream In(Argv[I]);
+    if (!In) {
+      std::fprintf(stderr, "%s: cannot open\n", Argv[I]);
+      ++Invalid;
+      continue;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Error;
+    if (cgc::validateBenchJson(Buf.str(), &Error)) {
+      std::printf("%s: OK\n", Argv[I]);
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", Argv[I], Error.c_str());
+      ++Invalid;
+    }
+  }
+  return Invalid;
+}

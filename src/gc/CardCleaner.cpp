@@ -3,6 +3,7 @@
 #include "gc/CardCleaner.h"
 
 #include "mutator/ThreadRegistry.h"
+#include "observe/Observe.h"
 #include "support/Atomics.h"
 #include "support/Fences.h"
 
@@ -61,6 +62,7 @@ bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
     RegisteredCount.store(Registered.size(), std::memory_order_release);
   }
   PassesStarted.fetch_add(1, std::memory_order_release);
+  CGC_OBS_EVENT_P(Obs, CardCleanPass, Registered.size(), 0);
   return HaveWork;
 }
 
@@ -90,6 +92,7 @@ size_t CardCleaner::beginFinalPass() {
   // fence completes the protocol.
   fence(FenceSite::CardTableHandshake);
   RegisteredCount.store(Registered.size(), std::memory_order_release);
+  CGC_OBS_EVENT_P(Obs, CardCleanPass, Registered.size(), 1);
   return Registered.size();
 }
 
@@ -118,6 +121,8 @@ size_t CardCleaner::cleanSome(TraceContext &Ctx, size_t MaxCards) {
       CleanedConcurrent.fetch_add(1, std::memory_order_relaxed);
     ++Done;
   }
+  if (Done)
+    CGC_OBS_EVENT_P(Obs, CardCleanSlice, Done, registeredNotCleaned());
   return Done;
 }
 

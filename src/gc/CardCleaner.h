@@ -37,6 +37,7 @@
 
 namespace cgc {
 
+class GcObserver;
 class MutatorContext;
 class ThreadRegistry;
 
@@ -45,10 +46,11 @@ class CardCleaner {
 public:
   /// \p FI (optional) arms the cleaner's fault-injection sites; they
   /// only ever fire during concurrent passes — the final stop-the-world
-  /// pass must make progress unconditionally.
+  /// pass must make progress unconditionally. \p Obs (optional)
+  /// receives pass and slice events.
   CardCleaner(HeapSpace &Heap, ThreadRegistry &Registry,
-              FaultInjector *FI = nullptr)
-      : Heap(Heap), Registry(Registry), FI(FI) {}
+              FaultInjector *FI = nullptr, GcObserver *Obs = nullptr)
+      : Heap(Heap), Registry(Registry), FI(FI), Obs(Obs) {}
 
   /// Resets pass state for a new collection cycle allowing
   /// \p ConcurrentPasses concurrent passes.
@@ -110,6 +112,7 @@ private:
   HeapSpace &Heap;
   ThreadRegistry &Registry;
   FaultInjector *FI;
+  GcObserver *Obs;
 
   SpinLock RegistrarLock;
   std::vector<uint32_t> Registered;

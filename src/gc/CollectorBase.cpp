@@ -107,6 +107,8 @@ void CollectorBase::runFullStwCycle(MutatorContext *Ctx) {
   Record.Concurrent = false;
   uint64_t SyncOpsBefore = C.Pool.stats().SyncOps;
 
+  CGC_OBS_EVENT(C.Obs, StwBegin,
+                C.CycleNumber.load(std::memory_order_relaxed) + 1, 2);
   Stopwatch Pause;
   C.Registry.stopTheWorld(Ctx, C.Heap.allocBits());
   Record.StopMs = Pause.elapsedMillis();
@@ -139,7 +141,11 @@ void CollectorBase::runFullStwCycle(MutatorContext *Ctx) {
   Record.PauseMs = Pause.elapsedMillis();
   Record.SyncOps = C.Pool.stats().SyncOps - SyncOpsBefore;
 
+  CGC_OBS_EVENT(C.Obs, StwEnd, Record.CycleNumber,
+                static_cast<uint64_t>(Record.PauseMs * 1e6));
+  recordCycleObservability(Record);
   C.Stats.addCycle(Record);
+  CGC_OBS_EVENT(C.Obs, CycleComplete, Record.CycleNumber, 0);
   C.CompletedCycles.fetch_add(1, std::memory_order_release);
   C.Registry.resumeTheWorld();
 }
@@ -183,9 +189,11 @@ void CollectorBase::sweepWorld(CycleRecord &Record) {
     // Live bytes are only known once the lazy sweep completes; report
     // the occupied estimate at pause end instead.
     Record.LiveBytesAfter = C.Heap.occupiedBytes();
+    CGC_OBS_EVENT(C.Obs, SweepSlice, Record.LiveBytesAfter, 1);
   } else {
     Record.LiveBytesAfter = C.Sweep.sweepAll(&C.Workers);
     Record.SweepMs = SweepTimer.elapsedMillis();
+    CGC_OBS_EVENT(C.Obs, SweepSlice, Record.LiveBytesAfter, 0);
   }
 
   if (C.Compact.armed()) {
@@ -213,4 +221,40 @@ void CollectorBase::sweepWorld(CycleRecord &Record) {
   Record.FreeBytesAfter = C.Heap.freeBytes();
   Record.LargestFreeRangeAfter = C.Heap.freeList().largestRange();
   Record.HeapBytes = C.Heap.sizeBytes();
+}
+
+void CollectorBase::recordCycleObservability(const CycleRecord &Record) {
+#if CGC_OBSERVE_COMPILED
+  if (!C.Obs.enabled())
+    return;
+  auto ToNs = [](double Ms) {
+    return Ms <= 0 ? 0ull : static_cast<uint64_t>(Ms * 1e6);
+  };
+  MetricsRegistry &M = C.Obs.metrics();
+  M.histogram(PauseMetric::TotalPause).record(ToNs(Record.PauseMs));
+  M.histogram(PauseMetric::FinalCardClean).record(ToNs(Record.FinalCardCleanMs));
+  M.histogram(PauseMetric::FinalMark).record(ToNs(Record.FinalMarkMs));
+  M.histogram(PauseMetric::Sweep).record(ToNs(Record.SweepMs));
+
+  CycleGauges G;
+  G.Cycle = Record.CycleNumber;
+  G.Concurrent = Record.Concurrent ? 1 : 0;
+  G.KTarget = C.Options.TracingRate;
+  // Achieved tracing rate over the concurrent window (Table 1's "K").
+  G.KActual = Record.BytesAllocatedConcurrent
+                  ? static_cast<double>(Record.BytesTracedConcurrent) /
+                        static_cast<double>(Record.BytesAllocatedConcurrent)
+                  : 0.0;
+  G.Best = C.Pace.estimateBest();
+  PacketPoolOccupancy Occ = C.Pool.occupancy();
+  G.PoolEmpty = Occ.Empty;
+  G.PoolNonEmpty = Occ.NonEmpty;
+  G.PoolAlmostFull = Occ.AlmostFull;
+  G.PoolDeferred = Occ.Deferred;
+  G.LiveAfterBytes = Record.LiveBytesAfter;
+  G.HeapBytes = Record.HeapBytes;
+  M.addCycleGauges(G);
+#else
+  (void)Record;
+#endif
 }

@@ -58,6 +58,12 @@ protected:
   /// holds the collect lock.
   void runFullStwCycle(MutatorContext *Ctx);
 
+  /// Feeds a finished cycle's record into the observability layer:
+  /// pause histograms (total pause and its decomposition) and the
+  /// per-cycle gauges (K actual vs. target, Best, pool occupancy,
+  /// floating garbage). No-op when Observe is off.
+  void recordCycleObservability(const CycleRecord &Record);
+
   GcCore &C;
 };
 

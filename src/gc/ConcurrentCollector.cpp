@@ -84,6 +84,8 @@ void ConcurrentCollector::tryStartCycle(MutatorContext *Ctx) {
   // Publishing the phase wakes the background threads and switches every
   // allocation slow path into assist mode.
   C.setPhase(GcPhase::Concurrent);
+  CGC_OBS_EVENT(C.Obs, CycleKickoff, Cur.CycleNumber,
+                C.Heap.refillableFreeBytes());
   C.CollectMutex.unlock();
 }
 
@@ -117,6 +119,8 @@ void ConcurrentCollector::mutatorAssist(MutatorContext &Ctx, size_t Bytes) {
     return;
   }
 
+  CGC_OBS_EVENT(C.Obs, IncTraceBegin, Budget, Cycle);
+  uint64_t QuantumStartNs = CGC_OBS_NOW(C.Obs);
   size_t Traced = 0;
   int DryRounds = 4;
   while (Traced < Budget) {
@@ -145,6 +149,9 @@ void ConcurrentCollector::mutatorAssist(MutatorContext &Ctx, size_t Bytes) {
   }
   TracingFactors.add(static_cast<double>(Traced) /
                      static_cast<double>(Budget));
+  CGC_OBS_EVENT(C.Obs, IncTraceEnd, Traced, Budget);
+  if (QuantumStartNs)
+    CGC_OBS_PAUSE(C.Obs, IncQuantum, nowNanos() - QuantumStartNs);
   Ctx.trace().release();
 }
 
@@ -166,6 +173,7 @@ size_t ConcurrentCollector::scanOneUnscannedStack(TraceContext &Ctx) {
   // The victim keeps running; unpublished objects it holds are caught by
   // the final rescan. This is the "threads that never allocate" path.
   scanRootsOf(*Victim, Ctx);
+  CGC_OBS_EVENT(C.Obs, StackScan, Victim->numRoots(), Cycle);
   return Victim->numRoots() * 8 + 1;
 }
 
@@ -260,6 +268,7 @@ void ConcurrentCollector::finishCycle(MutatorContext *Ctx,
   }
 
   pauseBackground(Ctx);
+  CGC_OBS_EVENT(C.Obs, StwBegin, Record.CycleNumber, DueToFailure ? 1 : 0);
   Stopwatch Pause;
   C.Registry.stopTheWorld(Ctx, C.Heap.allocBits());
   Record.StopMs = Pause.elapsedMillis();
@@ -308,8 +317,13 @@ void ConcurrentCollector::finishCycle(MutatorContext *Ctx,
   Record.TracingFactorStddev = TracingFactors.stddev();
   Record.TracingIncrements = TracingFactors.count();
 
+  CGC_OBS_EVENT(C.Obs, StwEnd, Record.CycleNumber,
+                static_cast<uint64_t>(Record.PauseMs * 1e6));
+  recordCycleObservability(Record);
   C.setPhase(GcPhase::Idle);
   C.Stats.addCycle(Record);
+  CGC_OBS_EVENT(C.Obs, CycleComplete, Record.CycleNumber,
+                Record.CompletedConcurrently ? 1 : 0);
   C.CompletedCycles.fetch_add(1, std::memory_order_release);
   LastPauseEndNs = nowNanos();
   AllocPreBytes.store(0, std::memory_order_relaxed);
@@ -411,6 +425,7 @@ void ConcurrentCollector::backgroundLoop() {
     if (Traced != 0 || Aux > 1) {
       C.Pace.noteBackgroundTrace(Traced + (Aux > 1 ? Aux : 0));
       BgTracedBytes.fetch_add(Traced, std::memory_order_relaxed);
+      CGC_OBS_EVENT(C.Obs, BackgroundQuantum, Traced, Aux > 1 ? Aux : 0);
       continue;
     }
     if (Aux == 0) {

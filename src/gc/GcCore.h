@@ -22,6 +22,7 @@
 #include "gc/WorkerPool.h"
 #include "heap/HeapSpace.h"
 #include "mutator/ThreadRegistry.h"
+#include "observe/Observe.h"
 #include "workpackets/PacketPool.h"
 
 #include <atomic>
@@ -41,6 +42,7 @@ enum class GcPhase : int {
 struct GcCore {
   explicit GcCore(const GcOptions &Opts)
       : Options(Opts), Inject(Opts.Faults),
+        Obs(Opts.Observe, Opts.ObserveRingEvents),
         Heap(Opts.HeapBytes,
              // Clamp so every shard can hand out a whole allocation
              // cache; FreeListShards = 1 keeps the legacy single list.
@@ -51,19 +53,23 @@ struct GcCore {
              // on for cache refills, so they don't count as refillable
              // (the pacer's stranding-aware kickoff input, DESIGN.md §10).
              Opts.LargeObjectBytes),
-        Pool(Opts.NumWorkPackets, &Inject),
+        Pool(Opts.NumWorkPackets, &Inject, &Obs),
         Compact(Heap, Opts.EvacuationAreaBytes),
         Trace(Heap, Pool, Registry, &Compact, Opts.NaiveFenceAccounting,
-              &Inject),
-        Cleaner(Heap, Registry, &Inject), Sweep(Heap),
-        Workers(Opts.GcWorkerThreads, &Inject), Pace(Opts, Heap.sizeBytes()) {
-  }
+              &Inject, &Obs),
+        Cleaner(Heap, Registry, &Inject, &Obs), Sweep(Heap, &Obs),
+        Workers(Opts.GcWorkerThreads, &Inject),
+        Pace(Opts, Heap.sizeBytes(), &Obs) {}
 
   GcOptions Options;
   /// Fault injector shared by every subsystem below (declared first so
   /// it outlives and predates them all). Disarmed unless Options.Faults
   /// enables chaos mode.
   FaultInjector Inject;
+  /// Observability hub (declared before every subsystem that records
+  /// into it, for the same lifetime reason as Inject). Disabled unless
+  /// Options.Observe.
+  GcObserver Obs;
   HeapSpace Heap;
   PacketPool Pool;
   ThreadRegistry Registry;

@@ -128,6 +128,17 @@ struct GcOptions {
   /// injection site then costs one relaxed load behind a cold branch.
   FaultPlan Faults;
 
+  /// Observability: record phase/packet/pause events into per-thread
+  /// lock-free rings and aggregate pause histograms (src/observe/).
+  /// Off by default; every instrumentation site then costs one
+  /// predictable branch on a plain bool (or nothing at all when the
+  /// tree is built with -DCGC_OBSERVE_COMPILED=0).
+  bool Observe = false;
+
+  /// Per-thread event-ring capacity in events (rounded up to a power
+  /// of two). 16Ki events = 512 KiB per recording thread.
+  uint32_t ObserveRingEvents = 1u << 14;
+
   /// Returns Kmax.
   double kmax() const { return KmaxFactor * TracingRate; }
 };

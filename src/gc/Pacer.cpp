@@ -2,12 +2,15 @@
 
 #include "gc/Pacer.h"
 
+#include "observe/Observe.h"
+
 #include <algorithm>
 
 using namespace cgc;
 
-Pacer::Pacer(const GcOptions &Options, size_t HeapBytes)
+Pacer::Pacer(const GcOptions &Options, size_t HeapBytes, GcObserver *Obs)
     : K0(Options.TracingRate), Kmax(Options.kmax()), C(Options.CorrectiveC),
+      Obs(Obs),
       LEst(Options.SeedLFraction * static_cast<double>(HeapBytes),
            Options.SmoothingAlpha),
       MEst(Options.SeedMFraction * static_cast<double>(HeapBytes),
@@ -55,6 +58,7 @@ void Pacer::noteAllocation(size_t Bytes) {
   uint64_t BgTraced = WindowBgTraced.exchange(0, std::memory_order_relaxed);
   if (Allocated == 0)
     return;
+  CGC_OBS_EVENT_P(Obs, PacerWindow, BgTraced, Allocated);
   double B = static_cast<double>(BgTraced) / static_cast<double>(Allocated);
   SpinLockGuard Guard(Lock);
   BestEst.addSample(B);

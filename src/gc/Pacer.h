@@ -33,10 +33,14 @@
 
 namespace cgc {
 
+class GcObserver;
+
 /// Implements the kickoff and progress formulas plus Best accounting.
 class Pacer {
 public:
-  Pacer(const GcOptions &Options, size_t HeapBytes);
+  /// \p Obs (optional) receives a PacerWindow event each time a Best
+  /// measurement window closes.
+  Pacer(const GcOptions &Options, size_t HeapBytes, GcObserver *Obs = nullptr);
 
   /// Free-memory threshold that triggers a new concurrent phase:
   /// (L + M) / K0.
@@ -83,6 +87,7 @@ private:
   const double K0;
   const double Kmax;
   const double C;
+  GcObserver *Obs;
   mutable SpinLock Lock;
   ExponentialAverage LEst CGC_GUARDED_BY(Lock);
   ExponentialAverage MEst CGC_GUARDED_BY(Lock);

@@ -3,6 +3,7 @@
 #include "gc/Sweeper.h"
 
 #include "gc/WorkerPool.h"
+#include "observe/Observe.h"
 
 #include <cassert>
 
@@ -13,9 +14,9 @@ using namespace cgc;
 /// scan); they are reclaimed once a neighbouring object dies.
 static constexpr size_t MinFreeRangeBytes = 64;
 
-Sweeper::Sweeper(HeapSpace &Heap)
+Sweeper::Sweeper(HeapSpace &Heap, GcObserver *Obs)
     : Heap(Heap),
-      NumChunks((Heap.sizeBytes() + ChunkBytes - 1) / ChunkBytes) {}
+      NumChunks((Heap.sizeBytes() + ChunkBytes - 1) / ChunkBytes), Obs(Obs) {}
 
 uint8_t *Sweeper::chunkSweepStart(size_t Index) const {
   uint8_t *ChunkStart = Heap.base() + Index * ChunkBytes;
@@ -115,6 +116,8 @@ uint64_t Sweeper::sweepUntilFree(size_t FreeBytesWanted) {
   }
   LiveBytesFound.fetch_add(Live, std::memory_order_relaxed);
   ActiveSweepers.fetch_sub(1, std::memory_order_release);
+  if (Freed != 0)
+    CGC_OBS_EVENT_P(Obs, SweepSlice, Freed, 1);
   return Freed;
 }
 

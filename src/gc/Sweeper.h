@@ -31,6 +31,7 @@
 
 namespace cgc {
 
+class GcObserver;
 class WorkerPool;
 
 /// Parallel / lazy bitwise sweeper over a HeapSpace.
@@ -39,7 +40,9 @@ public:
   /// Heap bytes swept as one unit.
   static constexpr size_t ChunkBytes = 1u << 20;
 
-  explicit Sweeper(HeapSpace &Heap);
+  /// \p Obs (optional) receives a SweepSlice event per lazy-sweep call
+  /// that reclaims memory.
+  explicit Sweeper(HeapSpace &Heap, GcObserver *Obs = nullptr);
 
   /// Full STW sweep: clears the free list and rebuilds it from the mark
   /// bit vector, in parallel on \p Workers (may be null for serial).
@@ -83,6 +86,7 @@ private:
 
   HeapSpace &Heap;
   size_t NumChunks;
+  GcObserver *Obs;
   std::atomic<size_t> Cursor{0};
   std::atomic<bool> LazyActive{false};
   std::atomic<int> ActiveSweepers{0};

@@ -3,6 +3,7 @@
 #include "gc/Tracer.h"
 
 #include "mutator/ThreadRegistry.h"
+#include "observe/Observe.h"
 #include "support/Fences.h"
 
 #include <bitset>
@@ -26,7 +27,10 @@ void Tracer::markAndQueue(TraceContext &Ctx, Object *Obj) {
   // Overflow treatment (Section 4.3): the object stays marked; dirty its
   // card so card cleaning retraces it later.
   Heap.cards().dirty(Obj);
-  Overflows.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Total = Overflows.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Size 0: queueing never reads the object (its header may not be
+  // visible yet under the Section 5.2 protocol).
+  CGC_OBS_EVENT_P(Obs, Overflow, 0, Total);
 }
 
 size_t Tracer::scanObject(TraceContext &Ctx, Object *Obj) {
@@ -137,7 +141,10 @@ size_t Tracer::traceWork(TraceContext &Ctx, size_t BudgetBytes,
           // overflow treatment; the object is already marked, so a dirty
           // card gets it retraced once its bits are published.
           Heap.cards().dirty(Obj);
-          Overflows.fetch_add(1, std::memory_order_relaxed);
+          uint64_t Total = Overflows.fetch_add(1, std::memory_order_relaxed) + 1;
+          // Size 0: the object's header may not be visible yet (that is
+          // why it was deferred), so it must not be read here.
+          CGC_OBS_EVENT_P(Obs, Overflow, 0, Total);
         }
         continue;
       }

@@ -30,6 +30,7 @@
 
 namespace cgc {
 
+class GcObserver;
 class ThreadRegistry;
 
 /// Parallel marker over a HeapSpace using a PacketPool.
@@ -37,12 +38,13 @@ class Tracer {
 public:
   /// \p FI (optional) arms the tracer-step injection site: an injected
   /// hit ends a tracing increment early (under-filling its budget), the
-  /// way a mutator outrunning the tracer looks to the pacer.
+  /// way a mutator outrunning the tracer looks to the pacer. \p Obs
+  /// (optional) receives overflow events.
   Tracer(HeapSpace &Heap, PacketPool &Pool, ThreadRegistry &Registry,
          Compactor *Compact = nullptr, bool NaiveFenceAccounting = false,
-         FaultInjector *FI = nullptr)
+         FaultInjector *FI = nullptr, GcObserver *Obs = nullptr)
       : Heap(Heap), Pool(Pool), Registry(Registry), Compact(Compact),
-        NaiveFences(NaiveFenceAccounting), FI(FI) {}
+        NaiveFences(NaiveFenceAccounting), FI(FI), Obs(Obs) {}
 
   /// Resets the per-cycle counters (call at cycle initialization).
   void beginCycle();
@@ -99,6 +101,7 @@ private:
   Compactor *Compact;
   const bool NaiveFences;
   FaultInjector *FI;
+  GcObserver *Obs;
 
   std::atomic<uint64_t> TracedBytes{0};
   std::atomic<uint64_t> Overflows{0};

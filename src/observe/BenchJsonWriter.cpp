@@ -1,0 +1,177 @@
+//===- BenchJsonWriter.cpp - Machine-readable bench output ----------------===//
+
+#include "observe/BenchJsonWriter.h"
+
+#include "observe/Json.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <set>
+
+using namespace cgc;
+
+BenchJsonWriter::BenchJsonWriter(std::string BenchName)
+    : Bench(std::move(BenchName)) {}
+
+void BenchJsonWriter::declareUnit(const std::string &MetricKey,
+                                  const std::string &Unit) {
+  for (auto &Entry : Units)
+    if (Entry.first == MetricKey) {
+      Entry.second = Unit;
+      return;
+    }
+  Units.emplace_back(MetricKey, Unit);
+}
+
+void BenchJsonWriter::beginRow(const std::string &Label) {
+  Rows.push_back(Row{Label, {}, {}});
+}
+
+void BenchJsonWriter::addConfig(const std::string &Key, double Value) {
+  assert(!Rows.empty() && "beginRow first");
+  Rows.back().Config.emplace_back(Key, Value);
+}
+
+void BenchJsonWriter::addMetric(const std::string &Key, double Value,
+                                const std::string &Unit) {
+  assert(!Rows.empty() && "beginRow first");
+  Rows.back().Metrics.emplace_back(Key, Value);
+  if (!Unit.empty())
+    declareUnit(Key, Unit);
+}
+
+std::string BenchJsonWriter::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value("cgc-bench-v1");
+  W.key("bench");
+  W.value(Bench);
+  W.key("unix_ms");
+  W.value(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count()));
+  W.key("units");
+  W.beginObject();
+  for (const auto &Entry : Units) {
+    W.key(Entry.first);
+    W.value(Entry.second);
+  }
+  W.endObject();
+  W.key("rows");
+  W.beginArray();
+  for (const Row &R : Rows) {
+    W.beginObject();
+    W.key("label");
+    W.value(R.Label);
+    W.key("config");
+    W.beginObject();
+    for (const auto &Entry : R.Config) {
+      W.key(Entry.first);
+      W.value(Entry.second);
+    }
+    W.endObject();
+    W.key("metrics");
+    W.beginObject();
+    for (const auto &Entry : R.Metrics) {
+      W.key(Entry.first);
+      W.value(Entry.second);
+    }
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::string BenchJsonWriter::writeFile(const std::string &Dir) const {
+  std::string Path = Dir + "/BENCH_" + Bench + ".json";
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return "";
+  Out << toJson();
+  if (!Out)
+    return "";
+  return Path;
+}
+
+bool cgc::validateBenchJson(const std::string &Text, std::string *Error) {
+  auto Fail = [Error](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+
+  std::string ParseErr;
+  auto Doc = JsonValue::parse(Text, &ParseErr);
+  if (!Doc)
+    return Fail("parse error: " + ParseErr);
+  if (Doc->type() != JsonValue::Type::Object)
+    return Fail("document is not an object");
+
+  const JsonValue *Schema = Doc->get("schema");
+  if (!Schema || Schema->type() != JsonValue::Type::String ||
+      Schema->stringValue() != "cgc-bench-v1")
+    return Fail("missing or wrong schema (want \"cgc-bench-v1\")");
+
+  const JsonValue *Bench = Doc->get("bench");
+  if (!Bench || Bench->type() != JsonValue::Type::String ||
+      Bench->stringValue().empty())
+    return Fail("missing bench name");
+
+  const JsonValue *UnixMs = Doc->get("unix_ms");
+  if (!UnixMs || UnixMs->type() != JsonValue::Type::Number ||
+      UnixMs->numberValue() <= 0)
+    return Fail("missing or non-positive unix_ms");
+
+  const JsonValue *Units = Doc->get("units");
+  if (!Units || Units->type() != JsonValue::Type::Object)
+    return Fail("missing units object");
+  for (const auto &Entry : Units->objectValue())
+    if (Entry.second.type() != JsonValue::Type::String ||
+        Entry.second.stringValue().empty())
+      return Fail("unit for \"" + Entry.first + "\" is not a string");
+
+  const JsonValue *Rows = Doc->get("rows");
+  if (!Rows || Rows->type() != JsonValue::Type::Array)
+    return Fail("missing rows array");
+  if (Rows->arrayValue().empty())
+    return Fail("rows array is empty");
+
+  std::set<std::string> Labels;
+  for (const JsonValue &Row : Rows->arrayValue()) {
+    if (Row.type() != JsonValue::Type::Object)
+      return Fail("row is not an object");
+    const JsonValue *Label = Row.get("label");
+    if (!Label || Label->type() != JsonValue::Type::String ||
+        Label->stringValue().empty())
+      return Fail("row missing label");
+    if (!Labels.insert(Label->stringValue()).second)
+      return Fail("duplicate row label \"" + Label->stringValue() + "\"");
+
+    const JsonValue *Config = Row.get("config");
+    if (!Config || Config->type() != JsonValue::Type::Object)
+      return Fail("row \"" + Label->stringValue() + "\" missing config");
+    for (const auto &Entry : Config->objectValue())
+      if (Entry.second.type() != JsonValue::Type::Number)
+        return Fail("config \"" + Entry.first + "\" is not numeric");
+
+    const JsonValue *Metrics = Row.get("metrics");
+    if (!Metrics || Metrics->type() != JsonValue::Type::Object)
+      return Fail("row \"" + Label->stringValue() + "\" missing metrics");
+    if (Metrics->objectValue().empty())
+      return Fail("row \"" + Label->stringValue() + "\" has no metrics");
+    for (const auto &Entry : Metrics->objectValue()) {
+      if (Entry.second.type() != JsonValue::Type::Number ||
+          !std::isfinite(Entry.second.numberValue()))
+        return Fail("metric \"" + Entry.first + "\" is not a finite number");
+      if (!Units->get(Entry.first))
+        return Fail("metric \"" + Entry.first + "\" has no declared unit");
+    }
+  }
+  return true;
+}

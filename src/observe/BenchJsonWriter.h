@@ -1,0 +1,90 @@
+//===- BenchJsonWriter.h - Machine-readable bench output --------*- C++ -*-===//
+///
+/// \file
+/// Stable machine-readable output for the bench/ binaries. Each bench
+/// writes one `BENCH_<name>.json` document with schema "cgc-bench-v1":
+///
+/// \code{.json}
+///   {
+///     "schema":  "cgc-bench-v1",
+///     "bench":   "fig1",
+///     "unix_ms": 1722950000000,
+///     "units":   { "pause_p50_ms": "ms", ... },   // unit per metric key
+///     "rows": [
+///       {
+///         "label":   "warehouses=1",
+///         "config":  { "heap_mb": 64, ... },      // numeric knobs
+///         "metrics": { "pause_p50_ms": 1.8, ... } // numeric results
+///       }
+///     ]
+///   }
+/// \endcode
+///
+/// Row labels are unique per document; metric keys carry their unit as
+/// a suffix (_ms, _mb, _per_s, ...) and the units map makes the suffix
+/// explicit for downstream tooling. validateBenchJson() enforces the
+/// schema and is what CI runs against emitted files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_OBSERVE_BENCHJSONWRITER_H
+#define CGC_OBSERVE_BENCHJSONWRITER_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cgc {
+
+/// Accumulates bench rows and serializes the cgc-bench-v1 document.
+class BenchJsonWriter {
+public:
+  /// \p BenchName is the short figure/table id ("fig1", "table1").
+  explicit BenchJsonWriter(std::string BenchName);
+
+  /// Declares a metric key with its unit ("ms", "mb", "count",
+  /// "per_s", ...). Keys may also be declared implicitly by addMetric
+  /// with a unit.
+  void declareUnit(const std::string &MetricKey, const std::string &Unit);
+
+  /// Starts a new result row; subsequent addConfig/addMetric calls
+  /// apply to it.
+  void beginRow(const std::string &Label);
+
+  /// Adds a numeric configuration knob to the current row.
+  void addConfig(const std::string &Key, double Value);
+
+  /// Adds a numeric result to the current row; \p Unit (if non-empty)
+  /// is recorded in the units map.
+  void addMetric(const std::string &Key, double Value,
+                 const std::string &Unit = "");
+
+  /// Serializes the document.
+  std::string toJson() const;
+
+  /// Writes `BENCH_<bench>.json` into \p Dir (default: current
+  /// directory). Returns the path written, or empty on I/O failure.
+  std::string writeFile(const std::string &Dir = ".") const;
+
+private:
+  struct Row {
+    std::string Label;
+    std::vector<std::pair<std::string, double>> Config;
+    std::vector<std::pair<std::string, double>> Metrics;
+  };
+
+  std::string Bench;
+  std::vector<std::pair<std::string, std::string>> Units;
+  std::vector<Row> Rows;
+};
+
+/// Validates a cgc-bench-v1 document: required keys with the right
+/// types, schema string match, at least one row, unique row labels,
+/// every metric numeric and finite, every metric key present in the
+/// units map. Returns true when valid; otherwise fills \p Error.
+bool validateBenchJson(const std::string &Text, std::string *Error);
+
+} // namespace cgc
+
+#endif // CGC_OBSERVE_BENCHJSONWRITER_H

@@ -1,0 +1,112 @@
+//===- ChromeTraceExporter.cpp - chrome://tracing JSON export -------------===//
+
+#include "observe/ChromeTraceExporter.h"
+
+#include "observe/Json.h"
+
+#include <fstream>
+#include <map>
+
+using namespace cgc;
+
+namespace {
+
+void emitEvent(JsonWriter &W, const char *Name, const char *Phase,
+               uint64_t TsMicros, uint32_t Tid, uint64_t Arg0, uint64_t Arg1,
+               bool WithArgs) {
+  W.beginObject();
+  W.key("name");
+  W.value(Name);
+  W.key("ph");
+  W.value(Phase);
+  W.key("ts");
+  W.value(TsMicros);
+  W.key("pid");
+  W.value(uint64_t(1));
+  W.key("tid");
+  W.value(uint64_t(Tid));
+  if (WithArgs) {
+    W.key("args");
+    W.beginObject();
+    W.key("a0");
+    W.value(Arg0);
+    W.key("a1");
+    W.value(Arg1);
+    W.endObject();
+  }
+  W.endObject();
+}
+
+} // namespace
+
+std::string ChromeTraceExporter::toJson(const std::vector<EventRecord> &Events) {
+  uint64_t Base = Events.empty() ? 0 : Events.front().TimeNs;
+  uint64_t Last = Base;
+  for (const EventRecord &E : Events) {
+    if (E.TimeNs < Base)
+      Base = E.TimeNs;
+    if (E.TimeNs > Last)
+      Last = E.TimeNs;
+  }
+  auto ToMicros = [Base](uint64_t Ns) { return (Ns - Base) / 1000; };
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Per-thread stack of open Begin events, for orphan repair.
+  std::map<uint32_t, std::vector<EventKind>> Open;
+
+  for (const EventRecord &E : Events) {
+    switch (eventPhase(E.Kind)) {
+    case EventPhase::Begin:
+      Open[E.ThreadId].push_back(E.Kind);
+      emitEvent(W, eventKindName(E.Kind), "B", ToMicros(E.TimeNs), E.ThreadId,
+                E.Arg0, E.Arg1, /*WithArgs=*/true);
+      break;
+    case EventPhase::End: {
+      std::vector<EventKind> &Stack = Open[E.ThreadId];
+      // Drop orphaned Ends (their Begin was overwritten in the ring or
+      // mismatched); the trace format requires strict pairing.
+      if (Stack.empty() || Stack.back() != beginKindFor(E.Kind))
+        break;
+      Stack.pop_back();
+      emitEvent(W, eventKindName(beginKindFor(E.Kind)), "E",
+                ToMicros(E.TimeNs), E.ThreadId, E.Arg0, E.Arg1,
+                /*WithArgs=*/false);
+      break;
+    }
+    case EventPhase::Instant:
+      emitEvent(W, eventKindName(E.Kind), "i", ToMicros(E.TimeNs), E.ThreadId,
+                E.Arg0, E.Arg1, /*WithArgs=*/true);
+      break;
+    }
+  }
+
+  // Close anything still open at the final timestamp so viewers load
+  // the file without complaint.
+  for (auto &Entry : Open) {
+    std::vector<EventKind> &Stack = Entry.second;
+    while (!Stack.empty()) {
+      emitEvent(W, eventKindName(Stack.back()), "E", ToMicros(Last),
+                Entry.first, 0, 0, /*WithArgs=*/false);
+      Stack.pop_back();
+    }
+  }
+
+  W.endArray();
+  W.key("displayTimeUnit");
+  W.value("ms");
+  W.endObject();
+  return W.str();
+}
+
+bool ChromeTraceExporter::writeFile(const std::string &Path,
+                                    const std::vector<EventRecord> &Events) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << toJson(Events);
+  return static_cast<bool>(Out);
+}

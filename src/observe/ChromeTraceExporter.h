@@ -1,0 +1,42 @@
+//===- ChromeTraceExporter.h - chrome://tracing JSON export -----*- C++ -*-===//
+///
+/// \file
+/// Converts a merged event stream into the Chrome Trace Event Format
+/// (the JSON-array-of-events "traceEvents" flavour loadable in
+/// chrome://tracing and Perfetto). Begin/End kinds become duration
+/// pairs ("B"/"E"); everything else becomes an instant ("i").
+///
+/// The exporter repairs imperfect streams rather than asserting:
+/// orphaned End events (their Begin was overwritten in the ring) are
+/// dropped, and Begins left open at the end of the stream get a
+/// synthetic End at the final timestamp, so the output always loads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_OBSERVE_CHROMETRACEEXPORTER_H
+#define CGC_OBSERVE_CHROMETRACEEXPORTER_H
+
+#include "observe/EventRing.h"
+
+#include <string>
+#include <vector>
+
+namespace cgc {
+
+class ChromeTraceExporter {
+public:
+  /// Serializes \p Events (timestamp-sorted, e.g. from
+  /// GcObserver::drainAll) as a Chrome trace JSON document.
+  /// Timestamps are rebased to the earliest event and converted to the
+  /// format's microseconds.
+  static std::string toJson(const std::vector<EventRecord> &Events);
+
+  /// Convenience: writes toJson() to \p Path. Returns false on I/O
+  /// failure.
+  static bool writeFile(const std::string &Path,
+                        const std::vector<EventRecord> &Events);
+};
+
+} // namespace cgc
+
+#endif // CGC_OBSERVE_CHROMETRACEEXPORTER_H

@@ -1,0 +1,73 @@
+//===- EventKind.cpp - Event vocabulary tables ----------------------------===//
+
+#include "observe/EventKind.h"
+
+using namespace cgc;
+
+const char *cgc::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::None:
+    return "none";
+  case EventKind::CycleKickoff:
+    return "cycle_kickoff";
+  case EventKind::CycleComplete:
+    return "cycle_complete";
+  case EventKind::IncTraceBegin:
+    return "inc_trace";
+  case EventKind::IncTraceEnd:
+    return "inc_trace_end";
+  case EventKind::BackgroundQuantum:
+    return "background_quantum";
+  case EventKind::CardCleanPass:
+    return "card_clean_pass";
+  case EventKind::CardCleanSlice:
+    return "card_clean_slice";
+  case EventKind::StwBegin:
+    return "stw";
+  case EventKind::StwEnd:
+    return "stw_end";
+  case EventKind::SweepSlice:
+    return "sweep_slice";
+  case EventKind::PacketGet:
+    return "packet_get";
+  case EventKind::PacketPut:
+    return "packet_put";
+  case EventKind::PacketTransition:
+    return "packet_transition";
+  case EventKind::AllocLadderRung:
+    return "alloc_ladder_rung";
+  case EventKind::Overflow:
+    return "overflow";
+  case EventKind::PacerWindow:
+    return "pacer_window";
+  case EventKind::StackScan:
+    return "stack_scan";
+  case EventKind::NumKinds:
+    break;
+  }
+  return "invalid";
+}
+
+EventPhase cgc::eventPhase(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::IncTraceBegin:
+  case EventKind::StwBegin:
+    return EventPhase::Begin;
+  case EventKind::IncTraceEnd:
+  case EventKind::StwEnd:
+    return EventPhase::End;
+  default:
+    return EventPhase::Instant;
+  }
+}
+
+EventKind cgc::beginKindFor(EventKind EndKind) {
+  switch (EndKind) {
+  case EventKind::IncTraceEnd:
+    return EventKind::IncTraceBegin;
+  case EventKind::StwEnd:
+    return EventKind::StwBegin;
+  default:
+    return EventKind::None;
+  }
+}

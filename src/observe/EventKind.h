@@ -1,0 +1,126 @@
+//===- EventKind.h - Observability event vocabulary -------------*- C++ -*-===//
+///
+/// \file
+/// The fixed vocabulary of trace events emitted by the collector when
+/// GcOptions::Observe is on. Kinds mirror the paper's phase structure
+/// (Sections 2-4): cycle kickoff, incremental tracing quanta, background
+/// quanta, card-cleaning passes, the final stop-the-world phase, sweep
+/// slices, packet circulation, and the allocation degradation ladder.
+///
+/// Each kind documents its two payload words (Arg0/Arg1) next to the
+/// enumerator; the Chrome-trace exporter maps kinds to begin/end pairs
+/// or instants via eventPhase().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_OBSERVE_EVENTKIND_H
+#define CGC_OBSERVE_EVENTKIND_H
+
+#include <cstdint>
+
+namespace cgc {
+
+/// What happened. Payload meanings are per-kind (documented inline).
+enum class EventKind : uint16_t {
+  /// Never emitted; a drained record of this kind indicates a bug.
+  None = 0,
+
+  // --- Cycle structure ------------------------------------------------
+  /// A concurrent cycle started. Arg0 = cycle number, Arg1 = refillable
+  /// free bytes at kickoff.
+  CycleKickoff,
+  /// A cycle's final pause finished and the cycle is complete.
+  /// Arg0 = cycle number, Arg1 = 1 if tracing terminated concurrently.
+  CycleComplete,
+
+  // --- Tracing quanta ---------------------------------------------------
+  /// A mutator's incremental tracing quantum begins. Arg0 = budget
+  /// bytes from the progress formula, Arg1 = cycle number.
+  IncTraceBegin,
+  /// The matching end. Arg0 = bytes actually traced, Arg1 = budget.
+  IncTraceEnd,
+  /// One background-thread tracing quantum (instant, emitted on
+  /// completion). Arg0 = packet-traced bytes, Arg1 = auxiliary bytes.
+  BackgroundQuantum,
+
+  // --- Card cleaning ----------------------------------------------------
+  /// A card-cleaning pass was opened (registration + handshake done).
+  /// Arg0 = cards registered, Arg1 = 1 for the final STW pass.
+  CardCleanPass,
+  /// A batch of registered cards was cleaned. Arg0 = cards cleaned,
+  /// Arg1 = cards registered but not yet cleaned afterwards.
+  CardCleanSlice,
+
+  // --- The pause --------------------------------------------------------
+  /// The final stop-the-world phase begins (world about to stop).
+  /// Arg0 = cycle number, Arg1 = 0 concurrent-finish by termination,
+  /// 1 concurrent-finish by allocation failure, 2 full STW cycle.
+  StwBegin,
+  /// The world resumed. Arg0 = cycle number, Arg1 = pause nanoseconds.
+  StwEnd,
+
+  // --- Sweep ------------------------------------------------------------
+  /// A sweep unit completed. Arg0 = live bytes found (in-pause sweep)
+  /// or bytes reclaimed (lazy slice), Arg1 = 1 when lazy/incremental.
+  SweepSlice,
+
+  // --- Work packets -----------------------------------------------------
+  /// A packet left a sub-pool. Arg0 = sub-pool (PacketSubPool), Arg1 =
+  /// entries in the packet.
+  PacketGet,
+  /// A packet was returned to a sub-pool. Arg0 = sub-pool, Arg1 =
+  /// entries in the packet.
+  PacketPut,
+  /// A packet changed occupancy class between acquire and release, or
+  /// moved to/from the Deferred pool. Arg0 = from sub-pool, Arg1 = to
+  /// sub-pool.
+  PacketTransition,
+
+  // --- Degradation and overflow ----------------------------------------
+  /// The allocator escalated into a degradation-ladder rung.
+  /// Arg0 = EscalationRung, Arg1 = bytes wanted.
+  AllocLadderRung,
+  /// Packet-pool overflow treatment taken (mark + dirty card).
+  /// Arg0 = reserved (0; the object header must not be read at the
+  /// overflow site), Arg1 = total overflows so far this cycle.
+  Overflow,
+
+  // --- Pacer ------------------------------------------------------------
+  /// The pacer closed a Best measurement window (Section 3.2).
+  /// Arg0 = background-traced bytes in the window, Arg1 = allocated
+  /// bytes in the window.
+  PacerWindow,
+  /// A not-yet-scanned mutator stack was scanned by a starved
+  /// participant. Arg0 = root words scanned, Arg1 = cycle number.
+  StackScan,
+
+  NumKinds
+};
+
+/// Sub-pool identifiers used in packet events (mirrors the pool's
+/// occupancy classification; stable for the export schema).
+enum class PacketSubPool : uint8_t { Empty = 0, NonEmpty, AlmostFull, Deferred };
+
+/// How an event kind renders in a trace timeline.
+enum class EventPhase : uint8_t {
+  /// A point event.
+  Instant,
+  /// Opens a duration (must be closed by its End kind on the same
+  /// thread).
+  Begin,
+  /// Closes the most recent unmatched Begin on the same thread.
+  End
+};
+
+/// Stable name for export (never renamed once shipped in a schema).
+const char *eventKindName(EventKind Kind);
+
+/// Begin/End/Instant classification for timeline export.
+EventPhase eventPhase(EventKind Kind);
+
+/// The matching Begin kind for an End kind (None otherwise).
+EventKind beginKindFor(EventKind EndKind);
+
+} // namespace cgc
+
+#endif // CGC_OBSERVE_EVENTKIND_H

@@ -1,0 +1,191 @@
+//===- EventRing.h - Per-thread lock-free event buffer ----------*- C++ -*-===//
+///
+/// \file
+/// A fixed-capacity single-producer ring of 32-byte event records. Each
+/// mutator / GC thread owns one ring and appends with plain relaxed
+/// stores plus a single release store of the write cursor — no locks, no
+/// allocation, no fences on the hot path. When the ring is full the
+/// oldest records are overwritten (drop-oldest) and the drain accounts
+/// for them exactly via cursor arithmetic.
+///
+/// ## Memory-order argument
+///
+/// Producer (owner thread only):
+///   1. W = WriteCursor.load(relaxed)        — own cursor, no sync needed
+///   2. four relaxed stores into Slots[W & Mask]
+///   3. WriteCursor.store(W + 1, release)    — publishes step 2
+///
+/// Consumer (any thread, serialized externally by the observer's drain
+/// lock):
+///   1. End   = WriteCursor.load(acquire)    — sees slots of all i < End
+///   2. Start = max(ReadCursor, End - Capacity)
+///   3. relaxed-load slots for i in [Start, End)
+///   4. Reload = WriteCursor.load(acquire)
+///   5. discard any i < Reload - Capacity    — may have been overwritten
+///      concurrently during step 3; everything kept is a torn-free
+///      snapshot because the producer had not reached its slot again
+///      before step 4's load.
+///
+/// The acquire at (1) pairs with the producer's release at (3): every
+/// slot store for indices below End happens-before the consumer's slot
+/// loads. A record being *overwritten* during step 3 is detected — not
+/// prevented — by step 5: the producer must advance WriteCursor past
+/// i + Capacity before re-storing slot i & Mask, so any torn read is at
+/// an index the reload proves stale. Slots are std::atomic<uint64_t>
+/// words, so even racing loads are not UB, merely discarded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_OBSERVE_EVENTRING_H
+#define CGC_OBSERVE_EVENTRING_H
+
+#include "observe/EventKind.h"
+#include "support/Annotations.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cgc {
+
+/// One drained trace record (the decoded, stable-layout view).
+struct EventRecord {
+  /// Monotonic timestamp from cgc::nowNanos().
+  uint64_t TimeNs = 0;
+  /// Observer-assigned id of the emitting thread.
+  uint32_t ThreadId = 0;
+  /// What happened.
+  EventKind Kind = EventKind::None;
+  /// Per-kind payload words (see EventKind.h).
+  uint64_t Arg0 = 0;
+  uint64_t Arg1 = 0;
+};
+
+/// Fixed-capacity drop-oldest SPSC event buffer. The owning thread
+/// appends; drains may run concurrently from another thread (serialized
+/// against *each other* by the caller, see GcObserver::drainAll).
+class EventRing {
+public:
+  /// \p CapacityEvents is rounded up to a power of two, minimum 16.
+  explicit EventRing(uint32_t OwnerThreadId, uint32_t CapacityEvents)
+      : Owner(OwnerThreadId), Cap(roundUpPow2(CapacityEvents < 16
+                                                  ? 16u
+                                                  : CapacityEvents)),
+        Mask(Cap - 1), Slots(new std::atomic<uint64_t>[size_t(Cap) * WordsPerEvent]) {
+    for (uint64_t I = 0; I < uint64_t(Cap) * WordsPerEvent; ++I)
+      Slots[I].store(0, std::memory_order_relaxed);
+  }
+
+  EventRing(const EventRing &) = delete;
+  EventRing &operator=(const EventRing &) = delete;
+
+  /// Appends one record. Owner thread only. One relaxed cursor load,
+  /// four relaxed word stores, one release cursor store; never blocks,
+  /// never allocates.
+  void push(uint64_t TimeNs, EventKind Kind, uint64_t Arg0, uint64_t Arg1) {
+    uint64_t W = WriteCursor.load(std::memory_order_relaxed);
+    auto *Slot = &Slots[(W & Mask) * WordsPerEvent];
+    Slot[0].store(TimeNs, std::memory_order_relaxed);
+    Slot[1].store(packMeta(Owner, Kind), std::memory_order_relaxed);
+    Slot[2].store(Arg0, std::memory_order_relaxed);
+    Slot[3].store(Arg1, std::memory_order_relaxed);
+    WriteCursor.store(W + 1, std::memory_order_release);
+  }
+
+  /// Drains every record still resident, appending to \p Out in push
+  /// order. Returns the number of records dropped (overwritten before
+  /// they could be read) since the previous drain. Callers must
+  /// serialize concurrent drains of the same ring externally.
+  uint64_t drain(std::vector<EventRecord> &Out) {
+    uint64_t End = WriteCursor.load(std::memory_order_acquire);
+    uint64_t Read = ReadCursor.load(std::memory_order_relaxed);
+    uint64_t Start = Read;
+    uint64_t Dropped = 0;
+    if (End - Start > Cap) {
+      Dropped = (End - Start) - Cap;
+      Start = End - Cap;
+    }
+    size_t FirstKept = Out.size();
+    for (uint64_t I = Start; I != End; ++I) {
+      const auto *Slot = &Slots[(I & Mask) * WordsPerEvent];
+      EventRecord R;
+      R.TimeNs = Slot[0].load(std::memory_order_relaxed);
+      uint64_t Meta = Slot[1].load(std::memory_order_relaxed);
+      R.ThreadId = static_cast<uint32_t>(Meta >> 16);
+      R.Kind = static_cast<EventKind>(Meta & 0xffff);
+      R.Arg0 = Slot[2].load(std::memory_order_relaxed);
+      R.Arg1 = Slot[3].load(std::memory_order_relaxed);
+      Out.push_back(R);
+    }
+    // Records the producer may have overwritten while we were reading
+    // are stale-by-reload: discard them and count them dropped.
+    uint64_t Reload = WriteCursor.load(std::memory_order_acquire);
+    if (Reload > Cap && Reload - Cap > Start) {
+      uint64_t Stale = Reload - Cap - Start;
+      if (Stale > End - Start)
+        Stale = End - Start;
+      Out.erase(Out.begin() + static_cast<ptrdiff_t>(FirstKept),
+                Out.begin() + static_cast<ptrdiff_t>(FirstKept + Stale));
+      Dropped += Stale;
+    }
+    ReadCursor.store(End, std::memory_order_relaxed);
+    DroppedTotal.fetch_add(Dropped, std::memory_order_relaxed);
+    return Dropped;
+  }
+
+  /// Total records overwritten before being drained, over the ring's
+  /// lifetime (updated at drain time).
+  uint64_t droppedCount() const {
+    return DroppedTotal.load(std::memory_order_relaxed);
+  }
+
+  /// Records pushed over the ring's lifetime.
+  uint64_t pushedCount() const {
+    return WriteCursor.load(std::memory_order_acquire);
+  }
+
+  /// Capacity in events after power-of-two rounding.
+  uint32_t capacity() const { return Cap; }
+
+  /// The observer-assigned thread id this ring records for.
+  uint32_t ownerThreadId() const { return Owner; }
+
+private:
+  static constexpr uint32_t WordsPerEvent = 4; // 32 bytes per record
+
+  static uint64_t packMeta(uint32_t Tid, EventKind Kind) {
+    return (uint64_t(Tid) << 16) | uint64_t(static_cast<uint16_t>(Kind));
+  }
+
+  static uint32_t roundUpPow2(uint32_t V) {
+    V -= 1;
+    V |= V >> 1;
+    V |= V >> 2;
+    V |= V >> 4;
+    V |= V >> 8;
+    V |= V >> 16;
+    return V + 1;
+  }
+
+  const uint32_t Owner;
+  const uint32_t Cap;
+  const uint64_t Mask;
+  // Slot words are atomics so a concurrent drain racing an overwrite is
+  // a detected stale read, never UB; all slot accesses are relaxed and
+  // ordered solely through WriteCursor.
+  CGC_ATOMIC_DOC("relaxed data words; publication ordered via WriteCursor")
+  std::unique_ptr<std::atomic<uint64_t>[]> Slots;
+
+  CGC_ATOMIC_DOC("producer release-store publishes slots; drains acquire")
+  std::atomic<uint64_t> WriteCursor{0};
+  CGC_ATOMIC_DOC("consumer-side progress; relaxed, drains are serialized")
+  std::atomic<uint64_t> ReadCursor{0};
+  CGC_ATOMIC_DOC("relaxed lifetime drop counter, written only at drain")
+  std::atomic<uint64_t> DroppedTotal{0};
+};
+
+} // namespace cgc
+
+#endif // CGC_OBSERVE_EVENTRING_H

@@ -1,0 +1,395 @@
+//===- Json.cpp - Minimal JSON writer and parser --------------------------===//
+
+#include "observe/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cgc;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string cgc::jsonEscape(const std::string &Str) {
+  std::string Out;
+  Out.reserve(Str.size());
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::comma() {
+  if (AfterKey) {
+    AfterKey = false;
+    return;
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out += ',';
+    NeedComma.back() = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  comma();
+  Out += '{';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  Out += '}';
+  NeedComma.pop_back();
+}
+
+void JsonWriter::beginArray() {
+  comma();
+  Out += '[';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  Out += ']';
+  NeedComma.pop_back();
+}
+
+void JsonWriter::key(const std::string &Name) {
+  comma();
+  Out += '"';
+  Out += jsonEscape(Name);
+  Out += "\":";
+  AfterKey = true;
+}
+
+void JsonWriter::value(const std::string &Str) {
+  comma();
+  Out += '"';
+  Out += jsonEscape(Str);
+  Out += '"';
+}
+
+void JsonWriter::value(const char *Str) { value(std::string(Str)); }
+
+void JsonWriter::value(double Num) {
+  comma();
+  // NaN/Inf are not representable in JSON; clamp to 0 so the document
+  // always parses.
+  if (!std::isfinite(Num))
+    Num = 0.0;
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Num);
+  Out += Buf;
+}
+
+void JsonWriter::value(uint64_t Num) {
+  comma();
+  Out += std::to_string(Num);
+}
+
+void JsonWriter::value(int64_t Num) {
+  comma();
+  Out += std::to_string(Num);
+}
+
+void JsonWriter::value(bool Flag) {
+  comma();
+  Out += Flag ? "true" : "false";
+}
+
+void JsonWriter::valueNull() {
+  comma();
+  Out += "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::unique_ptr<JsonValue> run() {
+    auto V = std::make_unique<JsonValue>();
+    if (!parseValue(*V))
+      return nullptr;
+    skipWs();
+    if (Pos != Text.size()) {
+      fail("trailing characters after document");
+      return nullptr;
+    }
+    return V;
+  }
+
+private:
+  void fail(const std::string &Msg) {
+    if (Error && Error->empty())
+      *Error = Msg + " (at byte " + std::to_string(Pos) + ")";
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JsonValue &V) {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(V);
+    if (C == '[')
+      return parseArray(V);
+    if (C == '"')
+      return parseString(V);
+    if (C == 't' || C == 'f')
+      return parseBool(V);
+    if (C == 'n')
+      return parseNull(V);
+    return parseNumber(V);
+  }
+
+  bool parseObject(JsonValue &V) {
+    V.Ty = JsonValue::Type::Object;
+    ++Pos; // '{'
+    if (consume('}'))
+      return true;
+    for (;;) {
+      JsonValue Key;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"') {
+        fail("expected object key");
+        return false;
+      }
+      if (!parseString(Key))
+        return false;
+      if (!consume(':')) {
+        fail("expected ':' after key");
+        return false;
+      }
+      JsonValue Member;
+      if (!parseValue(Member))
+        return false;
+      V.Object.emplace(Key.Str, std::move(Member));
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool parseArray(JsonValue &V) {
+    V.Ty = JsonValue::Type::Array;
+    ++Pos; // '['
+    if (consume(']'))
+      return true;
+    for (;;) {
+      JsonValue Elem;
+      if (!parseValue(Elem))
+        return false;
+      V.Array.push_back(std::move(Elem));
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool parseString(JsonValue &V) {
+    V.Ty = JsonValue::Type::String;
+    ++Pos; // '"'
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size()) {
+          fail("truncated escape");
+          return false;
+        }
+        char E = Text[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          V.Str += '"';
+          break;
+        case '\\':
+          V.Str += '\\';
+          break;
+        case '/':
+          V.Str += '/';
+          break;
+        case 'n':
+          V.Str += '\n';
+          break;
+        case 'r':
+          V.Str += '\r';
+          break;
+        case 't':
+          V.Str += '\t';
+          break;
+        case 'b':
+          V.Str += '\b';
+          break;
+        case 'f':
+          V.Str += '\f';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos + static_cast<size_t>(I)];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else {
+              fail("bad hex digit in \\u escape");
+              return false;
+            }
+          }
+          Pos += 4;
+          // Only BMP escapes below 0x80 round-trip; others are replaced
+          // (the exporters never emit non-ASCII).
+          V.Str += Code < 0x80 ? static_cast<char>(Code) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+        }
+        continue;
+      }
+      V.Str += C;
+      ++Pos;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parseBool(JsonValue &V) {
+    V.Ty = JsonValue::Type::Bool;
+    if (Text.compare(Pos, 4, "true") == 0) {
+      V.Bool = true;
+      Pos += 4;
+      return true;
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      V.Bool = false;
+      Pos += 5;
+      return true;
+    }
+    fail("bad literal");
+    return false;
+  }
+
+  bool parseNull(JsonValue &V) {
+    V.Ty = JsonValue::Type::Null;
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      return true;
+    }
+    fail("bad literal");
+    return false;
+  }
+
+  bool parseNumber(JsonValue &V) {
+    V.Ty = JsonValue::Type::Number;
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start) {
+      fail("expected value");
+      return false;
+    }
+    char *EndPtr = nullptr;
+    std::string Num = Text.substr(Start, Pos - Start);
+    V.Number = std::strtod(Num.c_str(), &EndPtr);
+    if (EndPtr != Num.c_str() + Num.size()) {
+      fail("malformed number");
+      return false;
+    }
+    return true;
+  }
+
+  const std::string &Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  if (Ty != Type::Object)
+    return nullptr;
+  auto It = Object.find(Key);
+  return It == Object.end() ? nullptr : &It->second;
+}
+
+std::unique_ptr<JsonValue> JsonValue::parse(const std::string &Text,
+                                            std::string *Error) {
+  std::string LocalErr;
+  Parser P(Text, Error ? Error : &LocalErr);
+  return P.run();
+}

@@ -1,0 +1,86 @@
+//===- Json.h - Minimal JSON writer and parser ------------------*- C++ -*-===//
+///
+/// \file
+/// Just enough JSON for the exporters: a streaming writer that never
+/// emits NaN/Inf (they are clamped to 0, keeping output standards-valid)
+/// and a small recursive-descent parser used by the round-trip tests
+/// and the bench-schema validator. No external dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_OBSERVE_JSON_H
+#define CGC_OBSERVE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cgc {
+
+/// A parsed JSON value (tree-owning).
+class JsonValue {
+public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type() const { return Ty; }
+  bool isNull() const { return Ty == Type::Null; }
+
+  bool boolValue() const { return Bool; }
+  double numberValue() const { return Number; }
+  const std::string &stringValue() const { return Str; }
+  const std::vector<JsonValue> &arrayValue() const { return Array; }
+  const std::map<std::string, JsonValue> &objectValue() const { return Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *get(const std::string &Key) const;
+
+  /// Parses \p Text; returns nullptr and sets \p Error on failure.
+  static std::unique_ptr<JsonValue> parse(const std::string &Text,
+                                          std::string *Error);
+
+  Type Ty = Type::Null;
+  bool Bool = false;
+  double Number = 0;
+  std::string Str;
+  std::vector<JsonValue> Array;
+  std::map<std::string, JsonValue> Object;
+};
+
+/// Streaming JSON writer producing compact output. Usage mirrors the
+/// document structure: beginObject/key/value.../endObject.
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  /// Starts an object member; follow with exactly one value call.
+  void key(const std::string &Name);
+  void value(const std::string &Str);
+  void value(const char *Str);
+  void value(double Num);
+  void value(uint64_t Num);
+  void value(int64_t Num);
+  void value(int Num) { value(static_cast<int64_t>(Num)); }
+  void value(bool Flag);
+  void valueNull();
+
+  /// The serialized document so far.
+  const std::string &str() const { return Out; }
+
+private:
+  void comma();
+  std::string Out;
+  /// Whether the current nesting level already has an element.
+  std::vector<bool> NeedComma;
+  bool AfterKey = false;
+};
+
+/// JSON string escaping (quotes not included).
+std::string jsonEscape(const std::string &Str);
+
+} // namespace cgc
+
+#endif // CGC_OBSERVE_JSON_H

@@ -1,0 +1,171 @@
+//===- MetricsRegistry.h - Pause histograms and cycle gauges ----*- C++ -*-===//
+///
+/// \file
+/// Aggregated metrics backing the paper's figures: log-scale pause-time
+/// histograms (Figures 1-2 report pause distributions; we track
+/// p50/p95/p99/max) and per-cycle gauges (Table 1's K actual vs. target,
+/// the pacer's Best estimate, packet-pool occupancy, floating garbage).
+///
+/// PauseHistogram is HDR-style: 8 sub-buckets per power-of-two octave
+/// above 1024 ns, 8 linear 128 ns buckets below. Relative quantile error
+/// is bounded at 12.5% (one sub-bucket), and quantile(1.0) returns the
+/// exact recorded maximum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_OBSERVE_METRICSREGISTRY_H
+#define CGC_OBSERVE_METRICSREGISTRY_H
+
+#include "support/Annotations.h"
+#include "support/Atomics.h"
+#include "support/SpinLock.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+/// Fixed-bucket log-scale histogram of nanosecond durations. record()
+/// is lock-free (one relaxed fetch_add plus a store-max); quantile
+/// queries walk the bucket array and may race recording, returning a
+/// slightly stale but internally consistent-enough answer for
+/// reporting (tests query quiescent histograms).
+class PauseHistogram {
+public:
+  /// 8 linear buckets below 1024 ns, then 8 sub-buckets per octave up
+  /// to 2^41 ns (~36 min), plus one overflow bucket.
+  static constexpr uint32_t SubBuckets = 8;
+  static constexpr uint32_t BaseShift = 10;     // first octave at 1024 ns
+  static constexpr uint32_t MaxOctaves = 32;    // up to ~2^41 ns
+  static constexpr uint32_t NumBuckets =
+      SubBuckets + MaxOctaves * SubBuckets + 1; // + overflow
+
+  /// Bucket index for a value (exposed so tests can assert the
+  /// bucket-equality contract: bucketFor(quantile(q)) equals the bucket
+  /// of the reference-sorted quantile).
+  static uint32_t bucketFor(uint64_t Nanos);
+
+  /// Inclusive lower bound of a bucket, the value quantiles report.
+  static uint64_t bucketLowerBound(uint32_t Bucket);
+
+  /// Records one duration. Lock-free, any thread.
+  void record(uint64_t Nanos) {
+    Counts[bucketFor(Nanos)].fetch_add(1, std::memory_order_relaxed);
+    TotalCount.fetch_add(1, std::memory_order_relaxed);
+    TotalNanos.fetch_add(Nanos, std::memory_order_relaxed);
+    atomicStoreMax(MaxNanos, Nanos);
+  }
+
+  /// Number of recorded samples.
+  uint64_t count() const { return TotalCount.load(std::memory_order_relaxed); }
+
+  /// Sum of all recorded durations.
+  uint64_t totalNanos() const {
+    return TotalNanos.load(std::memory_order_relaxed);
+  }
+
+  /// The exact largest recorded value (0 when empty).
+  uint64_t max() const { return MaxNanos.load(std::memory_order_relaxed); }
+
+  /// Value at quantile \p Q in [0,1]: the lower bound of the bucket
+  /// holding the ceil(Q * count)-th sample, except quantile(1.0) which
+  /// returns the exact max. 0 when empty.
+  uint64_t quantile(double Q) const;
+
+  /// Mean of recorded durations (0 when empty).
+  double meanNanos() const;
+
+private:
+  CGC_ATOMIC_DOC("relaxed per-bucket sample counters")
+  std::atomic<uint64_t> Counts[NumBuckets] = {};
+  CGC_ATOMIC_DOC("relaxed total sample count")
+  std::atomic<uint64_t> TotalCount{0};
+  CGC_ATOMIC_DOC("relaxed sum of samples for mean()")
+  std::atomic<uint64_t> TotalNanos{0};
+  CGC_ATOMIC_DOC("monotonic max via atomicStoreMax")
+  std::atomic<uint64_t> MaxNanos{0};
+};
+
+/// Which pause/duration distribution a sample belongs to.
+enum class PauseMetric : uint8_t {
+  /// Full stop-the-world pause of a cycle's final phase (Figures 1-2).
+  TotalPause = 0,
+  /// Final card-cleaning pass inside the pause.
+  FinalCardClean,
+  /// Final mark / termination trace inside the pause.
+  FinalMark,
+  /// In-pause sweep (non-lazy) or sweep-slice durations.
+  Sweep,
+  /// One mutator incremental-tracing quantum.
+  IncQuantum,
+  NumMetrics
+};
+
+/// Stable export key for a pause metric.
+const char *pauseMetricName(PauseMetric Metric);
+
+/// End-of-cycle snapshot gauges (one row per completed GC cycle).
+struct CycleGauges {
+  /// 1-based cycle number.
+  uint64_t Cycle = 0;
+  /// 1 if the cycle ran its tracing concurrently, 0 for full STW.
+  uint32_t Concurrent = 0;
+  /// The configured tracing-rate target K0.
+  double KTarget = 0;
+  /// Achieved tracing rate: bytes traced / bytes allocated during the
+  /// concurrent phase (0 for STW cycles).
+  double KActual = 0;
+  /// The pacer's Best estimate (background bytes traced per allocated
+  /// byte) at cycle end.
+  double Best = 0;
+  /// Packet-pool occupancy at cycle end, by sub-pool.
+  uint64_t PoolEmpty = 0;
+  uint64_t PoolNonEmpty = 0;
+  uint64_t PoolAlmostFull = 0;
+  uint64_t PoolDeferred = 0;
+  /// Live bytes surviving the cycle.
+  uint64_t LiveAfterBytes = 0;
+  /// Heap size the cycle ran against.
+  uint64_t HeapBytes = 0;
+  /// Estimated floating garbage: this cycle's live-after minus the
+  /// smallest live-after seen so far (objects that died during tracing
+  /// but were conservatively retained). An approximation — the true
+  /// figure needs a precise baseline collection — but monotone in the
+  /// quantity the paper discusses (Section 2.2).
+  uint64_t FloatingGarbageBytes = 0;
+};
+
+/// Owns every histogram and the per-cycle gauge log for one collector
+/// instance. Histogram recording is lock-free; the gauge log takes a
+/// spin lock (once per cycle, cold).
+class MetricsRegistry {
+public:
+  /// The histogram for \p Metric (always valid).
+  PauseHistogram &histogram(PauseMetric Metric) {
+    return Histograms[static_cast<size_t>(Metric)];
+  }
+  const PauseHistogram &histogram(PauseMetric Metric) const {
+    return Histograms[static_cast<size_t>(Metric)];
+  }
+
+  /// Appends one end-of-cycle gauge row, deriving FloatingGarbageBytes
+  /// from the live-after low-water mark.
+  void addCycleGauges(CycleGauges Gauges);
+
+  /// Snapshot of all gauge rows so far, in cycle order.
+  std::vector<CycleGauges> cycleGauges() const;
+
+private:
+  PauseHistogram Histograms[static_cast<size_t>(PauseMetric::NumMetrics)];
+
+  mutable SpinLock GaugeLock;
+  CGC_GUARDED_BY(GaugeLock)
+  std::vector<CycleGauges> Gauges;
+  CGC_GUARDED_BY(GaugeLock)
+  uint64_t MinLiveAfter = UINT64_MAX;
+};
+
+} // namespace cgc
+
+#endif // CGC_OBSERVE_METRICSREGISTRY_H

@@ -1,0 +1,95 @@
+//===- Observe.cpp - Observer ring management and merge -------------------===//
+
+#include "observe/Observe.h"
+
+#include <algorithm>
+
+using namespace cgc;
+
+namespace {
+
+/// Process-unique observer ids; id 0 is never handed out so a
+/// zero-initialized thread_local cache never matches a live observer.
+std::atomic<uint64_t> NextObserverId{1};
+
+/// Process-wide small dense thread ids for event records (stable across
+/// observers so merged traces from one process line up).
+std::atomic<uint32_t> NextThreadId{1};
+
+uint32_t observeThreadId() {
+  thread_local uint32_t Tid =
+      NextThreadId.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+/// Per-thread ring cache. Keyed by observer id, not pointer: a
+/// destroyed-then-reallocated observer gets a fresh id, so the cache
+/// can never serve a dangling ring.
+struct RingCache {
+  uint64_t ObsId = 0;
+  EventRing *Ring = nullptr;
+  bool Exhausted = false;
+};
+thread_local RingCache Cache;
+
+} // namespace
+
+GcObserver::GcObserver(bool Enabled, uint32_t RingCapacityEvents)
+    : Enabled(Enabled), RingCapacity(RingCapacityEvents),
+      ObserverId(NextObserverId.fetch_add(1, std::memory_order_relaxed)) {}
+
+GcObserver::~GcObserver() = default;
+
+EventRing *GcObserver::threadRing() {
+  if (Cache.ObsId == ObserverId)
+    return Cache.Exhausted ? nullptr : Cache.Ring;
+  return createRingSlow(observeThreadId());
+}
+
+EventRing *GcObserver::createRingSlow(uint32_t Tid) {
+  SpinLockGuard Guard(RingLock);
+  uint32_t N = NumRings.load(std::memory_order_acquire);
+  // This thread may already own a ring here (e.g. its cache was
+  // repointed at another observer in between); reuse it.
+  EventRing *Ring = nullptr;
+  for (uint32_t I = 0; I < N; ++I) {
+    if (Rings[I]->ownerThreadId() == Tid) {
+      Ring = Rings[I].get();
+      break;
+    }
+  }
+  if (!Ring && N < MaxRings) {
+    Rings[N] = std::make_unique<EventRing>(Tid, RingCapacity);
+    Ring = Rings[N].get();
+    NumRings.store(N + 1, std::memory_order_release);
+  }
+  Cache.ObsId = ObserverId;
+  Cache.Ring = Ring;
+  Cache.Exhausted = Ring == nullptr;
+  return Ring;
+}
+
+std::vector<EventRecord> GcObserver::drainAll() {
+  std::vector<EventRecord> All;
+  {
+    SpinLockGuard Guard(RingLock);
+    uint32_t N = NumRings.load(std::memory_order_acquire);
+    for (uint32_t I = 0; I < N; ++I)
+      Rings[I]->drain(All);
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const EventRecord &A, const EventRecord &B) {
+                     return A.TimeNs < B.TimeNs;
+                   });
+  return All;
+}
+
+uint64_t GcObserver::droppedEvents() const {
+  uint64_t Total = 0;
+  SpinLockGuard Guard(RingLock);
+  uint32_t N = NumRings.load(std::memory_order_acquire);
+  for (uint32_t I = 0; I < N; ++I)
+    Total += Rings[I]->droppedCount();
+  return Total;
+}
+

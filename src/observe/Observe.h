@@ -1,0 +1,188 @@
+//===- Observe.h - Event observer and instrumentation macros ----*- C++ -*-===//
+///
+/// \file
+/// GcObserver is the per-collector hub of the observability layer: it
+/// hands each thread a private lock-free EventRing on first use, owns
+/// the MetricsRegistry, and merges all rings into one timestamp-ordered
+/// stream for export.
+///
+/// Instrumentation sites use the CGC_OBS_EVENT macros, which compile to
+/// a single predictable branch on a plain bool when observability is
+/// compiled in (GcOptions::Observe off ⇒ nothing else runs) and to an
+/// empty statement — arguments unevaluated — when the tree is built
+/// with -DCGC_OBSERVE_COMPILED=0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_OBSERVE_OBSERVE_H
+#define CGC_OBSERVE_OBSERVE_H
+
+#include "observe/EventRing.h"
+#include "observe/MetricsRegistry.h"
+#include "support/Annotations.h"
+#include "support/SpinLock.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+/// Compile-time gate. Building with -DCGC_OBSERVE_COMPILED=0 turns
+/// every CGC_OBS_* macro into an empty statement with unevaluated
+/// arguments; the observer object still exists (it is cheap and keeps
+/// the API surface identical) but no instrumentation site touches it.
+#ifndef CGC_OBSERVE_COMPILED
+#define CGC_OBSERVE_COMPILED 1
+#endif
+
+namespace cgc {
+
+/// Per-collector observability hub. Cheap when disabled: every
+/// instrumentation site first tests the immutable `Enabled` bool.
+/// Thread-safe: any thread may record; rings are created lazily under a
+/// lock but appended to lock-free.
+class GcObserver {
+public:
+  /// Hard cap on distinct recording threads; later threads lose their
+  /// events (counted in lostThreadEvents()) rather than blocking.
+  static constexpr uint32_t MaxRings = 64;
+
+  /// \p Enabled mirrors GcOptions::Observe; \p RingCapacityEvents is
+  /// per-thread (GcOptions::ObserveRingEvents).
+  explicit GcObserver(bool Enabled, uint32_t RingCapacityEvents = 1u << 14);
+  ~GcObserver();
+
+  GcObserver(const GcObserver &) = delete;
+  GcObserver &operator=(const GcObserver &) = delete;
+
+  /// Whether event recording is on. Immutable after construction, so
+  /// the hot-path check is a plain non-atomic load.
+  bool enabled() const { return Enabled; }
+
+  /// Records one event on the calling thread's ring (creating the ring
+  /// on first use). Hot path after ring creation: one thread_local
+  /// lookup, one clock read, four relaxed stores, one release store.
+  void record(EventKind Kind, uint64_t Arg0, uint64_t Arg1) {
+    if (!Enabled)
+      return;
+    EventRing *Ring = threadRing();
+    if (!Ring) {
+      LostThreadEvents.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Ring->push(nowNanos(), Kind, Arg0, Arg1);
+  }
+
+  /// The aggregated metrics (histograms record lock-free regardless of
+  /// Enabled; instrumentation sites gate on enabled() themselves).
+  MetricsRegistry &metrics() { return Metrics; }
+  const MetricsRegistry &metrics() const { return Metrics; }
+
+  /// Drains every thread's ring and merges the records in timestamp
+  /// order. Safe to call while producers are still recording (their
+  /// newest events may miss the snapshot); concurrent drainAll calls
+  /// serialize on an internal lock.
+  std::vector<EventRecord> drainAll();
+
+  /// Lifetime records overwritten before any drain saw them.
+  uint64_t droppedEvents() const;
+
+  /// Events discarded because more than MaxRings threads recorded.
+  uint64_t lostThreadEvents() const {
+    return LostThreadEvents.load(std::memory_order_relaxed);
+  }
+
+  /// Number of thread rings created so far.
+  uint32_t ringCount() const {
+    return NumRings.load(std::memory_order_acquire);
+  }
+
+private:
+  /// The calling thread's ring for this observer, or nullptr when the
+  /// ring table is full. Cached in a thread_local keyed by a
+  /// process-unique observer id, so a thread touching two collector
+  /// instances (or a re-created one) never reuses a stale pointer.
+  EventRing *threadRing();
+  EventRing *createRingSlow(uint32_t Tid);
+
+  const bool Enabled;
+  const uint32_t RingCapacity;
+  /// Process-unique id for the thread_local ring cache.
+  const uint64_t ObserverId;
+
+  CGC_ATOMIC_DOC("ring-table publish count; release on create, acquire scan")
+  std::atomic<uint32_t> NumRings{0};
+  CGC_ATOMIC_DOC("relaxed counter of events from threads past MaxRings")
+  std::atomic<uint64_t> LostThreadEvents{0};
+
+  mutable SpinLock RingLock; // serializes ring creation and drainAll
+  CGC_GUARDED_BY(RingLock)
+  std::unique_ptr<EventRing> Rings[MaxRings];
+
+  MetricsRegistry Metrics;
+};
+
+} // namespace cgc
+
+#if CGC_OBSERVE_COMPILED
+
+/// Record event \p KindSuffix (an EventKind enumerator name) on
+/// observer reference \p Obs. Arguments are unevaluated unless the
+/// observer is enabled.
+#define CGC_OBS_EVENT(Obs, KindSuffix, A0, A1)                                 \
+  do {                                                                         \
+    if ((Obs).enabled())                                                       \
+      (Obs).record(::cgc::EventKind::KindSuffix,                               \
+                   static_cast<uint64_t>(A0), static_cast<uint64_t>(A1));      \
+  } while (0)
+
+/// Pointer form: \p ObsPtr may be null (site not wired up).
+#define CGC_OBS_EVENT_P(ObsPtr, KindSuffix, A0, A1)                            \
+  do {                                                                         \
+    if ((ObsPtr) != nullptr && (ObsPtr)->enabled())                            \
+      (ObsPtr)->record(::cgc::EventKind::KindSuffix,                           \
+                       static_cast<uint64_t>(A0), static_cast<uint64_t>(A1));  \
+  } while (0)
+
+/// Record a duration sample into a pause histogram.
+#define CGC_OBS_PAUSE(Obs, Metric, Nanos)                                      \
+  do {                                                                         \
+    if ((Obs).enabled())                                                       \
+      (Obs).metrics()                                                          \
+          .histogram(::cgc::PauseMetric::Metric)                               \
+          .record(static_cast<uint64_t>(Nanos));                               \
+  } while (0)
+
+/// Timestamp for observability-only duration measurements: reads the
+/// clock only when the observer is enabled, 0 otherwise (and a literal
+/// 0 when instrumentation is compiled out, so dependent code folds
+/// away).
+#define CGC_OBS_NOW(Obs) ((Obs).enabled() ? ::cgc::nowNanos() : 0)
+
+#else // !CGC_OBSERVE_COMPILED
+
+// Arguments sit in unevaluated sizeof operands: no code is generated
+// and no side effect runs, but variables used only for instrumentation
+// do not trigger -Wunused warnings.
+#define CGC_OBS_EVENT(Obs, KindSuffix, A0, A1)                                 \
+  do {                                                                         \
+    (void)sizeof(&(Obs));                                                      \
+    (void)sizeof(A0);                                                          \
+    (void)sizeof(A1);                                                          \
+  } while (0)
+#define CGC_OBS_EVENT_P(ObsPtr, KindSuffix, A0, A1)                            \
+  do {                                                                         \
+    (void)sizeof(ObsPtr);                                                      \
+    (void)sizeof(A0);                                                          \
+    (void)sizeof(A1);                                                          \
+  } while (0)
+#define CGC_OBS_PAUSE(Obs, Metric, Nanos)                                      \
+  do {                                                                         \
+    (void)sizeof(&(Obs));                                                      \
+    (void)sizeof(Nanos);                                                       \
+  } while (0)
+#define CGC_OBS_NOW(Obs) 0ull
+
+#endif // CGC_OBSERVE_COMPILED
+
+#endif // CGC_OBSERVE_OBSERVE_H

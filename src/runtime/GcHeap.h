@@ -152,30 +152,38 @@ private:
                            TryFn TryOnce) {
     if (TryOnce())
       return true;
-    Core.Stats.noteEscalation(EscalationRung::RefillRetry);
+    noteRung(EscalationRung::RefillRetry, WantedBytes);
     if (TryOnce())
       return true;
-    Core.Stats.noteEscalation(EscalationRung::SweepFinish);
+    noteRung(EscalationRung::SweepFinish, WantedBytes);
     if (Core.Sweep.lazySweepPending())
       Core.Sweep.sweepUntilFree(WantedBytes);
     if (TryOnce())
       return true;
     if (Col->concurrentPhaseActive()) {
-      Core.Stats.noteEscalation(EscalationRung::StwFinish);
+      noteRung(EscalationRung::StwFinish, WantedBytes);
       Col->collectNow(&Ctx);
       if (TryOnce())
         return true;
     }
     for (int I = 0; I < 2; ++I) {
-      Core.Stats.noteEscalation(EscalationRung::FullStw);
+      noteRung(EscalationRung::FullStw, WantedBytes);
       Col->collectNow(&Ctx);
       if (Core.Sweep.lazySweepPending())
         Core.Sweep.sweepUntilFree(WantedBytes);
       if (TryOnce())
         return true;
     }
-    Core.Stats.noteEscalation(EscalationRung::AllocationFailure);
+    noteRung(EscalationRung::AllocationFailure, WantedBytes);
     return false;
+  }
+
+  /// Counts a ladder escalation in GcStats and mirrors it as an
+  /// AllocLadderRung event.
+  void noteRung(EscalationRung Rung, size_t WantedBytes) {
+    Core.Stats.noteEscalation(Rung);
+    CGC_OBS_EVENT(Core.Obs, AllocLadderRung, static_cast<unsigned>(Rung),
+                  WantedBytes);
   }
 
   GcCore Core;

@@ -1,0 +1,60 @@
+//===- Timing.cpp - Wall-clock helpers -----------------------------------------//
+
+#include "support/Timing.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace cgc;
+
+uint64_t Clock::realNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<Clock::SourceFn> Clock::Source{&Clock::realNowNanos};
+
+Clock::SourceFn Clock::setSource(SourceFn Fn) {
+  return Source.exchange(Fn ? Fn : &Clock::realNowNanos,
+                         std::memory_order_acq_rel);
+}
+
+bool Clock::isFaked() {
+  return Source.load(std::memory_order_acquire) != &Clock::realNowNanos;
+}
+
+std::atomic<uint64_t> ManualClock::NowV{0};
+std::atomic<bool> ManualClock::Active{false};
+
+uint64_t ManualClock::read() {
+  return NowV.load(std::memory_order_acquire);
+}
+
+ManualClock::ManualClock(uint64_t StartNanos) {
+  bool WasActive = Active.exchange(true, std::memory_order_acq_rel);
+  assert(!WasActive && "only one ManualClock may be active");
+  (void)WasActive;
+  NowV.store(StartNanos, std::memory_order_release);
+  Prev = Clock::setSource(&ManualClock::read);
+}
+
+ManualClock::~ManualClock() {
+  Clock::setSource(Prev);
+  Active.store(false, std::memory_order_release);
+}
+
+void ManualClock::setNanos(uint64_t Nanos) {
+  assert(Nanos >= NowV.load(std::memory_order_relaxed) &&
+         "manual clock must not move backwards");
+  NowV.store(Nanos, std::memory_order_release);
+}
+
+void ManualClock::advanceNanos(uint64_t Delta) {
+  NowV.fetch_add(Delta, std::memory_order_acq_rel);
+}
+
+uint64_t ManualClock::nanos() const {
+  return NowV.load(std::memory_order_acquire);
+}

@@ -1,25 +1,59 @@
 //===- Timing.h - Wall-clock helpers ----------------------------*- C++ -*-===//
 ///
 /// \file
-/// Monotonic wall-clock helpers used for pause-time and rate measurements.
+/// Monotonic wall-clock helpers used for pause-time and rate
+/// measurements, routed through a swappable Clock source so tests can
+/// substitute a deterministic clock.
+///
+/// Every timing read in the repo — pause stopwatches, workload
+/// deadlines, observability event timestamps — goes through
+/// cgc::nowNanos(), which reads Clock. By default Clock reads the real
+/// std::chrono::steady_clock; installing a ManualClock (tests only)
+/// makes time advance only when the test says so, which removes the
+/// wall-clock dependence that made timing asserts flaky on loaded CI
+/// hosts.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CGC_SUPPORT_TIMING_H
 #define CGC_SUPPORT_TIMING_H
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
 
 namespace cgc {
 
-/// Current monotonic time in nanoseconds.
-inline uint64_t nowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+/// The process-wide time source. All reads go through nowNanos(); the
+/// source function is swappable (ManualClock) for deterministic tests.
+class Clock {
+public:
+  using SourceFn = uint64_t (*)();
+
+  /// Current time in nanoseconds from the installed source (the real
+  /// monotonic clock unless a test installed a fake).
+  static uint64_t nowNanos() {
+    return Source.load(std::memory_order_acquire)();
+  }
+
+  /// Installs \p Fn as the time source; nullptr restores the real
+  /// monotonic clock. Returns the previous source. Not intended for
+  /// concurrent install/uninstall (tests install once up front).
+  static SourceFn setSource(SourceFn Fn);
+
+  /// The real monotonic clock, regardless of the installed source.
+  static uint64_t realNowNanos();
+
+  /// Whether a fake source is currently installed.
+  static bool isFaked();
+
+private:
+  // Swapped only by tests at quiescent points; hot readers pay one
+  // acquire load + indirect call (both free on x86, cheap everywhere).
+  static std::atomic<SourceFn> Source;
+};
+
+/// Current monotonic time in nanoseconds (via the installed Clock).
+inline uint64_t nowNanos() { return Clock::nowNanos(); }
 
 /// Converts nanoseconds to fractional milliseconds.
 inline double nanosToMillis(uint64_t Nanos) {
@@ -42,6 +76,37 @@ public:
 
 private:
   uint64_t Start;
+};
+
+/// RAII deterministic clock for tests: installing it makes nowNanos()
+/// return a manually advanced counter; destruction restores the real
+/// clock. Only one may be active at a time (asserted). Threads still
+/// running when time is advanced observe the new value on their next
+/// read — advance is a single atomic store.
+class ManualClock {
+public:
+  explicit ManualClock(uint64_t StartNanos = 1);
+  ~ManualClock();
+
+  ManualClock(const ManualClock &) = delete;
+  ManualClock &operator=(const ManualClock &) = delete;
+
+  /// Sets the current time (must not move backwards).
+  void setNanos(uint64_t Nanos);
+
+  /// Advances the clock.
+  void advanceNanos(uint64_t Delta);
+  void advanceMillis(uint64_t Millis) { advanceNanos(Millis * 1000000ull); }
+
+  /// The value nowNanos() currently returns.
+  uint64_t nanos() const;
+
+private:
+  static uint64_t read();
+  // One writer (the test body), many reader threads via Clock.
+  static std::atomic<uint64_t> NowV;
+  static std::atomic<bool> Active;
+  Clock::SourceFn Prev;
 };
 
 } // namespace cgc

@@ -2,6 +2,7 @@
 
 #include "workpackets/PacketPool.h"
 
+#include "observe/Observe.h"
 #include "support/Atomics.h"
 #include "support/Fences.h"
 
@@ -9,8 +10,27 @@
 
 using namespace cgc;
 
-PacketPool::PacketPool(uint32_t NumPackets, FaultInjector *FI)
-    : NumPackets(NumPackets), Packets(new WorkPacket[NumPackets]), FI(FI) {
+namespace {
+
+/// Maps the pool's internal sub-pool kind to the stable event id.
+PacketSubPool eventSubPool(int Kind) {
+  switch (Kind) {
+  case 0:
+    return PacketSubPool::Empty;
+  case 1:
+    return PacketSubPool::NonEmpty;
+  case 2:
+    return PacketSubPool::AlmostFull;
+  default:
+    return PacketSubPool::Deferred;
+  }
+}
+
+} // namespace
+
+PacketPool::PacketPool(uint32_t NumPackets, FaultInjector *FI, GcObserver *Obs)
+    : NumPackets(NumPackets), Packets(new WorkPacket[NumPackets]), FI(FI),
+      Obs(Obs) {
   assert(NumPackets > 0 && "pool needs at least one packet");
   for (uint32_t I = 0; I < NumPackets; ++I)
     pushTo(Empty, &Packets[I]);
@@ -82,6 +102,9 @@ WorkPacket *PacketPool::takeFrom(SubPoolKind Kind) {
   counterFor(Kind).fetch_sub(1, std::memory_order_release);
   SyncOps.fetch_add(1, std::memory_order_relaxed);
   noteGotPacket(Packet);
+  // Exclusively held from here until put(): plain store is race-free.
+  Packet->TakenFrom = static_cast<uint8_t>(eventSubPool(Kind));
+  CGC_OBS_EVENT_P(Obs, PacketGet, Packet->TakenFrom, Packet->count());
   return Packet;
 }
 
@@ -186,6 +209,10 @@ void PacketPool::put(WorkPacket *Packet) {
     fence(FenceSite::PacketPublish);
   notePutPacket(Packet);
   SubPoolKind Kind = classify(Packet);
+  // Capture observability fields while still exclusively held: after
+  // pushTo another thread may re-acquire and mutate the packet.
+  uint32_t ObsCount = Packet->count();
+  uint8_t ObsFrom = Packet->TakenFrom;
   switch (Kind) {
   case SPEmpty:
     pushTo(Empty, Packet);
@@ -202,15 +229,26 @@ void PacketPool::put(WorkPacket *Packet) {
   }
   counterFor(Kind).fetch_add(1, std::memory_order_release);
   SyncOps.fetch_add(1, std::memory_order_relaxed);
+  CGC_OBS_EVENT_P(Obs, PacketPut, static_cast<uint8_t>(eventSubPool(Kind)),
+                  ObsCount);
+  if (ObsFrom != static_cast<uint8_t>(eventSubPool(Kind)))
+    CGC_OBS_EVENT_P(Obs, PacketTransition, ObsFrom,
+                    static_cast<uint8_t>(eventSubPool(Kind)));
 }
 
 void PacketPool::putDeferred(WorkPacket *Packet) {
   assert(Packet && !Packet->empty() && "deferred packet must carry work");
   fence(FenceSite::PacketPublish);
   notePutPacket(Packet);
+  uint32_t ObsCount = Packet->count();
+  uint8_t ObsFrom = Packet->TakenFrom;
   pushTo(Deferred, Packet);
   DeferredCount.fetch_add(1, std::memory_order_release);
   SyncOps.fetch_add(1, std::memory_order_relaxed);
+  CGC_OBS_EVENT_P(Obs, PacketPut,
+                  static_cast<uint8_t>(PacketSubPool::Deferred), ObsCount);
+  CGC_OBS_EVENT_P(Obs, PacketTransition, ObsFrom,
+                  static_cast<uint8_t>(PacketSubPool::Deferred));
 }
 
 size_t PacketPool::redistributeDeferred() {

@@ -34,6 +34,8 @@
 
 namespace cgc {
 
+class GcObserver;
+
 /// Why a packet acquire handed back nullptr (the typed status of the
 /// pool-exhaustion path — callers used to have to guess from context).
 enum class PacketAcquireStatus : uint8_t {
@@ -45,6 +47,16 @@ enum class PacketAcquireStatus : uint8_t {
   /// Fault injection denied the acquire (chaos mode); the pool itself
   /// may hold packets.
   Injected
+};
+
+/// Approximate per-sub-pool packet counts (observability gauges; the
+/// counters trail the stack operations, so a racing snapshot can be
+/// momentarily off by the number of in-flight put/get operations).
+struct PacketPoolOccupancy {
+  uint32_t Empty = 0;
+  uint32_t NonEmpty = 0;
+  uint32_t AlmostFull = 0;
+  uint32_t Deferred = 0;
 };
 
 /// Aggregate statistics for the load-balancing evaluation (Section 6.3).
@@ -67,8 +79,10 @@ struct PacketPoolStats {
 class PacketPool {
 public:
   /// Creates \p NumPackets empty packets, all in the Empty sub-pool.
-  /// \p FI (optional) arms the pool's fault-injection sites.
-  explicit PacketPool(uint32_t NumPackets, FaultInjector *FI = nullptr);
+  /// \p FI (optional) arms the pool's fault-injection sites; \p Obs
+  /// (optional) receives packet get/put/transition events.
+  explicit PacketPool(uint32_t NumPackets, FaultInjector *FI = nullptr,
+                      GcObserver *Obs = nullptr);
 
   PacketPool(const PacketPool &) = delete;
   PacketPool &operator=(const PacketPool &) = delete;
@@ -119,6 +133,16 @@ public:
   size_t approxInputPackets() const {
     return NonEmptyCount.load(std::memory_order_relaxed) +
            AlmostFullCount.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate sub-pool occupancy snapshot (observability gauges).
+  PacketPoolOccupancy occupancy() const {
+    PacketPoolOccupancy O;
+    O.Empty = EmptyCount.load(std::memory_order_relaxed);
+    O.NonEmpty = NonEmptyCount.load(std::memory_order_relaxed);
+    O.AlmostFull = AlmostFullCount.load(std::memory_order_relaxed);
+    O.Deferred = DeferredCount.load(std::memory_order_relaxed);
+    return O;
   }
 
   /// Snapshot of the accumulated statistics.
@@ -184,6 +208,7 @@ private:
   uint32_t NumPackets;
   std::unique_ptr<WorkPacket[]> Packets;
   FaultInjector *FI;
+  GcObserver *Obs;
 
   SubPool Empty, NonEmpty, AlmostFull, Deferred;
   /// Sub-pool counters trail the stack operations (updated after each

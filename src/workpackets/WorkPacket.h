@@ -67,6 +67,10 @@ private:
   /// + 1), or 0 for end-of-list. Only touched inside pool CAS sections.
   uint32_t Next = 0;
   uint32_t Count = 0;
+  /// Sub-pool the packet was last acquired from (a PacketSubPool value;
+  /// observability only). Written by the pool while the packet is
+  /// exclusively held, so plain storage is race-free.
+  uint8_t TakenFrom = 0;
   Object *Entries[Capacity];
 };
 

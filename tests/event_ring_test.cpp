@@ -1,0 +1,205 @@
+//===- event_ring_test.cpp - EventRing and GcObserver unit tests --------------//
+///
+/// Locks in the lock-free event-ring contract: SPSC push/drain ordering,
+/// wraparound drop-oldest accounting by cursor arithmetic, observer-level
+/// multi-ring merge ordered by timestamp, and a TSan-clean concurrent
+/// producers-vs-drain hammer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "observe/Observe.h"
+#include "support/Timing.h"
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+TEST(EventRingTest, CapacityRoundsUpToPowerOfTwoMin16) {
+  EXPECT_EQ(EventRing(1, 0).capacity(), 16u);
+  EXPECT_EQ(EventRing(1, 5).capacity(), 16u);
+  EXPECT_EQ(EventRing(1, 16).capacity(), 16u);
+  EXPECT_EQ(EventRing(1, 17).capacity(), 32u);
+  EXPECT_EQ(EventRing(1, 1000).capacity(), 1024u);
+}
+
+TEST(EventRingTest, PushDrainPreservesOrderAndFields) {
+  EventRing Ring(/*OwnerThreadId=*/7, /*CapacityEvents=*/64);
+  for (uint64_t I = 0; I < 10; ++I)
+    Ring.push(/*TimeNs=*/100 + I, EventKind::PacketGet, /*Arg0=*/I,
+              /*Arg1=*/I * 2);
+
+  std::vector<EventRecord> Out;
+  EXPECT_EQ(Ring.drain(Out), 0u);
+  ASSERT_EQ(Out.size(), 10u);
+  for (uint64_t I = 0; I < 10; ++I) {
+    EXPECT_EQ(Out[I].TimeNs, 100 + I);
+    EXPECT_EQ(Out[I].ThreadId, 7u);
+    EXPECT_EQ(Out[I].Kind, EventKind::PacketGet);
+    EXPECT_EQ(Out[I].Arg0, I);
+    EXPECT_EQ(Out[I].Arg1, I * 2);
+  }
+  EXPECT_EQ(Ring.pushedCount(), 10u);
+  EXPECT_EQ(Ring.droppedCount(), 0u);
+}
+
+TEST(EventRingTest, WraparoundDropsOldestAndCountsExactly) {
+  EventRing Ring(1, 16); // exact power of two, no rounding
+  const uint64_t Pushed = 40;
+  for (uint64_t I = 0; I < Pushed; ++I)
+    Ring.push(I, EventKind::SweepSlice, I, 0);
+
+  std::vector<EventRecord> Out;
+  uint64_t Dropped = Ring.drain(Out);
+  EXPECT_EQ(Dropped, Pushed - 16);
+  ASSERT_EQ(Out.size(), 16u);
+  // The survivors are exactly the newest 16, still in push order.
+  for (uint64_t I = 0; I < 16; ++I)
+    EXPECT_EQ(Out[I].Arg0, Pushed - 16 + I);
+  EXPECT_EQ(Ring.droppedCount(), Pushed - 16);
+  EXPECT_EQ(Ring.pushedCount(), Pushed);
+}
+
+TEST(EventRingTest, SecondDrainSeesOnlyNewRecords) {
+  EventRing Ring(1, 64);
+  Ring.push(1, EventKind::PacketGet, 10, 0);
+  Ring.push(2, EventKind::PacketPut, 11, 0);
+  std::vector<EventRecord> Out;
+  EXPECT_EQ(Ring.drain(Out), 0u);
+  EXPECT_EQ(Out.size(), 2u);
+
+  Out.clear();
+  EXPECT_EQ(Ring.drain(Out), 0u);
+  EXPECT_TRUE(Out.empty()); // nothing new
+
+  Ring.push(3, EventKind::Overflow, 12, 0);
+  EXPECT_EQ(Ring.drain(Out), 0u);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Arg0, 12u);
+}
+
+TEST(EventRingTest, DropAccountingAcrossMultipleDrains) {
+  EventRing Ring(1, 16);
+  // First overflow window.
+  for (uint64_t I = 0; I < 20; ++I)
+    Ring.push(I, EventKind::PacketGet, I, 0);
+  std::vector<EventRecord> Out;
+  EXPECT_EQ(Ring.drain(Out), 4u);
+  // Second overflow window: cursor arithmetic must not double-count the
+  // earlier drop.
+  Out.clear();
+  for (uint64_t I = 0; I < 17; ++I)
+    Ring.push(I, EventKind::PacketGet, I, 0);
+  EXPECT_EQ(Ring.drain(Out), 1u);
+  EXPECT_EQ(Out.size(), 16u);
+  EXPECT_EQ(Ring.droppedCount(), 5u);
+}
+
+TEST(GcObserverTest, DisabledObserverRecordsNothing) {
+  GcObserver Obs(/*Enabled=*/false);
+  Obs.record(EventKind::PacketGet, 1, 2);
+  EXPECT_EQ(Obs.ringCount(), 0u);
+  EXPECT_TRUE(Obs.drainAll().empty());
+}
+
+TEST(GcObserverTest, DrainAllMergesByTimestamp) {
+  GcObserver Obs(/*Enabled=*/true, /*RingCapacityEvents=*/1024);
+  const unsigned NumThreads = 4;
+  const uint64_t PerThread = 200;
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Obs, T] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        Obs.record(EventKind::PacketGet, /*Arg0=*/I, /*Arg1=*/T);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  std::vector<EventRecord> All = Obs.drainAll();
+  ASSERT_EQ(All.size(), NumThreads * PerThread);
+  EXPECT_EQ(Obs.ringCount(), NumThreads);
+  EXPECT_EQ(Obs.droppedEvents(), 0u);
+
+  // Global order: non-decreasing timestamps.
+  for (size_t I = 1; I < All.size(); ++I)
+    EXPECT_LE(All[I - 1].TimeNs, All[I].TimeNs);
+
+  // Per-thread order: each producer's Arg0 sequence survives the merge
+  // (timestamps are monotone per thread and the merge sort is stable).
+  std::vector<uint64_t> CountPerTid;
+  for (const EventRecord &R : All) {
+    ASSERT_NE(R.ThreadId, 0u);
+    if (R.ThreadId >= CountPerTid.size())
+      CountPerTid.resize(R.ThreadId + 1, 0);
+    EXPECT_EQ(R.Arg0, CountPerTid[R.ThreadId]++);
+  }
+}
+
+TEST(GcObserverTest, ThreadReturningToObserverReusesItsRing) {
+  GcObserver Obs(/*Enabled=*/true, 64);
+  Obs.record(EventKind::PacketGet, 1, 0);
+  {
+    // A second observer on the same thread gets its own ring; the cache
+    // must not leak records across observers.
+    GcObserver Other(/*Enabled=*/true, 64);
+    Other.record(EventKind::PacketPut, 2, 0);
+    EXPECT_EQ(Other.drainAll().size(), 1u);
+  }
+  // Back on the first observer: still one ring, record lands there.
+  Obs.record(EventKind::PacketGet, 3, 0);
+  EXPECT_EQ(Obs.ringCount(), 1u);
+  EXPECT_EQ(Obs.drainAll().size(), 2u);
+}
+
+TEST(GcObserverTest, ConcurrentProducersAndDrainsAreClean) {
+  // TSan target: 4 producers hammer small rings while the main thread
+  // drains concurrently. Totals must reconcile: drained + dropped +
+  // still-resident == pushed.
+  uint64_t Seed = testSeed(0x0b5e11, "event_ring_hammer");
+  (void)Seed; // The hammer is schedule-driven; the seed is for future knobs.
+  GcObserver Obs(/*Enabled=*/true, /*RingCapacityEvents=*/64);
+  const unsigned NumThreads = 4;
+  const uint64_t PerThread = 20000;
+
+  std::atomic<bool> Stop{false};
+  std::vector<EventRecord> Drained;
+  std::thread Drainer([&] {
+    while (!Stop.load(std::memory_order_acquire)) {
+      std::vector<EventRecord> Batch = Obs.drainAll();
+      Drained.insert(Drained.end(), Batch.begin(), Batch.end());
+    }
+  });
+
+  std::vector<std::thread> Producers;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Producers.emplace_back([&Obs, T] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        Obs.record(EventKind::PacketTransition, I, T);
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Stop.store(true, std::memory_order_release);
+  Drainer.join();
+
+  std::vector<EventRecord> Tail = Obs.drainAll();
+  uint64_t Total = Drained.size() + Tail.size() + Obs.droppedEvents();
+  EXPECT_EQ(Total, uint64_t(NumThreads) * PerThread);
+
+  // Every drained record is intact (never torn): ThreadId and Kind are
+  // written together in the meta word, Arg0 is a valid sequence number.
+  for (const EventRecord &R : Drained) {
+    EXPECT_EQ(R.Kind, EventKind::PacketTransition);
+    EXPECT_LT(R.Arg0, PerThread);
+    EXPECT_LT(R.Arg1, NumThreads);
+  }
+}
+
+} // namespace

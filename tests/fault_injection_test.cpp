@@ -16,6 +16,7 @@
 #include "runtime/GcHeap.h"
 #include "support/FaultInjector.h"
 #include "support/Random.h"
+#include "support/Timing.h"
 
 #include <gtest/gtest.h>
 
@@ -233,9 +234,11 @@ TEST(FaultInjectionTest, WatchdogFinishesStalledConcurrentCycle) {
   // Stop allocating; just poll safepoints so the watchdog's STW finish
   // can stop this thread. Progress is frozen, so the stall detector
   // must trip within ~StallTicks * Interval.
-  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  // Clock-routed deadline (support/Timing.h): a test under ManualClock
+  // would control this wait too, and the real-clock path is identical.
+  Stopwatch Waited;
   while (Heap->stats().watchdogTrips() == 0 &&
-         std::chrono::steady_clock::now() < Deadline) {
+         Waited.elapsedNanos() < 30ull * 1000 * 1000 * 1000) {
     Heap->safepointPoll(Ctx);
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }

@@ -1,0 +1,40 @@
+// fixture-as: observe/EventRing.h
+// Rule R4 over the observability headers: every std::atomic member —
+// including atomic-array storage behind unique_ptr — carries a
+// CGC_ATOMIC_DOC or CGC_GUARDED_BY claim. Local atomic access inside
+// inline ring code stays clean when it goes through `auto *` slot
+// pointers and explicit memory orders.
+#include "support/Annotations.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace cgc {
+
+class RingFixture {
+public:
+  void push(uint64_t TimeNs) {
+    uint64_t W = WriteCursor.load(std::memory_order_relaxed);
+    // Slot pointers are `auto *`: the fragment scanner must not mistake
+    // a local access path for an undocumented member declaration.
+    auto *Slot = &Slots[W & Mask];
+    Slot[0].store(TimeNs, std::memory_order_relaxed);
+    WriteCursor.store(W + 1, std::memory_order_release);
+  }
+
+private:
+  static constexpr uint64_t Mask = 15;
+
+  std::atomic<uint64_t> WriteCursor{0}; // expect(R4)
+
+  CGC_ATOMIC_DOC("consumer-side progress; relaxed, drains serialized")
+  std::atomic<uint64_t> ReadCursor{0};
+
+  std::unique_ptr<std::atomic<uint64_t>[]> Slots; // expect(R4)
+
+  CGC_ATOMIC_DOC("relaxed data words; publication ordered via WriteCursor")
+  std::unique_ptr<std::atomic<uint64_t>[]> DocumentedSlots;
+};
+
+} // namespace cgc

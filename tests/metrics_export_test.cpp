@@ -1,0 +1,294 @@
+//===- metrics_export_test.cpp - exporter golden and schema tests -------------//
+///
+/// Locks in the serialized exporter formats: a golden-file test for the
+/// Chrome-trace JSON and the cgc-bench-v1 document (exact output vs the
+/// checked-in expectation, with the only nondeterministic field —
+/// unix_ms — normalized), round-trip parse checks through the bundled
+/// JSON parser, and negative tests for every validateBenchJson rule.
+///
+/// Regenerate goldens after an intentional format change with
+/// `CGC_UPDATE_GOLDEN=1 ./metrics_export_test` and re-review the diff.
+///
+//===----------------------------------------------------------------------===//
+
+#include "observe/BenchJsonWriter.h"
+#include "observe/ChromeTraceExporter.h"
+#include "observe/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+std::string goldenPath(const char *Name) {
+  return std::string(CGC_TEST_GOLDEN_DIR) + "/" + Name;
+}
+
+std::string readFileOrEmpty(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return "";
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Compares \p Actual against the checked-in golden file, or rewrites
+/// the golden when CGC_UPDATE_GOLDEN is set.
+void expectMatchesGolden(const char *Name, const std::string &Actual) {
+  std::string Path = goldenPath(Name);
+  if (std::getenv("CGC_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(Out) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "golden updated: " << Path;
+  }
+  std::string Expected = readFileOrEmpty(Path);
+  ASSERT_FALSE(Expected.empty())
+      << "missing golden " << Path
+      << " (run with CGC_UPDATE_GOLDEN=1 to create)";
+  EXPECT_EQ(Actual, Expected) << "serialized format drifted from " << Name;
+}
+
+/// Replaces the wall-clock "unix_ms" value with 0 so bench documents
+/// compare deterministically.
+std::string normalizeUnixMs(std::string Json) {
+  const std::string Key = "\"unix_ms\":";
+  size_t Pos = Json.find(Key);
+  if (Pos == std::string::npos)
+    return Json;
+  size_t Start = Pos + Key.size();
+  size_t End = Start;
+  while (End < Json.size() && (std::isdigit(Json[End]) || Json[End] == '-'))
+    ++End;
+  return Json.substr(0, Start) + "0" + Json.substr(End);
+}
+
+std::vector<EventRecord> traceFixture() {
+  // Two threads: tid 1 has a proper Begin/End pair around an instant;
+  // tid 2 has an orphan End (Begin lost to ring overwrite) followed by a
+  // Begin left open at stream end (synthetic close expected).
+  auto Rec = [](uint64_t T, uint32_t Tid, EventKind K, uint64_t A0,
+                uint64_t A1) {
+    EventRecord R;
+    R.TimeNs = T;
+    R.ThreadId = Tid;
+    R.Kind = K;
+    R.Arg0 = A0;
+    R.Arg1 = A1;
+    return R;
+  };
+  return {
+      Rec(10000, 1, EventKind::CycleKickoff, 1, 4096),
+      Rec(12000, 2, EventKind::StwEnd, 1, 0), // orphan: dropped
+      Rec(15000, 1, EventKind::IncTraceBegin, 512, 1),
+      Rec(18000, 1, EventKind::PacketGet, 1, 200),
+      Rec(21000, 1, EventKind::IncTraceEnd, 480, 512),
+      Rec(25000, 2, EventKind::StwBegin, 2, 0), // left open: synth close
+      Rec(30000, 1, EventKind::CycleComplete, 1, 1),
+  };
+}
+
+TEST(ChromeTraceExportTest, MatchesGolden) {
+  expectMatchesGolden("chrome_trace_golden.json",
+                      ChromeTraceExporter::toJson(traceFixture()));
+}
+
+TEST(ChromeTraceExportTest, OutputParsesAndPairsAreBalanced) {
+  std::string Json = ChromeTraceExporter::toJson(traceFixture());
+  std::string Error;
+  std::unique_ptr<JsonValue> Doc = JsonValue::parse(Json, &Error);
+  ASSERT_NE(Doc, nullptr) << Error;
+
+  const JsonValue *Events = Doc->get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->type(), JsonValue::Type::Array);
+
+  int Begins = 0, Ends = 0, Instants = 0;
+  for (const JsonValue &E : Events->arrayValue()) {
+    const JsonValue *Ph = E.get("ph");
+    ASSERT_NE(Ph, nullptr);
+    const std::string &Phase = Ph->stringValue();
+    if (Phase == "B")
+      ++Begins;
+    else if (Phase == "E")
+      ++Ends;
+    else if (Phase == "i")
+      ++Instants;
+    else
+      FAIL() << "unexpected phase " << Phase;
+    // Every event carries the required fields.
+    EXPECT_NE(E.get("name"), nullptr);
+    EXPECT_NE(E.get("ts"), nullptr);
+    EXPECT_NE(E.get("tid"), nullptr);
+    EXPECT_NE(E.get("pid"), nullptr);
+  }
+  // One real pair (inc_trace) + one synthetic close for the open
+  // StwBegin; the orphan StwEnd was dropped.
+  EXPECT_EQ(Begins, 2);
+  EXPECT_EQ(Ends, 2);
+  EXPECT_EQ(Instants, 3);
+  // Timestamps are rebased to the earliest event.
+  EXPECT_EQ(Events->arrayValue()[0].get("ts")->numberValue(), 0.0);
+}
+
+TEST(ChromeTraceExportTest, EmptyStreamStillLoads) {
+  std::string Json = ChromeTraceExporter::toJson({});
+  std::string Error;
+  std::unique_ptr<JsonValue> Doc = JsonValue::parse(Json, &Error);
+  ASSERT_NE(Doc, nullptr) << Error;
+  EXPECT_TRUE(Doc->get("traceEvents")->arrayValue().empty());
+}
+
+BenchJsonWriter benchFixture() {
+  BenchJsonWriter Json("goldenbench");
+  Json.beginRow("warehouses=1");
+  Json.addConfig("warehouses", 1);
+  Json.addConfig("heap_mb", 48);
+  Json.addMetric("pause_p50_ms", 1.5, "ms");
+  Json.addMetric("throughput_per_s", 120000, "per_s");
+  Json.beginRow("warehouses=2");
+  Json.addConfig("warehouses", 2);
+  Json.addConfig("heap_mb", 48);
+  Json.addMetric("pause_p50_ms", 2.25, "ms");
+  Json.addMetric("throughput_per_s", 110000, "per_s");
+  return Json;
+}
+
+TEST(BenchJsonTest, MatchesGolden) {
+  expectMatchesGolden("bench_golden.json",
+                      normalizeUnixMs(benchFixture().toJson()));
+}
+
+TEST(BenchJsonTest, DocumentValidatesAndRoundTrips) {
+  std::string Text = benchFixture().toJson();
+  std::string Error;
+  EXPECT_TRUE(validateBenchJson(Text, &Error)) << Error;
+
+  std::unique_ptr<JsonValue> Doc = JsonValue::parse(Text, &Error);
+  ASSERT_NE(Doc, nullptr) << Error;
+  EXPECT_EQ(Doc->get("schema")->stringValue(), "cgc-bench-v1");
+  EXPECT_EQ(Doc->get("bench")->stringValue(), "goldenbench");
+  const std::vector<JsonValue> &Rows = Doc->get("rows")->arrayValue();
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0].get("label")->stringValue(), "warehouses=1");
+  EXPECT_EQ(Rows[0].get("config")->get("heap_mb")->numberValue(), 48.0);
+  EXPECT_EQ(Rows[1].get("metrics")->get("pause_p50_ms")->numberValue(), 2.25);
+  EXPECT_EQ(Doc->get("units")->get("throughput_per_s")->stringValue(),
+            "per_s");
+}
+
+TEST(BenchJsonTest, NonFiniteMetricsAreClampedToZero) {
+  BenchJsonWriter Json("nan");
+  Json.beginRow("r");
+  Json.addMetric("bad_ratio", std::nan(""), "ratio");
+  Json.addMetric("inf_ratio", std::numeric_limits<double>::infinity(),
+                 "ratio");
+  std::string Error;
+  EXPECT_TRUE(validateBenchJson(Json.toJson(), &Error)) << Error;
+  std::unique_ptr<JsonValue> Doc = JsonValue::parse(Json.toJson(), &Error);
+  ASSERT_NE(Doc, nullptr);
+  const JsonValue &Row = Doc->get("rows")->arrayValue()[0];
+  EXPECT_EQ(Row.get("metrics")->get("bad_ratio")->numberValue(), 0.0);
+  EXPECT_EQ(Row.get("metrics")->get("inf_ratio")->numberValue(), 0.0);
+}
+
+TEST(BenchJsonValidatorTest, RejectsMalformedDocuments) {
+  auto invalid = [](const std::string &Text) {
+    std::string Error;
+    bool Ok = validateBenchJson(Text, &Error);
+    EXPECT_FALSE(Ok) << "accepted: " << Text;
+    EXPECT_FALSE(Error.empty());
+    return !Ok;
+  };
+
+  invalid("not json at all");
+  invalid("{}");
+  // Wrong schema string.
+  invalid(R"({"schema":"cgc-bench-v2","bench":"x","unix_ms":1,"units":{},)"
+          R"("rows":[{"label":"a","config":{},"metrics":{}}]})");
+  // No rows.
+  invalid(R"({"schema":"cgc-bench-v1","bench":"x","unix_ms":1,"units":{},)"
+          R"("rows":[]})");
+  // Duplicate labels.
+  invalid(R"({"schema":"cgc-bench-v1","bench":"x","unix_ms":1,)"
+          R"("units":{"m":"ms"},)"
+          R"("rows":[{"label":"a","config":{},"metrics":{"m":1}},)"
+          R"({"label":"a","config":{},"metrics":{"m":2}}]})");
+  // Row with no metrics at all.
+  invalid(R"({"schema":"cgc-bench-v1","bench":"x","unix_ms":1,"units":{},)"
+          R"("rows":[{"label":"a","config":{},"metrics":{}}]})");
+  // Metric key missing from the units map.
+  invalid(R"({"schema":"cgc-bench-v1","bench":"x","unix_ms":1,"units":{},)"
+          R"("rows":[{"label":"a","config":{},"metrics":{"m":1}}]})");
+  // Non-numeric metric.
+  invalid(R"({"schema":"cgc-bench-v1","bench":"x","unix_ms":1,)"
+          R"("units":{"m":"ms"},)"
+          R"("rows":[{"label":"a","config":{},"metrics":{"m":"fast"}}]})");
+  // Non-numeric config knob.
+  invalid(R"({"schema":"cgc-bench-v1","bench":"x","unix_ms":1,)"
+          R"("units":{"m":"ms"},)"
+          R"("rows":[{"label":"a","config":{"c":"big"},)"
+          R"("metrics":{"m":1}}]})");
+  // Missing label.
+  invalid(R"({"schema":"cgc-bench-v1","bench":"x","unix_ms":1,)"
+          R"("units":{"m":"ms"},)"
+          R"("rows":[{"config":{},"metrics":{"m":1}}]})");
+}
+
+TEST(BenchJsonValidatorTest, AcceptsMinimalValidDocument) {
+  std::string Error;
+  EXPECT_TRUE(validateBenchJson(
+      R"({"schema":"cgc-bench-v1","bench":"x","unix_ms":1,)"
+      R"("units":{"m":"ms"},)"
+      R"("rows":[{"label":"a","config":{"c":2},"metrics":{"m":1.5}}]})",
+      &Error))
+      << Error;
+}
+
+TEST(JsonParserTest, ParsesEscapesAndNesting) {
+  std::string Error;
+  std::unique_ptr<JsonValue> Doc = JsonValue::parse(
+      R"({"s":"a\"b\\c\n","arr":[1,-2.5,true,false,null],"o":{"k":3}})",
+      &Error);
+  ASSERT_NE(Doc, nullptr) << Error;
+  EXPECT_EQ(Doc->get("s")->stringValue(), "a\"b\\c\n");
+  const std::vector<JsonValue> &Arr = Doc->get("arr")->arrayValue();
+  ASSERT_EQ(Arr.size(), 5u);
+  EXPECT_EQ(Arr[0].numberValue(), 1.0);
+  EXPECT_EQ(Arr[1].numberValue(), -2.5);
+  EXPECT_TRUE(Arr[2].boolValue());
+  EXPECT_FALSE(Arr[3].boolValue());
+  EXPECT_TRUE(Arr[4].isNull());
+  EXPECT_EQ(Doc->get("o")->get("k")->numberValue(), 3.0);
+}
+
+TEST(JsonParserTest, RejectsGarbage) {
+  for (const char *Bad : {"{", "[1,", "{\"a\":}", "12abc", "{\"a\" 1}"}) {
+    std::string Error;
+    EXPECT_EQ(JsonValue::parse(Bad, &Error), nullptr) << Bad;
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("k\"ey");
+  W.value(std::string("v\x01\n\\"));
+  W.endObject();
+  EXPECT_EQ(W.str(), "{\"k\\\"ey\":\"v\\u0001\\n\\\\\"}");
+}
+
+} // namespace
