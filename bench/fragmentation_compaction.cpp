@@ -1,0 +1,184 @@
+//===- fragmentation_compaction.cpp - parallel evacuation scaling --------------//
+///
+/// Section 2.3's incremental compaction, isolated from the collector:
+/// a deliberately shredded area (alternating live object / small free
+/// range) is scored, selected and evacuated by the compactor directly,
+/// across a sweep of worker-pool sizes. Reports the arm (scoring) cost
+/// and the evacuation wall time / throughput per worker count — the
+/// scaling shape of the parallel pin-scan / target-selection / fixup /
+/// copy phases, without workload noise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include "gc/Compactor.h"
+#include "gc/WorkerPool.h"
+#include "mutator/ThreadRegistry.h"
+#include "support/Timing.h"
+#include "workpackets/PacketPool.h"
+
+#include <vector>
+
+using namespace cgc;
+using namespace cgc::bench;
+
+namespace {
+
+constexpr size_t HeapBytes = 32u << 20;
+constexpr size_t AreaBytes = 4u << 20;
+constexpr unsigned NumShards = 8;
+/// Area layout: one 2 KB live object every 4 KB, the gaps free — half
+/// the area is live, its free half shredded into 1024 ranges.
+constexpr size_t MoverStride = 4096;
+constexpr size_t MoverSize = 2048;
+constexpr size_t NumMovers = AreaBytes / MoverStride;
+constexpr unsigned NumPins = 16;
+
+struct RepOutcome {
+  Compactor::Stats S;
+  double ArmMs = 0;
+  double EvacMs = 0;
+};
+
+RepOutcome runOnce(WorkerPool &Workers) {
+  HeapSpace Heap(HeapBytes, NumShards);
+  Compactor Compact(Heap, AreaBytes);
+  PacketPool Pool{8};
+  ThreadRegistry Registry;
+  MutatorContext Ctx(Pool);
+  Registry.attach(&Ctx);
+  Ctx.reserveRoots(NumPins);
+  Heap.freeList().clear();
+
+  // The fragmented candidate: area 0, alternating live / free.
+  std::vector<Object *> Movers;
+  Movers.reserve(NumMovers);
+  for (size_t I = 0; I < NumMovers; ++I) {
+    Object *M = reinterpret_cast<Object *>(Heap.base() + I * MoverStride);
+    M->initialize(MoverSize, 1, static_cast<uint16_t>(I & 0x7fff));
+    Heap.allocBits().set(M);
+    Heap.markBits().set(M);
+    Heap.freeList().addRange(Heap.base() + I * MoverStride + MoverSize,
+                             MoverStride - MoverSize);
+    Movers.push_back(M);
+  }
+  // One holder per mover in a strip past the area (off the free list),
+  // each with a recorded slot, so fixup has real work.
+  std::vector<Object *> Holders;
+  Holders.reserve(NumMovers);
+  for (size_t I = 0; I < NumMovers; ++I) {
+    Object *H = reinterpret_cast<Object *>(Heap.base() + AreaBytes + I * 64);
+    H->initialize(static_cast<uint32_t>(Object::requiredSize(16, 1)), 1,
+                  9999);
+    Heap.allocBits().set(H);
+    Heap.markBits().set(H);
+    H->storeRefRaw(0, Movers[I]);
+    Holders.push_back(H);
+  }
+  // Contiguous target space beyond the holder strip: scores far below
+  // the shredded area, and supplies the evacuation targets.
+  Heap.freeList().addRange(Heap.base() + AreaBytes + (1u << 20),
+                           HeapBytes - AreaBytes - (1u << 20));
+  // A few conservative stack pins, as a real pause would see.
+  for (unsigned I = 0; I < NumPins; ++I)
+    Ctx.setRoot(I, Movers[I * 37]);
+
+  RepOutcome Out;
+  Stopwatch ArmTimer;
+  Compact.armForCycle();
+  Out.ArmMs = static_cast<double>(ArmTimer.elapsedNanos()) / 1e6;
+  auto [Lo, Hi] = Compact.area();
+  if (Lo != Heap.base() || Hi != Heap.base() + AreaBytes)
+    std::fprintf(stderr, "policy picked an unexpected area\n");
+
+  for (Object *H : Holders)
+    Compact.recordSlot(H, 0);
+
+  Stopwatch EvacTimer;
+  Out.S = Compact.evacuate(Registry, &Workers);
+  Out.EvacMs = static_cast<double>(EvacTimer.elapsedNanos()) / 1e6;
+  Registry.detach(&Ctx);
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  banner("Fragmentation-guided parallel compaction",
+         "Section 2.3 (incremental area compaction; evacuation "
+         "parallelized on the STW worker pool)");
+
+  std::vector<unsigned> WorkerCounts = {0, 1, 2, 4};
+  unsigned Series =
+      benchMaxSeries(static_cast<unsigned>(WorkerCounts.size()));
+  WorkerCounts.resize(Series);
+  uint64_t PerSeriesMs = benchMillis(2000) / Series;
+
+  BenchJsonWriter Json("fragcompact");
+  TablePrinter Table({"workers", "arm ms", "evac ms", "evac MB/s",
+                      "evacuated MB", "pinned", "failed", "slots fixed"});
+
+  for (unsigned W : WorkerCounts) {
+    WorkerPool Workers(W);
+    double ArmMsSum = 0, EvacMsSum = 0;
+    uint64_t EvacBytesSum = 0, Pinned = 0, Failed = 0, SlotsFixed = 0;
+    uint64_t AreasScored = 0, Reps = 0;
+    Stopwatch SeriesTimer;
+    while (Reps < 2 ||
+           SeriesTimer.elapsedNanos() < PerSeriesMs * 1000 * 1000) {
+      RepOutcome R = runOnce(Workers);
+      ArmMsSum += R.ArmMs;
+      EvacMsSum += R.EvacMs;
+      EvacBytesSum += R.S.EvacuatedBytes;
+      Pinned += R.S.PinnedObjects;
+      Failed += R.S.FailedObjects;
+      SlotsFixed += R.S.SlotsFixed;
+      AreasScored = R.S.AreasScored;
+      ++Reps;
+    }
+    double RepsD = static_cast<double>(Reps);
+    double EvacMb =
+        static_cast<double>(EvacBytesSum) / RepsD / (1024.0 * 1024.0);
+    double MbPerS = EvacMsSum > 0
+                        ? static_cast<double>(EvacBytesSum) /
+                              (1024.0 * 1024.0) / (EvacMsSum / 1000.0)
+                        : 0;
+
+    std::string Label = "workers=" + std::to_string(W);
+    Json.beginRow(Label);
+    Json.addConfig("workers", W);
+    Json.addConfig("heap_mb", static_cast<double>(HeapBytes >> 20));
+    Json.addConfig("area_mb", static_cast<double>(AreaBytes >> 20));
+    Json.addConfig("movers", static_cast<double>(NumMovers));
+    Json.addMetric("arm_avg_ms", ArmMsSum / RepsD, "ms");
+    Json.addMetric("evac_avg_ms", EvacMsSum / RepsD, "ms");
+    Json.addMetric("evac_throughput_mb_per_s", MbPerS, "per_s");
+    Json.addMetric("evacuated_mb", EvacMb, "mb");
+    Json.addMetric("pinned_count",
+                   static_cast<double>(Pinned) / RepsD, "count");
+    Json.addMetric("failed_count",
+                   static_cast<double>(Failed) / RepsD, "count");
+    Json.addMetric("slots_fixed_count",
+                   static_cast<double>(SlotsFixed) / RepsD, "count");
+    Json.addMetric("areas_scored_count",
+                   static_cast<double>(AreasScored), "count");
+    Json.addMetric("reps_count", RepsD, "count");
+
+    Table.addRow({Label, TablePrinter::num(ArmMsSum / RepsD, 3),
+                  TablePrinter::num(EvacMsSum / RepsD, 3),
+                  TablePrinter::num(MbPerS, 0), TablePrinter::num(EvacMb, 2),
+                  TablePrinter::num(static_cast<double>(Pinned) / RepsD, 0),
+                  TablePrinter::num(static_cast<double>(Failed) / RepsD, 0),
+                  TablePrinter::num(
+                      static_cast<double>(SlotsFixed) / RepsD, 0)});
+  }
+
+  Table.print();
+  std::printf("\nexpected shape: evacuation wall time drops as workers are "
+              "added (pin scan, target selection, fixup and copy all "
+              "partition); arm cost stays flat — scoring reads only "
+              "per-shard statistics.\n");
+  emitBenchJson(Json);
+  return 0;
+}

@@ -37,9 +37,13 @@ void CollectorBase::initializeCycle(unsigned ConcurrentCleaningPasses) {
   C.Cleaner.beginCycle(ConcurrentCleaningPasses);
   uint64_t Cycle = C.CycleNumber.fetch_add(1, std::memory_order_release) + 1;
   // Incremental compaction: choose the area to evacuate before any
-  // marking starts (Section 2.3). Lazy sweep defers the sweep past the
-  // pause, so evacuation (which needs the completed sweep) is skipped.
-  if (C.Options.CompactEveryNCycles != 0 && !C.Options.LazySweep &&
+  // marking starts (Section 2.3). The fragmentation-guided selection
+  // runs here because the free list is fully populated — the previous
+  // generation's sweep (lazy or not) finished above. Under lazy sweep
+  // the evacuation still happens inside the pause: sweepWorld sweeps
+  // enough chunks in-pause for target space and excludes the armed
+  // area from the whole sweep generation.
+  if (C.Options.CompactEveryNCycles != 0 &&
       Cycle % C.Options.CompactEveryNCycles == 0)
     C.Compact.armForCycle();
 }
@@ -183,8 +187,26 @@ void CollectorBase::sweepWorld(CycleRecord &Record) {
     M.cache().reset();
   });
 
+  // Latch the sweep generation's evacuation-exclusion window before the
+  // sweep is armed: the armed area's bits and free ranges belong to the
+  // compactor's rebuild, and a late lazy chunk must never re-insert
+  // them (it could hand a future evacuation an in-area target, or
+  // double-add the rebuilt ranges). The window deliberately persists
+  // past disarm, until the next generation's sweepWorld replaces it.
+  {
+    auto [AreaLo, AreaHi] = C.Compact.area();
+    C.Sweep.setEvacuationExclusion(AreaLo, AreaHi);
+  }
+
   if (C.Options.LazySweep) {
     C.Sweep.armLazySweep();
+    if (C.Compact.armed()) {
+      // Evacuation targets come from the free list, which lazy arming
+      // just cleared: sweep enough outside-area chunks in-pause to
+      // cover the worst-case evacuation demand (the exclusion window
+      // keeps every reclaimed range a valid target source).
+      C.Sweep.sweepUntilFree(2 * C.Options.EvacuationAreaBytes);
+    }
     Record.SweepMs = SweepTimer.elapsedMillis();
     // Live bytes are only known once the lazy sweep completes; report
     // the occupied estimate at pause end instead.
@@ -200,12 +222,20 @@ void CollectorBase::sweepWorld(CycleRecord &Record) {
     // "After sweep we evacuate the objects from the area and fix up the
     // references to the evacuated objects" (Section 2.3).
     Stopwatch CompactTimer;
-    Compactor::Stats S = C.Compact.evacuate(C.Registry);
+    auto [AreaLo, AreaHi] = C.Compact.area();
+    CGC_OBS_EVENT(C.Obs, CompactionBegin, Record.CycleNumber,
+                  static_cast<uint64_t>(AreaHi - AreaLo));
+    Compactor::Stats S =
+        C.Compact.evacuate(C.Registry, &C.Workers, &C.Sweep);
     Record.CompactionMs = CompactTimer.elapsedMillis();
+    Record.CompactionAreasScored = S.AreasScored;
     Record.EvacuatedObjects = S.EvacuatedObjects;
     Record.EvacuatedBytes = S.EvacuatedBytes;
     Record.PinnedObjects = S.PinnedObjects;
+    Record.CompactionFailedMoves = S.FailedObjects;
     Record.CompactionSlotsFixed = S.SlotsFixed;
+    CGC_OBS_EVENT(C.Obs, CompactionEnd, S.EvacuatedBytes,
+                  S.PinnedObjects + S.FailedObjects);
     if (C.Options.VerifyEachCycle) {
       HeapVerifier Verifier(C.Heap);
       VerifyResult Result = Verifier.verify(C.Registry, /*CheckMarks=*/true);
@@ -253,6 +283,10 @@ void CollectorBase::recordCycleObservability(const CycleRecord &Record) {
   G.PoolDeferred = Occ.Deferred;
   G.LiveAfterBytes = Record.LiveBytesAfter;
   G.HeapBytes = Record.HeapBytes;
+  G.CompactionAreasScored = Record.CompactionAreasScored;
+  G.CompactionEvacuatedBytes = Record.EvacuatedBytes;
+  G.CompactionPinnedObjects = Record.PinnedObjects;
+  G.CompactionFailedMoves = Record.CompactionFailedMoves;
   M.addCycleGauges(G);
 #else
   (void)Record;

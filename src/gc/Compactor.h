@@ -1,4 +1,4 @@
-//===- Compactor.h - Incremental (area) compaction --------------*- C++ -*-===//
+//===- Compactor.h - Parallel fragmentation-guided compaction ---*- C++ -*-===//
 ///
 /// \file
 /// Incremental compaction (Section 2.3): full compaction of a large
@@ -17,9 +17,30 @@
 /// stacks are scanned conservatively, so their slots cannot be updated
 /// (the Lang-Dupont heritage the paper cites [24]).
 ///
-/// Area selection rotates through the heap (the production system
-/// picks fragmented areas; rotation keeps this reproduction simple and
-/// still bounds per-pause compaction work).
+/// Area selection is fragmentation-guided, like the production system
+/// the paper describes: candidate areas are scored from the sharded
+/// free list's per-window statistics (free bytes, range count, largest
+/// range — ShardedFreeList::statsWithin) and the most fragmented area
+/// wins. The scoring and argmax are pure static functions, unit-testable
+/// without a heap. When no candidate shows reclaimable fragmentation
+/// (e.g. the free list was cleared for a lazy sweep generation) the
+/// selector falls back to the old blind rotation. An area whose last
+/// evacuation was pinned-heavy is skipped for one cycle: conservative
+/// stack roots usually persist across adjacent cycles, so immediately
+/// re-evacuating around the same pins wastes the pause budget.
+///
+/// Evacuation itself is parallel on the collector's WorkerPool: the pin
+/// scan, target selection, slot fixup and object copy are each
+/// partitioned across the workers (serial when no pool is supplied).
+/// Target allocation is shard-affine — worker W allocates from free-list
+/// shard floor(W * numShards / participants) first — so workers evacuate
+/// into "their" shards and do not convoy on one shard lock.
+///
+/// recordSlot, the tracer hot path, is lock-free: each recording thread
+/// appends to its own slot vector (discovered via a thread-local cache
+/// keyed by a process-unique compactor id, the same idiom as
+/// GcObserver's per-thread event rings) and evacuate merges the vectors
+/// once, inside the pause.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,28 +48,50 @@
 #define CGC_GC_COMPACTOR_H
 
 #include "heap/HeapSpace.h"
+#include "support/Annotations.h"
+#include "support/FaultInjector.h"
 #include "support/SpinLock.h"
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace cgc {
 
+class Sweeper;
 class ThreadRegistry;
+class WorkerPool;
 
 /// Evacuates one heap area per collection cycle.
 class Compactor {
 public:
-  Compactor(HeapSpace &Heap, size_t AreaBytes)
-      : Heap(Heap), AreaBytes(AreaBytes) {}
+  /// Per-thread recorded-slot storage; see recordSlot.
+  using SlotRecord = std::pair<Object *, uint32_t>;
+
+  /// An evacuation that pins at least this many objects marks the area
+  /// pinned-heavy: the selector skips it on the next arm (conservative
+  /// stack roots rarely clear within one cycle).
+  static constexpr uint64_t PinnedHeavyThreshold = 4;
+
+  /// Cap on distinct recording threads with their own slot vector;
+  /// threads beyond the cap fall back to a shared locked vector.
+  static constexpr uint32_t MaxSlotBuffers = 64;
+
+  /// \p FI (optional) arms the failed-move injection site at evacuation
+  /// target allocation.
+  Compactor(HeapSpace &Heap, size_t AreaBytes, FaultInjector *FI = nullptr);
 
   /// Selects the next evacuation area (called at cycle initialization,
-  /// before any marking).
+  /// before any marking): scores every AreaBytes-aligned candidate
+  /// window from the free list's fragmentation statistics and arms the
+  /// best one (rotation fallback when nothing is scoreable).
   void armForCycle();
+
+  /// Arms exactly [Lo, Hi) regardless of policy (tests and benches that
+  /// exercise the evacuation mechanics need a deterministic area).
+  void armAreaForTest(uint8_t *Lo, uint8_t *Hi);
 
   /// Drops the area without evacuating (cycle ended abnormally).
   void disarm();
@@ -66,15 +109,22 @@ public:
   }
 
   /// Records that slot \p Index of \p Holder held a reference into the
-  /// area when the tracer scanned it. Thread-safe; duplicates are fine
+  /// area when the tracer scanned it. Thread-safe and lock-free on the
+  /// steady state (own-thread vector append); duplicates are fine
   /// (fix-up re-validates every slot).
   void recordSlot(Object *Holder, uint32_t Index) {
+    if (std::vector<SlotRecord> *Buf = threadSlotBuffer()) {
+      Buf->emplace_back(Holder, Index);
+      return;
+    }
+    // Buffer table full: shared overflow path, correctness over speed.
     SpinLockGuard Guard(SlotsLock);
-    Slots.emplace_back(Holder, Index);
+    OverflowSlots.emplace_back(Holder, Index);
   }
 
   /// Outcome of one evacuation.
   struct Stats {
+    uint64_t AreasScored = 0; ///< Candidates scored by the last arm.
     uint64_t EvacuatedObjects = 0;
     uint64_t EvacuatedBytes = 0;
     uint64_t PinnedObjects = 0;
@@ -83,10 +133,15 @@ public:
     uint64_t SlotsFixed = 0;
   };
 
-  /// Evacuates the armed area. Must run with the world stopped, after
-  /// the sweep (the free list is the source of target memory and the
-  /// mark bits identify the area's live objects). Disarms afterwards.
-  Stats evacuate(ThreadRegistry &Registry);
+  /// Evacuates the armed area. Must run with the world stopped and no
+  /// sweeper active, after the sweep made target space available (the
+  /// free list is the source of target memory and the mark bits
+  /// identify the area's live objects). Parallel on \p Workers when
+  /// supplied, serial otherwise. \p Sweep (optional) tells the rebuild
+  /// which straddler-tail chunks the lazy sweep still owns. Disarms
+  /// afterwards.
+  Stats evacuate(ThreadRegistry &Registry, WorkerPool *Workers = nullptr,
+                 Sweeper *Sweep = nullptr);
 
   /// The area armed for this cycle (tests).
   std::pair<uint8_t *, uint8_t *> area() const {
@@ -94,17 +149,74 @@ public:
             AreaEnd.load(std::memory_order_relaxed)};
   }
 
+  // --- Area-selection policy, pure and unit-testable in isolation. ---
+
+  /// Fragmentation score of one candidate area: higher = more worth
+  /// evacuating. Strictly increasing in FreeBytes and RangeCount,
+  /// strictly decreasing in LargestRange (a window whose free space is
+  /// one big range needs no compaction) and in live bytes
+  /// (AreaBytes - FreeBytes: denser areas cost more copying per byte
+  /// recovered).
+  static double fragmentationScore(const FreeRangeStats &F, size_t AreaBytes);
+
+  /// Index of the best-scoring candidate, excluding \p SkipIndex
+  /// (SIZE_MAX = exclude nothing). Candidates without any tracked free
+  /// range are not scoreable; returns SIZE_MAX when no candidate is
+  /// (callers fall back to rotation).
+  static size_t selectArea(const std::vector<FreeRangeStats> &Candidates,
+                           size_t AreaBytes, size_t SkipIndex);
+
 private:
+  struct SlotBuffer {
+    uint64_t OwnerThread = 0;
+    std::vector<SlotRecord> Records;
+  };
+
+  /// This thread's slot vector, creating/caching it on first use;
+  /// nullptr when the buffer table is full (caller takes the overflow
+  /// path).
+  std::vector<SlotRecord> *threadSlotBuffer();
+  std::vector<SlotRecord> *createSlotBufferSlow();
+
+  /// Common arming tail: clears slot storage, publishes [Lo, Hi).
+  void armWindow(uint8_t *Lo, uint8_t *Hi);
+  void clearSlotsLocked() CGC_REQUIRES(SlotsLock);
+
   HeapSpace &Heap;
   const size_t AreaBytes;
-  size_t NextAreaOffset = 0;
+  FaultInjector *FI;
+  /// Process-unique id keying the thread-local slot-buffer cache (two
+  /// Compactor instances never alias each other's cached pointers).
+  const uint64_t CompactorId;
 
+  /// Single-threaded state, touched only by the collector master thread
+  /// (arm at cycle init, evacuate in the pause).
+  size_t NextAreaOffset = 0;
+  size_t LastAreaIndex = SIZE_MAX;
+  bool LastAreaPinnedHeavy = false;
+  uint64_t LastAreasScored = 0;
+
+  CGC_ATOMIC_DOC("relaxed bounds for the tracer's inEvacArea filter; "
+                 "null while disarmed, published before Armed's release")
   std::atomic<uint8_t *> AreaStart{nullptr};
+  CGC_ATOMIC_DOC("relaxed bounds for the tracer's inEvacArea filter")
   std::atomic<uint8_t *> AreaEnd{nullptr};
+  CGC_ATOMIC_DOC("release on arm/disarm, acquire in armed(); orders the "
+                 "area bounds and cleared slot storage before observers")
   std::atomic<bool> Armed{false};
 
-  SpinLock SlotsLock;
-  std::vector<std::pair<Object *, uint32_t>> Slots;
+  CGC_ATOMIC_DOC("next free SlotBuffers index; monotonic, bounded by "
+                 "MaxSlotBuffers; writes under SlotsLock, relaxed reads")
+  std::atomic<uint32_t> NumSlotBuffers{0};
+  mutable SpinLock SlotsLock;
+  /// Buffer table guarded by SlotsLock for creation/merge/clear; the
+  /// owning thread appends through its cached pointer without the lock
+  /// (same publication discipline as GcObserver's ring table: creation
+  /// happens-before any append, merges run at the pause when recording
+  /// threads are quiescent).
+  std::unique_ptr<SlotBuffer> SlotBuffers[MaxSlotBuffers]
+      CGC_GUARDED_BY(SlotsLock);
+  std::vector<SlotRecord> OverflowSlots CGC_GUARDED_BY(SlotsLock);
 };
 
 } // namespace cgc

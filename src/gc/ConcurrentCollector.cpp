@@ -245,10 +245,16 @@ void ConcurrentCollector::finishCycle(MutatorContext *Ctx,
 
   if (C.phase() != GcPhase::Concurrent) {
     // Allocation failure with no cycle running: degenerate full STW
-    // cycle (the kickoff mispredicted).
+    // cycle (the kickoff mispredicted). Background threads must be
+    // parked like in the normal finish: the lazy-sweep soak otherwise
+    // races the cycle's sweep arming and the compactor's evacuation
+    // (its stop-request check is a benign TOCTOU only while no cycle
+    // is inside a pause).
+    pauseBackground(Ctx);
     runFullStwCycle(Ctx);
     LastPauseEndNs = nowNanos();
     AllocPreBytes.store(0, std::memory_order_relaxed);
+    BgPause.store(false, std::memory_order_release);
     C.CollectMutex.unlock();
     return;
   }

@@ -54,7 +54,7 @@ struct GcCore {
              // (the pacer's stranding-aware kickoff input, DESIGN.md §10).
              Opts.LargeObjectBytes),
         Pool(Opts.NumWorkPackets, &Inject, &Obs),
-        Compact(Heap, Opts.EvacuationAreaBytes),
+        Compact(Heap, Opts.EvacuationAreaBytes, &Inject),
         Trace(Heap, Pool, Registry, &Compact, Opts.NaiveFenceAccounting,
               &Inject, &Obs),
         Cleaner(Heap, Registry, &Inject, &Obs), Sweep(Heap, &Obs),

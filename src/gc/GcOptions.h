@@ -89,9 +89,12 @@ struct GcOptions {
   bool LazySweep = false;
 
   /// Incremental compaction (Section 2.3): evacuate one area of this
-  /// many bytes every CompactEveryNCycles cycles (0 disables). Ignored
-  /// when LazySweep is on (evacuation needs the completed sweep inside
-  /// the same pause).
+  /// many bytes every CompactEveryNCycles cycles (0 disables). The
+  /// area is chosen by fragmentation score over the sharded free
+  /// list's per-window statistics. Composes with LazySweep: the pause
+  /// sweeps just enough non-area chunks for target space, evacuates,
+  /// and the rest of the sweep stays lazy (the armed area is excluded
+  /// from the sweep generation — the evacuation rebuilds it).
   size_t EvacuationAreaBytes = 1u << 20;
   unsigned CompactEveryNCycles = 0;
 

@@ -104,9 +104,11 @@ struct CycleRecord {
 
   /// Incremental compaction (when an area was evacuated this cycle).
   double CompactionMs = 0;
+  uint64_t CompactionAreasScored = 0;
   uint64_t EvacuatedObjects = 0;
   uint64_t EvacuatedBytes = 0;
   uint64_t PinnedObjects = 0;
+  uint64_t CompactionFailedMoves = 0;
   uint64_t CompactionSlotsFixed = 0;
 
   /// Weak-ordering / packet events.

@@ -37,7 +37,7 @@ Sweeper::ChunkResult Sweeper::sweepChunk(size_t Index) {
     ChunkEnd = Heap.limit();
   uint8_t *Pos = chunkSweepStart(Index);
 
-  auto reclaim = [&](uint8_t *From, uint8_t *To) {
+  auto reclaimRaw = [&](uint8_t *From, uint8_t *To) {
     if (From >= To)
       return;
     Heap.allocBits().clearRange(From, To);
@@ -48,6 +48,20 @@ Sweeper::ChunkResult Sweeper::sweepChunk(size_t Index) {
       Heap.freeList().addRange(From, Size);
       Result.FreedBytes += Size;
     }
+  };
+  // The compactor's armed area is excluded for the whole generation:
+  // its bits and free ranges are rebuilt by the evacuation itself, and
+  // re-inserting them here could hand out in-area evacuation targets or
+  // double-add the rebuilt ranges (see setEvacuationExclusion).
+  uint8_t *XLo = ExclLo.load(std::memory_order_relaxed);
+  uint8_t *XHi = ExclHi.load(std::memory_order_relaxed);
+  auto reclaim = [&](uint8_t *From, uint8_t *To) {
+    if (XLo < XHi && From < XHi && To > XLo) {
+      reclaimRaw(From, XLo < From ? From : XLo);
+      reclaimRaw(XHi > To ? To : XHi, To);
+      return;
+    }
+    reclaimRaw(From, To);
   };
 
   while (Pos < ChunkEnd) {

@@ -24,6 +24,7 @@
 #define CGC_GC_SWEEPER_H
 
 #include "heap/HeapSpace.h"
+#include "support/Annotations.h"
 
 #include <atomic>
 #include <cstdint>
@@ -66,6 +67,34 @@ public:
   /// Sweeps all remaining chunks (forced completion before a new cycle).
   void finishLazySweep();
 
+  /// Latches [Lo, Hi) — the compactor's armed evacuation area — as this
+  /// sweep generation's exclusion window: reclaim (bit clearing and
+  /// free-list insertion) is clipped to outside it. The armed area
+  /// belongs to the compactor, whose post-evacuation rebuild is the
+  /// only writer of its free ranges; without the window a late lazy
+  /// chunk sweep could re-insert (or double-insert) area ranges after
+  /// evacuation and hand the compactor an in-area target. Call before
+  /// arming the sweep (armLazySweep / sweepAll) and leave it latched
+  /// until the next generation starts; (nullptr, nullptr) clears it.
+  void setEvacuationExclusion(uint8_t *Lo, uint8_t *Hi) {
+    ExclLo.store(Lo, std::memory_order_relaxed);
+    ExclHi.store(Hi, std::memory_order_relaxed);
+  }
+
+  /// Whether the lazy sweep has not yet reached the chunk owning
+  /// \p Addr (so that chunk's free ranges are still un-derived). Only
+  /// meaningful while no sweeper is actively mid-chunk — i.e. inside
+  /// the pause, where the compactor uses it to decide which
+  /// straddler-tail pieces it must return to the free list itself.
+  bool sweepPendingAt(const void *Addr) const {
+    if (!LazyActive.load(std::memory_order_acquire))
+      return false;
+    size_t Index =
+        static_cast<size_t>(static_cast<const uint8_t *>(Addr) - Heap.base()) /
+        ChunkBytes;
+    return Index >= Cursor.load(std::memory_order_relaxed);
+  }
+
   /// Live bytes found by the last completed sweep.
   uint64_t liveBytes() const {
     return LiveBytesFound.load(std::memory_order_relaxed);
@@ -91,6 +120,12 @@ private:
   std::atomic<bool> LazyActive{false};
   std::atomic<int> ActiveSweepers{0};
   std::atomic<uint64_t> LiveBytesFound{0};
+  CGC_ATOMIC_DOC("evacuation-exclusion bounds; stored before the sweep "
+                 "generation is armed (ordered by LazyActive's release / "
+                 "runParallel's dispatch), relaxed reads per chunk")
+  std::atomic<uint8_t *> ExclLo{nullptr};
+  CGC_ATOMIC_DOC("see ExclLo")
+  std::atomic<uint8_t *> ExclHi{nullptr};
 };
 
 } // namespace cgc

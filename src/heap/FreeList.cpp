@@ -229,6 +229,35 @@ size_t FreeList::withdrawWithin(uint8_t *Lo, uint8_t *Hi) {
   return Withdrawn;
 }
 
+FreeRangeStats FreeList::statsWithin(uint8_t *Lo, uint8_t *Hi) const {
+  FreeRangeStats Stats;
+  if (Lo >= Hi)
+    return Stats;
+  SpinLockGuard Guard(Lock);
+  auto Note = [&Stats, Lo, Hi](uint8_t *Start, size_t Size) {
+    uint8_t *End = Start + Size;
+    if (Start >= Hi || End <= Lo)
+      return;
+    size_t Clipped =
+        static_cast<size_t>(std::min(End, Hi) - std::max(Start, Lo));
+    Stats.FreeBytes += Clipped;
+    ++Stats.RangeCount;
+    if (Clipped > Stats.LargestRange)
+      Stats.LargestRange = Clipped;
+  };
+  // Large ranges: the first candidate may straddle Lo from below.
+  auto It = Large.lower_bound(Lo);
+  if (It != Large.begin() && std::prev(It)->first + std::prev(It)->second > Lo)
+    --It;
+  for (; It != Large.end() && It->first < Hi; ++It)
+    Note(It->first, It->second);
+  // Bins are unordered; scan them all (they are small by construction).
+  for (const auto &Bin : Bins)
+    for (const auto &[Start, Size] : Bin)
+      Note(Start, Size);
+  return Stats;
+}
+
 size_t FreeList::largestRange() const {
   SpinLockGuard Guard(Lock);
   if (!LargeBySize.empty())

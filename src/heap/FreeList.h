@@ -42,6 +42,26 @@
 
 namespace cgc {
 
+/// Aggregate shape of the free space inside an address window; the
+/// compactor's area-selection policy scores candidate areas from these
+/// (many small ranges and no dominant large one = fragmented = worth
+/// evacuating).
+struct FreeRangeStats {
+  /// Free bytes tracked inside the window (ranges clipped to it).
+  size_t FreeBytes = 0;
+  /// Number of tracked ranges intersecting the window.
+  size_t RangeCount = 0;
+  /// Largest single clipped range inside the window.
+  size_t LargestRange = 0;
+
+  void merge(const FreeRangeStats &Other) {
+    FreeBytes += Other.FreeBytes;
+    RangeCount += Other.RangeCount;
+    if (Other.LargestRange > LargestRange)
+      LargestRange = Other.LargestRange;
+  }
+};
+
 /// Segregated, sweep-rebuilt free list.
 class FreeList {
 public:
@@ -103,6 +123,13 @@ public:
   /// are never allocated inside the evacuation area. Returns the bytes
   /// withdrawn.
   size_t withdrawWithin(uint8_t *Lo, uint8_t *Hi);
+
+  /// Fragmentation statistics for [Lo, Hi): tracked ranges are clipped
+  /// to the window and summarized. O(log n + ranges intersecting the
+  /// window) for the large map plus O(small ranges) for the bins — the
+  /// compactor calls this once per candidate area per cycle, off every
+  /// hot path.
+  FreeRangeStats statsWithin(uint8_t *Lo, uint8_t *Hi) const;
 
   /// Copies out all (start, size) ranges, address ordered (verifier and
   /// tests).

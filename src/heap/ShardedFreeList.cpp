@@ -149,6 +149,21 @@ size_t ShardedFreeList::withdrawWithin(uint8_t *Lo, uint8_t *Hi) {
   return Withdrawn;
 }
 
+FreeRangeStats ShardedFreeList::statsWithin(uint8_t *Lo, uint8_t *Hi) const {
+  FreeRangeStats Stats;
+  if (Lo < Base)
+    Lo = Base;
+  if (Hi > Base + Size)
+    Hi = Base + Size;
+  if (Lo >= Hi)
+    return Stats;
+  size_t First = shardIndexFor(Lo);
+  size_t Last = shardIndexFor(Hi - 1);
+  for (size_t I = First; I <= Last; ++I)
+    Stats.merge(Shards[I]->statsWithin(Lo, Hi));
+  return Stats;
+}
+
 std::vector<std::pair<uint8_t *, size_t>>
 ShardedFreeList::snapshotRanges() const {
   std::vector<std::pair<uint8_t *, size_t>> Result;

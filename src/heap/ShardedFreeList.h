@@ -125,6 +125,13 @@ public:
   /// window overlaps. Returns the bytes withdrawn.
   size_t withdrawWithin(uint8_t *Lo, uint8_t *Hi);
 
+  /// Fragmentation statistics for [Lo, Hi), merged across the shards
+  /// the window overlaps. A free run split at a shard boundary counts
+  /// as one range per shard — consistent with how the shards actually
+  /// track (and can hand out) the space, which is what the compactor's
+  /// fragmentation scoring wants to see.
+  FreeRangeStats statsWithin(uint8_t *Lo, uint8_t *Hi) const;
+
   /// Copies out all (start, size) ranges, address ordered across shards
   /// (shards are address-ordered and each shard's snapshot is sorted).
   /// Verifier and tests only — O(ranges) copy.

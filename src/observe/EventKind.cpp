@@ -42,6 +42,10 @@ const char *cgc::eventKindName(EventKind Kind) {
     return "pacer_window";
   case EventKind::StackScan:
     return "stack_scan";
+  case EventKind::CompactionBegin:
+    return "compaction";
+  case EventKind::CompactionEnd:
+    return "compaction_end";
   case EventKind::NumKinds:
     break;
   }
@@ -52,9 +56,11 @@ EventPhase cgc::eventPhase(EventKind Kind) {
   switch (Kind) {
   case EventKind::IncTraceBegin:
   case EventKind::StwBegin:
+  case EventKind::CompactionBegin:
     return EventPhase::Begin;
   case EventKind::IncTraceEnd:
   case EventKind::StwEnd:
+  case EventKind::CompactionEnd:
     return EventPhase::End;
   default:
     return EventPhase::Instant;
@@ -67,6 +73,8 @@ EventKind cgc::beginKindFor(EventKind EndKind) {
     return EventKind::IncTraceBegin;
   case EventKind::StwEnd:
     return EventKind::StwBegin;
+  case EventKind::CompactionEnd:
+    return EventKind::CompactionBegin;
   default:
     return EventKind::None;
   }

@@ -94,6 +94,14 @@ enum class EventKind : uint16_t {
   /// participant. Arg0 = root words scanned, Arg1 = cycle number.
   StackScan,
 
+  // --- Compaction -------------------------------------------------------
+  /// Evacuation of the armed area begins (inside the pause, after
+  /// sweep). Arg0 = cycle number, Arg1 = armed area bytes.
+  CompactionBegin,
+  /// The matching end. Arg0 = bytes evacuated, Arg1 = objects left in
+  /// place (pinned + failed moves).
+  CompactionEnd,
+
   NumKinds
 };
 

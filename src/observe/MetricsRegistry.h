@@ -134,6 +134,15 @@ struct CycleGauges {
   /// figure needs a precise baseline collection — but monotone in the
   /// quantity the paper discusses (Section 2.2).
   uint64_t FloatingGarbageBytes = 0;
+  /// Incremental compaction (all zero for cycles without an armed
+  /// area). Candidate areas scored by the fragmentation-guided
+  /// selector, bytes evacuated out of the chosen area, objects pinned
+  /// by conservative stack roots, and moves abandoned for lack of
+  /// target space.
+  uint64_t CompactionAreasScored = 0;
+  uint64_t CompactionEvacuatedBytes = 0;
+  uint64_t CompactionPinnedObjects = 0;
+  uint64_t CompactionFailedMoves = 0;
 };
 
 /// Owns every histogram and the per-cycle gauge log for one collector

@@ -35,6 +35,8 @@ const char *cgc::faultSiteName(FaultSite Site) {
     return "marker-steal";
   case FaultSite::WorkerDispatch:
     return "worker-dispatch";
+  case FaultSite::CompactorTargetAlloc:
+    return "compactor-target-alloc";
   case FaultSite::NumSites:
     break;
   }

@@ -77,6 +77,11 @@ enum class FaultSite : unsigned {
   /// WorkerPool::runParallel — parallel dispatch degrades to serial
   /// execution on the calling thread (workers "unavailable").
   WorkerDispatch,
+  /// Compactor::evacuate target selection — simulated allocation failure
+  /// for one object's evacuation target (the object stays in the area
+  /// and is counted as a failed move; compaction degrades gracefully
+  /// instead of aborting).
+  CompactorTargetAlloc,
   NumSites
 };
 

@@ -1,0 +1,136 @@
+//===- compaction_policy_test.cpp - area-selection policy properties -----------//
+//
+// The compactor's fragmentation scoring and argmax are pure static
+// functions (no heap, no locks); these are seeded property tests over
+// randomly generated candidate statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Compactor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+constexpr size_t AreaBytes = 1u << 20;
+
+/// A random internally consistent candidate: at least one range, the
+/// largest range no bigger than the free total, the free total no
+/// bigger than the area.
+FreeRangeStats randomStats(std::mt19937 &Rng) {
+  FreeRangeStats F;
+  F.RangeCount = std::uniform_int_distribution<size_t>(1, 64)(Rng);
+  F.LargestRange =
+      std::uniform_int_distribution<size_t>(2, AreaBytes / 2 / 64)(Rng) * 64;
+  F.FreeBytes =
+      std::uniform_int_distribution<size_t>(F.LargestRange, AreaBytes)(Rng);
+  return F;
+}
+
+TEST(CompactionPolicy, ScorePrefersStrictlyMoreFragmented) {
+  // Worsen one fragmentation axis while holding the others: the score
+  // must strictly increase. (More free bytes at the same largest range
+  // = more recoverable; more ranges = more refill overhead removed;
+  // smaller largest range = less existing contiguity.)
+  std::mt19937 Rng(0xc6c5eed);
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    FreeRangeStats A = randomStats(Rng);
+    FreeRangeStats B = A;
+    switch (Iter % 3) {
+    case 0:
+      if (B.FreeBytes + 4096 > AreaBytes)
+        continue;
+      B.FreeBytes += 4096;
+      break;
+    case 1:
+      B.RangeCount += 1;
+      break;
+    case 2:
+      B.LargestRange -= 64;
+      break;
+    }
+    EXPECT_GT(Compactor::fragmentationScore(B, AreaBytes),
+              Compactor::fragmentationScore(A, AreaBytes))
+        << "axis " << Iter % 3 << ": FreeBytes=" << A.FreeBytes
+        << " RangeCount=" << A.RangeCount
+        << " LargestRange=" << A.LargestRange;
+  }
+}
+
+TEST(CompactionPolicy, ScoreRanksShreddedAreaOverContiguousFreeArea) {
+  // A fully free, fully contiguous area has nothing to recover; a
+  // mostly live area whose free space is shredded into small ranges is
+  // exactly what evacuation is for.
+  FreeRangeStats Contiguous;
+  Contiguous.FreeBytes = AreaBytes;
+  Contiguous.RangeCount = 1;
+  Contiguous.LargestRange = AreaBytes;
+
+  FreeRangeStats Shredded;
+  Shredded.FreeBytes = AreaBytes / 8;
+  Shredded.RangeCount = 32;
+  Shredded.LargestRange = 8192;
+
+  EXPECT_GT(Compactor::fragmentationScore(Shredded, AreaBytes),
+            Compactor::fragmentationScore(Contiguous, AreaBytes));
+}
+
+TEST(CompactionPolicy, SelectMatchesBruteForceArgmaxAndHonorsSkip) {
+  std::mt19937 Rng(0x5eed);
+  for (int Iter = 0; Iter < 500; ++Iter) {
+    size_t N = std::uniform_int_distribution<size_t>(1, 12)(Rng);
+    std::vector<FreeRangeStats> Candidates;
+    for (size_t I = 0; I < N; ++I) {
+      if (std::uniform_int_distribution<int>(0, 3)(Rng) == 0)
+        Candidates.push_back(FreeRangeStats{}); // Unscoreable (no range).
+      else
+        Candidates.push_back(randomStats(Rng));
+    }
+    // Sometimes skip nothing, sometimes a real index.
+    size_t Skip = std::uniform_int_distribution<int>(0, 1)(Rng)
+                      ? SIZE_MAX
+                      : std::uniform_int_distribution<size_t>(0, N - 1)(Rng);
+
+    size_t Pick = Compactor::selectArea(Candidates, AreaBytes, Skip);
+
+    // Brute-force reference with the same first-wins tie rule.
+    size_t Want = SIZE_MAX;
+    double WantScore = 0.0;
+    for (size_t I = 0; I < N; ++I) {
+      if (I == Skip || Candidates[I].RangeCount == 0)
+        continue;
+      double Score = Compactor::fragmentationScore(Candidates[I], AreaBytes);
+      if (Want == SIZE_MAX || Score > WantScore) {
+        Want = I;
+        WantScore = Score;
+      }
+    }
+    EXPECT_EQ(Pick, Want);
+    if (Pick != SIZE_MAX) {
+      EXPECT_NE(Pick, Skip) << "skipped (pinned-heavy) area re-selected";
+      EXPECT_GT(Candidates[Pick].RangeCount, 0u);
+    }
+  }
+}
+
+TEST(CompactionPolicy, SelectReturnsSentinelWhenNothingScoreable) {
+  // All-unscoreable (the empty free list of a fresh lazy-sweep
+  // generation) and skip-hides-the-only-candidate both demand the
+  // rotation fallback.
+  std::vector<FreeRangeStats> Empty(4);
+  EXPECT_EQ(Compactor::selectArea(Empty, AreaBytes, SIZE_MAX), SIZE_MAX);
+
+  std::vector<FreeRangeStats> OneScoreable(3);
+  OneScoreable[1].FreeBytes = 65536;
+  OneScoreable[1].RangeCount = 4;
+  OneScoreable[1].LargestRange = 16384;
+  EXPECT_EQ(Compactor::selectArea(OneScoreable, AreaBytes, SIZE_MAX), 1u);
+  EXPECT_EQ(Compactor::selectArea(OneScoreable, AreaBytes, 1), SIZE_MAX);
+}
+
+} // namespace

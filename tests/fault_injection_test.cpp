@@ -252,6 +252,66 @@ TEST(FaultInjectionTest, WatchdogFinishesStalledConcurrentCycle) {
   Heap->detachThread(Ctx);
 }
 
+TEST(FaultInjectionTest, WatchdogKilledCyclesLeaveCompactorConsistent) {
+  // Regression for the compactor arm/disarm lifecycle on abnormal cycle
+  // endings: every cycle arms an evacuation area (CompactEveryNCycles =
+  // 1), the tracer is injected to make no progress, and the watchdog
+  // force-finishes each cycle through the STW escalation. A path that
+  // ended a cycle without evacuating or disarming would trip
+  // armForCycle's not-armed assert on the next round (debug builds) or
+  // corrupt the free list (caught by the per-cycle verifier).
+  GcOptions Opts = ladderOptions();
+  Opts.BackgroundThreads = 0;
+  Opts.CompactEveryNCycles = 1;
+  Opts.EvacuationAreaBytes = 1u << 20;
+  Opts.WatchdogIntervalMicros = 200;
+  Opts.WatchdogStallTicks = 10;
+  Opts.WatchdogLagTicks = 1u << 30; // Isolate the stall trigger.
+  Opts.VerifyEachCycle = true;
+  Opts.Faults.failEveryNth(FaultSite::TracerStep, 1);
+  auto Heap = GcHeap::create(Opts);
+  MutatorContext &Ctx = Heap->attachThread();
+
+  constexpr size_t NumRoots = 64;
+  Ctx.reserveRoots(NumRoots);
+  for (size_t I = 0; I < NumRoots; ++I) {
+    Object *Obj = Heap->allocate(Ctx, 4096, 1);
+    ASSERT_NE(Obj, nullptr);
+    Ctx.setRoot(I, Obj);
+  }
+
+  auto &Concurrent = static_cast<ConcurrentCollector &>(Heap->collector());
+  for (int Round = 0; Round < 2; ++Round) {
+    uint64_t TripsBefore = Heap->stats().watchdogTrips();
+    uint64_t CyclesBefore = Heap->completedCycles();
+    Concurrent.startConcurrentCycle(&Ctx);
+    // Keep polling until the killed cycle has fully completed, not just
+    // until the trip registers: the STW force-finish lands at a later
+    // safepoint, and the next round's start is a no-op while the
+    // previous cycle is still active.
+    Stopwatch Waited;
+    while ((Heap->stats().watchdogTrips() == TripsBefore ||
+            Heap->completedCycles() == CyclesBefore) &&
+           Waited.elapsedNanos() < 30ull * 1000 * 1000 * 1000) {
+      Heap->safepointPoll(Ctx);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    EXPECT_GT(Heap->stats().watchdogTrips(), TripsBefore)
+        << "watchdog never tripped in round " << Round;
+    EXPECT_GT(Heap->completedCycles(), CyclesBefore)
+        << "killed cycle never force-finished in round " << Round;
+  }
+  EXPECT_GE(Heap->completedCycles(), 2u);
+
+  // A clean cycle after the chaos: arming, evacuation and verification
+  // must all still work.
+  Heap->core().Inject.disarm();
+  Heap->requestGC(&Ctx);
+  VerifyResult V = Heap->verifyNow(&Ctx);
+  EXPECT_TRUE(V.Ok) << V.Error;
+  Heap->detachThread(Ctx);
+}
+
 /// --- Genuine exhaustion (no injection) ----------------------------------
 
 TEST(FaultInjectionTest, ExhaustionReturnsNullThenRecovers) {

@@ -1,0 +1,41 @@
+// fixture-as: gc/Compactor.h
+// Rule R4 over the compactor header: the parallel-evacuation phase
+// cursors and per-worker tallies are atomics shared across the STW
+// worker pool; each must say who touches it and why its orders
+// suffice. The fetch_add work-claiming idiom with explicit orders must
+// stay clean under R1 at the same time.
+#include "support/Annotations.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+class CompactorFixture {
+public:
+  bool claimFixupChunk(size_t *Out) {
+    size_t C = FixupCursor.fetch_add(1, std::memory_order_relaxed);
+    *Out = C;
+    return C < ChunkCount.load(std::memory_order_acquire);
+  }
+
+  void noteFailedMove() {
+    FailedMoves.fetch_add(1, std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<size_t> FixupCursor{0}; // expect(R4)
+
+  CGC_ATOMIC_DOC("chunk total published once at phase start (release) "
+                 "before the pool runs; workers read-only (acquire)")
+  std::atomic<size_t> ChunkCount{0};
+
+  std::atomic<uint64_t> FailedMoves{0}; // expect(R4)
+
+  CGC_ATOMIC_DOC("per-cycle failed-move tally; relaxed increments from "
+                 "any worker, read serially after the pool joins")
+  std::atomic<uint64_t> PinnedObjects{0};
+};
+
+} // namespace cgc

@@ -426,8 +426,9 @@ bool annotatedHeader(const std::string &Path) {
       "support/SpinLock.h",    "heap/FreeList.h",
       "heap/ShardedFreeList.h", "workpackets/PacketPool.h",
       "mutator/ThreadRegistry.h", "mutator/MutatorContext.h",
-      "gc/Pacer.h",            "observe/EventRing.h",
-      "observe/Observe.h",     "observe/MetricsRegistry.h"};
+      "gc/Pacer.h",            "gc/Compactor.h",
+      "observe/EventRing.h",   "observe/Observe.h",
+      "observe/MetricsRegistry.h"};
   return Headers.count(Path) != 0;
 }
 
