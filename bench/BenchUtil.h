@@ -33,6 +33,15 @@ struct PauseQuantiles {
   uint64_t Samples = 0;
 };
 
+/// Quantiles of one cooperation-latency histogram (StwEntry /
+/// FenceHandshake), all ms.
+struct CooperationQuantiles {
+  double P50Ms = 0;
+  double P99Ms = 0;
+  double MaxMs = 0;
+  uint64_t Samples = 0;
+};
+
 /// Everything a table row needs from one run.
 struct RunOutcome {
   WorkloadResult Workload;
@@ -43,6 +52,14 @@ struct RunOutcome {
   /// From the observability layer (runs always enable GcOptions::Observe;
   /// zeros when the tree is built with CGC_OBSERVE=OFF).
   PauseQuantiles Pauses;
+  /// Cooperation-protocol health: stop-the-world entry latency and
+  /// fence-handshake completion latency distributions (DESIGN.md §13),
+  /// plus the stall counters. A mutator drifting away from its polls
+  /// regresses these long before a grace-period timeout fires.
+  CooperationQuantiles StwEntry;
+  CooperationQuantiles FenceHandshake;
+  uint64_t StwStallWarnings = 0;
+  uint64_t FenceTimeouts = 0;
   /// Mean achieved tracing rate over concurrent cycles (Table 1's K).
   double KActualAvg = 0;
   /// Mean estimated floating garbage as a fraction of the heap.
@@ -59,6 +76,17 @@ inline const char *traceDir() {
 
 namespace detail {
 
+inline CooperationQuantiles
+cooperationQuantiles(const GcObserver &Obs, PauseMetric Metric) {
+  const PauseHistogram &H = Obs.metrics().histogram(Metric);
+  CooperationQuantiles Q;
+  Q.Samples = H.count();
+  Q.P50Ms = static_cast<double>(H.quantile(0.50)) / 1e6;
+  Q.P99Ms = static_cast<double>(H.quantile(0.99)) / 1e6;
+  Q.MaxMs = static_cast<double>(H.max()) / 1e6;
+  return Q;
+}
+
 inline void harvestObservability(GcHeap &Heap, RunOutcome &Out) {
   GcObserver &Obs = Heap.core().Obs;
   const PauseHistogram &H =
@@ -68,6 +96,11 @@ inline void harvestObservability(GcHeap &Heap, RunOutcome &Out) {
   Out.Pauses.P95Ms = static_cast<double>(H.quantile(0.95)) / 1e6;
   Out.Pauses.P99Ms = static_cast<double>(H.quantile(0.99)) / 1e6;
   Out.Pauses.MaxMs = static_cast<double>(H.max()) / 1e6;
+
+  Out.StwEntry = cooperationQuantiles(Obs, PauseMetric::StwEntry);
+  Out.FenceHandshake = cooperationQuantiles(Obs, PauseMetric::FenceHandshake);
+  Out.StwStallWarnings = Heap.core().Registry.stwStallWarnings();
+  Out.FenceTimeouts = Heap.core().Registry.fenceTimeouts();
 
   std::vector<CycleGauges> Gauges = Obs.metrics().cycleGauges();
   uint64_t NumConcurrent = 0;
@@ -172,6 +205,18 @@ inline void addCommonMetrics(BenchJsonWriter &Json, const RunOutcome &Run) {
   Json.addMetric("floating_garbage_ratio", Run.FloatingGarbageFrac, "ratio");
   Json.addMetric("dropped_events_count",
                  static_cast<double>(Run.DroppedEvents), "count");
+  Json.addMetric("stw_entry_p50_ms", Run.StwEntry.P50Ms, "ms");
+  Json.addMetric("stw_entry_p99_ms", Run.StwEntry.P99Ms, "ms");
+  Json.addMetric("stw_entry_max_ms", Run.StwEntry.MaxMs, "ms");
+  Json.addMetric("fence_handshake_p50_ms", Run.FenceHandshake.P50Ms, "ms");
+  Json.addMetric("fence_handshake_p99_ms", Run.FenceHandshake.P99Ms, "ms");
+  Json.addMetric("fence_handshake_max_ms", Run.FenceHandshake.MaxMs, "ms");
+  Json.addMetric("fence_handshake_count",
+                 static_cast<double>(Run.FenceHandshake.Samples), "count");
+  Json.addMetric("stw_stall_warnings_count",
+                 static_cast<double>(Run.StwStallWarnings), "count");
+  Json.addMetric("fence_timeouts_count",
+                 static_cast<double>(Run.FenceTimeouts), "count");
 }
 
 /// Writes `BENCH_<name>.json` into CGC_BENCH_OUT_DIR (default ".") and

@@ -18,9 +18,10 @@ void CardCleaner::beginCycle(unsigned ConcurrentPasses) {
   RegisteredCount.store(0, std::memory_order_relaxed);
   NextIndex.store(0, std::memory_order_relaxed);
   Cleaned.store(0, std::memory_order_relaxed);
-  PassBudget = ConcurrentPasses;
+  PassBudget.store(ConcurrentPasses, std::memory_order_relaxed);
   PassesStarted.store(0, std::memory_order_relaxed);
   FinalMode.store(false, std::memory_order_relaxed);
+  PendingFence.store(false, std::memory_order_relaxed);
   CleanedConcurrent.store(0, std::memory_order_relaxed);
   CleanedFinal.store(0, std::memory_order_relaxed);
   TotalRegistered.store(0, std::memory_order_relaxed);
@@ -34,15 +35,34 @@ bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
   // pass now" and retry, so this never loses work.
   if (FI && FI->shouldFail(FaultSite::CardCleanBegin))
     return false;
-  if (PassesStarted.load(std::memory_order_acquire) >= PassBudget)
+  if (PassesStarted.load(std::memory_order_acquire) >=
+      PassBudget.load(std::memory_order_relaxed))
     return false;
   // try_lock, never block: a spinning registrar-in-waiting would stall
   // the current registrar's fence handshake.
   if (!RegistrarLock.try_lock())
     return false;
   SpinLockGuard Guard(RegistrarLock, std::adopt_lock);
-  if (FinalMode.load(std::memory_order_relaxed) ||
-      PassesStarted.load(std::memory_order_relaxed) >= PassBudget ||
+  if (FinalMode.load(std::memory_order_relaxed))
+    return false;
+
+  // A previous registration is waiting on a timed-out fence handshake:
+  // retry just the handshake. Its cards are already cleared from the
+  // table (they must not be re-registered) but unpublished — no cleaner
+  // may scan them until the fence ordering is proven.
+  if (PendingFence.load(std::memory_order_relaxed)) {
+    if (Registry.requestFenceHandshake(Self, Heap.allocBits()) !=
+        CooperationResult::Ok)
+      return false; // still pending; recirculate again
+    PendingFence.store(false, std::memory_order_relaxed);
+    RegisteredCount.store(Registered.size(), std::memory_order_release);
+    PassesStarted.fetch_add(1, std::memory_order_release);
+    CGC_OBS_EVENT_P(Obs, CardCleanPass, Registered.size(), 0);
+    return true;
+  }
+
+  if (PassesStarted.load(std::memory_order_relaxed) >=
+          PassBudget.load(std::memory_order_relaxed) ||
       !currentPassDrained())
     return false;
 
@@ -57,8 +77,13 @@ bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
   bool HaveWork = !Registered.empty();
   if (HaveWork) {
     // Step 2: force all mutators to execute a fence before any cleaner
-    // scans the registered cards.
-    Registry.requestFenceHandshake(Self, Heap.allocBits());
+    // scans the registered cards. A timeout keeps the registration
+    // pending and the pass un-started (see the header).
+    if (Registry.requestFenceHandshake(Self, Heap.allocBits()) !=
+        CooperationResult::Ok) {
+      PendingFence.store(true, std::memory_order_relaxed);
+      return false;
+    }
     RegisteredCount.store(Registered.size(), std::memory_order_release);
   }
   PassesStarted.fetch_add(1, std::memory_order_release);
@@ -74,8 +99,13 @@ size_t CardCleaner::beginFinalPass() {
 
   // Cards registered by an interrupted concurrent pass were cleared from
   // the table but never cleaned — carry them over (world is stopped, so
-  // no cleaner is mid-card).
-  size_t Count = RegisteredCount.load(std::memory_order_relaxed);
+  // no cleaner is mid-card). A pending-fence registration was never
+  // published (RegisteredCount is still 0) but its cards are just as
+  // cleared-and-uncleaned: carry the full vector.
+  size_t Count = PendingFence.load(std::memory_order_relaxed)
+                     ? Registered.size()
+                     : RegisteredCount.load(std::memory_order_relaxed);
+  PendingFence.store(false, std::memory_order_relaxed);
   size_t Claimed = NextIndex.load(std::memory_order_relaxed);
   if (Claimed > Count)
     Claimed = Count;

@@ -63,7 +63,20 @@ public:
   /// were dirty (an empty registration still consumes a pass).
   /// Never blocks on another registrar (try-lock), so spinning callers
   /// cannot stall the handshake.
+  ///
+  /// When the fence handshake times out (a mutator refused to
+  /// cooperate), the pass is NOT started: the registered cards stay
+  /// unpublished (no cleaner may scan them — the fence ordering is
+  /// unproven) and pending, and later calls retry just the handshake.
+  /// The cards are never lost: beginFinalPass() carries a pending
+  /// registration over, and the world-stopped final pass needs no
+  /// handshake.
   bool tryBeginConcurrentPass(MutatorContext *Self);
+
+  /// Whether a registration is waiting on a timed-out fence handshake.
+  bool fencePending() const {
+    return PendingFence.load(std::memory_order_relaxed);
+  }
 
   /// Registers remaining dirty cards with the world stopped (the final
   /// pass; no handshake needed, but the registrar fences for fidelity).
@@ -84,7 +97,8 @@ public:
   /// Whether the concurrent phase owes no more card cleaning: all
   /// budgeted passes started and the last one drained.
   bool concurrentCleaningComplete() const {
-    return PassesStarted.load(std::memory_order_acquire) >= PassBudget &&
+    return PassesStarted.load(std::memory_order_acquire) >=
+               PassBudget.load(std::memory_order_relaxed) &&
            currentPassDrained();
   }
 
@@ -120,9 +134,17 @@ private:
   std::atomic<size_t> NextIndex{0};
   std::atomic<size_t> Cleaned{0};
 
-  unsigned PassBudget = 1;
+  /// Latched by beginCycle() (under the collect lock) and read without
+  /// it by the background/watchdog completeness probes; relaxed is
+  /// enough — a transiently stale budget only delays one probe, the
+  /// finish path re-checks under the collect lock.
+  std::atomic<unsigned> PassBudget{1};
   std::atomic<unsigned> PassesStarted{0};
   std::atomic<bool> FinalMode{false};
+  /// Registration completed but its fence handshake timed out; the pass
+  /// is unpublished (RegisteredCount still 0) and not counted against
+  /// the budget until a retried handshake succeeds.
+  std::atomic<bool> PendingFence{false};
 
   std::atomic<uint64_t> CleanedConcurrent{0};
   std::atomic<uint64_t> CleanedFinal{0};

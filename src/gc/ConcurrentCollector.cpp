@@ -157,24 +157,30 @@ void ConcurrentCollector::mutatorAssist(MutatorContext &Ctx, size_t Bytes) {
 
 size_t ConcurrentCollector::scanOneUnscannedStack(TraceContext &Ctx) {
   uint64_t Cycle = C.CycleNumber.load(std::memory_order_acquire);
-  MutatorContext *Victim = nullptr;
+  size_t Work = 0;
+  // The scan runs inside the registry iteration: forEach holds the
+  // registrar lock, which detach() must take before the context can be
+  // freed, so a concurrently detaching victim stays alive until its
+  // scan completes. (Letting a captured pointer escape the iteration
+  // was a use-after-free against detach-during-cycle; the scan itself
+  // is bounded — one roots vector — and everything it calls is
+  // lock-free, so spinning waiters see only a short delay.)
   C.Registry.forEach([&](MutatorContext &M) {
-    if (Victim)
+    if (Work)
       return;
     uint64_t Seen = M.StackScanCycle.load(std::memory_order_relaxed);
     if (Seen < Cycle &&
         M.StackScanCycle.compare_exchange_strong(Seen, Cycle,
                                                  std::memory_order_acq_rel,
-                                                 std::memory_order_relaxed))
-      Victim = &M;
+                                                 std::memory_order_relaxed)) {
+      // The victim keeps running; unpublished objects it holds are
+      // caught by the final rescan ("threads that never allocate").
+      scanRootsOf(M, Ctx);
+      CGC_OBS_EVENT(C.Obs, StackScan, M.numRoots(), Cycle);
+      Work = M.numRoots() * 8 + 1;
+    }
   });
-  if (!Victim)
-    return 0;
-  // The victim keeps running; unpublished objects it holds are caught by
-  // the final rescan. This is the "threads that never allocate" path.
-  scanRootsOf(*Victim, Ctx);
-  CGC_OBS_EVENT(C.Obs, StackScan, Victim->numRoots(), Cycle);
-  return Victim->numRoots() * 8 + 1;
+  return Work;
 }
 
 bool ConcurrentCollector::allStacksScanned() {
@@ -201,10 +207,15 @@ size_t ConcurrentCollector::auxiliaryWork(MutatorContext *Self,
   if (C.Cleaner.tryBeginConcurrentPass(Self))
     return 1;
   // 4. Give deferred objects another chance: force the allocation bits
-  //    out with a handshake, then recirculate the Deferred pool.
+  //    out with a handshake, then recirculate the Deferred pool. A
+  //    handshake timeout means the bits may still be unpublished —
+  //    recirculating would retrace objects whose allocation bits the
+  //    tracer cannot see yet, so skip; a later visit retries.
   if (C.Pool.hasDeferred() && C.Pool.approxInputPackets() == 0 &&
       !C.Registry.stopRequested()) {
-    C.Registry.requestFenceHandshake(Self, C.Heap.allocBits());
+    if (C.Registry.requestFenceHandshake(Self, C.Heap.allocBits()) !=
+        CooperationResult::Ok)
+      return 0;
     return C.Pool.redistributeDeferred() != 0 ? 1 : 0;
   }
   return 0;
@@ -341,6 +352,9 @@ void ConcurrentCollector::finishCycle(MutatorContext *Ctx,
 void ConcurrentCollector::watchdogLoop() {
   uint64_t LastProgress = 0;
   unsigned StallTicks = 0, LagTicks = 0;
+  // Fence-timeout count at the start of the supervised concurrent phase
+  // (UINT64_MAX = not currently supervising one).
+  uint64_t FenceBase = UINT64_MAX;
   while (!ShuttingDown.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(C.Options.WatchdogIntervalMicros));
@@ -349,6 +363,7 @@ void ConcurrentCollector::watchdogLoop() {
       // No concurrent phase to supervise (BgPause means someone is
       // already finishing it): start fresh next time one runs.
       StallTicks = LagTicks = 0;
+      FenceBase = UINT64_MAX;
       continue;
     }
     if (concurrentWorkComplete()) {
@@ -356,6 +371,26 @@ void ConcurrentCollector::watchdogLoop() {
       // think time, background threads disabled): finish it ourselves.
       finishCycle(nullptr, /*DueToFailure=*/false);
       continue;
+    }
+    // Strike escalation (DESIGN.md §13): a mutator refusing to fence
+    // makes every handshake of this cycle time out; past the strike
+    // limit, abort to the STW finish — the safepoint protocol needs no
+    // acknowledgements and completes once the thread polls or blocks,
+    // where the handshake protocol would wedge the cycle forever.
+    if (uint64_t Limit = C.Options.HandshakeStrikeLimit) {
+      uint64_t Timeouts = C.Registry.fenceTimeouts();
+      if (FenceBase == UINT64_MAX)
+        FenceBase = Timeouts;
+      if (Timeouts - FenceBase >= Limit) {
+        StallTicks = LagTicks = 0;
+        LastProgress = 0;
+        C.Stats.noteHandshakeAbort();
+        C.Stats.noteEscalation(EscalationRung::StwFinish);
+        CGC_OBS_EVENT(C.Obs, HandshakeAbort, Timeouts - FenceBase, Limit);
+        FenceBase = UINT64_MAX;
+        finishCycle(nullptr, /*DueToFailure=*/true);
+        continue;
+      }
     }
     uint64_t Traced = C.Trace.cycleTracedBytes();
     uint64_t Progress =
@@ -377,6 +412,7 @@ void ConcurrentCollector::watchdogLoop() {
         LagTicks >= C.Options.WatchdogLagTicks) {
       StallTicks = LagTicks = 0;
       LastProgress = 0;
+      FenceBase = UINT64_MAX;
       C.Stats.noteWatchdogTrip();
       C.Stats.noteEscalation(EscalationRung::StwFinish);
       finishCycle(nullptr, /*DueToFailure=*/true);

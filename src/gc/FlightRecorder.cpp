@@ -1,0 +1,214 @@
+//===- FlightRecorder.cpp - Signal-safe GC crash dump -------------------------//
+
+#include "gc/FlightRecorder.h"
+
+#include "gc/GcCore.h"
+#include "support/SigSafe.h"
+#include "support/Timing.h"
+
+#include <atomic>
+#include <csignal>
+
+using namespace cgc;
+
+namespace {
+
+/// Registered heaps (lock-free: install CAS-publishes, uninstall
+/// clears; the handler acquire-scans).
+std::atomic<GcCore *> Cores[FlightRecorder::MaxCores] = {};
+std::atomic<int> OutFd{2};
+std::atomic<unsigned> InstalledCount{0};
+/// Reentrancy guard: a fault inside the dump must not recurse.
+std::atomic<bool> Dumping{false};
+
+struct sigaction PrevSegv;
+struct sigaction PrevAbrt;
+
+const char *execStateName(ExecState S) {
+  switch (S) {
+  case ExecState::Running:
+    return "running";
+  case ExecState::AtSafepoint:
+    return "safepoint";
+  case ExecState::Idle:
+    return "idle";
+  }
+  return "?";
+}
+
+void writeField(int Fd, const char *Key, uint64_t Value) {
+  sigSafeWriteStr(Fd, " ");
+  sigSafeWriteStr(Fd, Key);
+  sigSafeWriteStr(Fd, "=");
+  sigSafeWriteDec(Fd, Value);
+}
+
+void dumpCore(GcCore *Core, int Fd, int Signal) {
+  sigSafeWriteStr(Fd, "=== cgc flight recorder (signal ");
+  sigSafeWriteDec(Fd, static_cast<uint64_t>(Signal));
+  sigSafeWriteStr(Fd, ") ===\n");
+
+  // Cycle state.
+  sigSafeWriteStr(Fd, "heap=");
+  sigSafeWriteHex(Fd, reinterpret_cast<uintptr_t>(Core));
+  sigSafeWriteStr(Fd, " phase=");
+  sigSafeWriteStr(Fd,
+                  Core->phase() == GcPhase::Concurrent ? "concurrent" : "idle");
+  writeField(Fd, "cycle", Core->CycleNumber.load(std::memory_order_relaxed));
+  writeField(Fd, "completed",
+             Core->CompletedCycles.load(std::memory_order_relaxed));
+  sigSafeWriteStr(Fd, "\n");
+
+  // Cooperation-protocol state.
+  ThreadRegistry &Reg = Core->Registry;
+  uint64_t Epoch = Reg.handshakeEpoch();
+  sigSafeWriteStr(Fd, "registry");
+  writeField(Fd, "epoch", Epoch);
+  writeField(Fd, "stop_requested", Reg.stopRequested() ? 1 : 0);
+  writeField(Fd, "stw_warnings", Reg.stwStallWarnings());
+  writeField(Fd, "fence_timeouts", Reg.fenceTimeouts());
+  writeField(Fd, "stall_reports", Reg.stallReportCount());
+  sigSafeWriteStr(Fd, "\n");
+
+  // Per-thread cooperation table (lock-free snapshot slots).
+  uint64_t Now = nowNanos();
+  Reg.forEachSnapshotSlot([&](MutatorContext &Ctx) {
+    uint64_t Ack = Ctx.HandshakeAck.load(std::memory_order_relaxed);
+    uint64_t Last = Ctx.LastPollNanos.load(std::memory_order_relaxed);
+    sigSafeWriteStr(Fd, "thread");
+    writeField(Fd, "id", Ctx.debugId());
+    sigSafeWriteStr(Fd, " state=");
+    sigSafeWriteStr(Fd, execStateName(Ctx.state()));
+    writeField(Fd, "ack", Ack);
+    writeField(Fd, "ack_lag", Epoch > Ack ? Epoch - Ack : 0);
+    writeField(Fd, "poll_age_ns", Now > Last ? Now - Last : 0);
+    writeField(Fd, "transition_seq",
+               Ctx.TransitionSeq.load(std::memory_order_relaxed));
+    writeField(Fd, "scan_cycle",
+               Ctx.StackScanCycle.load(std::memory_order_relaxed));
+    writeField(Fd, "alloc_bytes",
+               Ctx.BytesAllocated.load(std::memory_order_relaxed));
+    sigSafeWriteStr(Fd, "\n");
+  });
+
+  // Stall-report ring (may contain entries from finished cycles; the
+  // timestamps tell them apart).
+  for (unsigned I = 0; I < ThreadRegistry::StallRingSize; ++I) {
+    StallReport R;
+    if (!Reg.readStallSlot(I, R))
+      continue;
+    sigSafeWriteStr(Fd, "stall");
+    writeField(Fd, "t", R.TimeNs);
+    writeField(Fd, "id", R.DebugId);
+    sigSafeWriteStr(Fd, " proto=");
+    sigSafeWriteStr(Fd, R.Protocol == StallProtocol::FenceHandshake ? "fence"
+                                                                    : "stw");
+    sigSafeWriteStr(Fd, " state=");
+    sigSafeWriteStr(Fd, execStateName(R.State));
+    writeField(Fd, "poll_age_ns", R.PollAgeNanos);
+    writeField(Fd, "ack_lag", R.AckLagEpochs);
+    sigSafeWriteStr(Fd, "\n");
+  }
+
+  // Pacer window counters (the smoothed estimates live behind a lock
+  // the crashing thread might hold; the raw windows are atomic).
+  sigSafeWriteStr(Fd, "pacer");
+  writeField(Fd, "window_alloc", Core->Pace.windowAllocatedBytes());
+  writeField(Fd, "window_bg_traced", Core->Pace.windowBgTracedBytes());
+  sigSafeWriteStr(Fd, "\n");
+
+  // Degradation-ladder counters.
+  sigSafeWriteStr(Fd, "ladder");
+  for (unsigned I = 0; I < static_cast<unsigned>(EscalationRung::NumRungs);
+       ++I) {
+    sigSafeWriteStr(Fd, " ");
+    sigSafeWriteStr(Fd, escalationRungName(static_cast<EscalationRung>(I)));
+    sigSafeWriteStr(Fd, "=");
+    sigSafeWriteDec(Fd,
+                    Core->Stats.escalationCount(static_cast<EscalationRung>(I)));
+  }
+  writeField(Fd, "watchdog-trips", Core->Stats.watchdogTrips());
+  writeField(Fd, "handshake-aborts", Core->Stats.handshakeAborts());
+  sigSafeWriteStr(Fd, "\n");
+
+  // Tail of every observe event ring (empty unless Options.Observe).
+  for (uint32_t RingI = 0; RingI < GcObserver::MaxRings; ++RingI) {
+    const EventRing *Ring = Core->Obs.ringAt(RingI);
+    if (!Ring)
+      break;
+    sigSafeWriteStr(Fd, "ring");
+    writeField(Fd, "tid", Ring->ownerThreadId());
+    writeField(Fd, "pushed", Ring->pushedCount());
+    sigSafeWriteStr(Fd, "\n");
+    Ring->peekTail(8, [&](const EventRecord &R) {
+      sigSafeWriteStr(Fd, "ev");
+      writeField(Fd, "t", R.TimeNs);
+      writeField(Fd, "tid", R.ThreadId);
+      sigSafeWriteStr(Fd, " kind=");
+      sigSafeWriteStr(Fd, eventKindName(R.Kind));
+      writeField(Fd, "a0", R.Arg0);
+      writeField(Fd, "a1", R.Arg1);
+      sigSafeWriteStr(Fd, "\n");
+    });
+  }
+
+  sigSafeWriteStr(Fd, "=== end cgc flight recorder ===\n");
+}
+
+void handleFatalSignal(int Sig) {
+  if (!Dumping.exchange(true, std::memory_order_acq_rel)) {
+    int Fd = OutFd.load(std::memory_order_relaxed);
+    for (unsigned I = 0; I < FlightRecorder::MaxCores; ++I)
+      if (GcCore *Core = Cores[I].load(std::memory_order_acquire))
+        dumpCore(Core, Fd, Sig);
+    // Leave Dumping set: if the process somehow survives the re-raise,
+    // a second fault must not dump again over a half-dead heap.
+  }
+  // Restore the saved disposition and re-raise, so the process dies
+  // exactly as it would have without us (the signal is blocked while
+  // this handler runs; it delivers on return).
+  struct sigaction *Prev = Sig == SIGSEGV ? &PrevSegv : &PrevAbrt;
+  sigaction(Sig, Prev, nullptr);
+  raise(Sig);
+}
+
+} // namespace
+
+void FlightRecorder::install(GcCore *Core, int Fd) {
+  OutFd.store(Fd, std::memory_order_relaxed);
+  // Slot scan, one CAS per distinct slot. cgc-lint: allow(R3)
+  for (unsigned I = 0; I < MaxCores; ++I) {
+    GcCore *Expected = nullptr; // cgc-lint: allow(R3)
+    if (Cores[I].compare_exchange_strong(Expected, Core,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed))
+      break;
+  }
+  if (InstalledCount.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    struct sigaction SA;
+    sigemptyset(&SA.sa_mask);
+    SA.sa_flags = 0;
+    SA.sa_handler = handleFatalSignal;
+    sigaction(SIGSEGV, &SA, &PrevSegv);
+    sigaction(SIGABRT, &SA, &PrevAbrt);
+  }
+}
+
+void FlightRecorder::uninstall(GcCore *Core) {
+  // Slot scan, one CAS per distinct slot. cgc-lint: allow(R3)
+  for (unsigned I = 0; I < MaxCores; ++I) {
+    GcCore *Expected = Core; // cgc-lint: allow(R3)
+    if (Cores[I].compare_exchange_strong(Expected, nullptr,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed))
+      break;
+  }
+  if (InstalledCount.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    sigaction(SIGSEGV, &PrevSegv, nullptr);
+    sigaction(SIGABRT, &PrevAbrt, nullptr);
+  }
+}
+
+void FlightRecorder::dumpNow(GcCore *Core, int Fd, int Signal) {
+  dumpCore(Core, Fd, Signal);
+}

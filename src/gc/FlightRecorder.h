@@ -1,0 +1,74 @@
+//===- FlightRecorder.h - Signal-safe GC crash dump -------------*- C++ -*-===//
+///
+/// \file
+/// A post-mortem flight recorder for the collector (DESIGN.md §13): on a
+/// fatal signal (SIGSEGV, SIGABRT — which also covers failed asserts,
+/// since assert() aborts) it writes a line-oriented snapshot of every
+/// registered heap's GC state to a file descriptor, then re-raises the
+/// signal so the process still dies with the original disposition (core
+/// dumps, death-test harnesses and CI signal reporting keep working).
+///
+/// Everything the dump touches is async-signal-safe by construction:
+///
+///  * formatting uses write(2) via support/SigSafe.h — no stdio, no
+///    malloc, no locale;
+///  * GC state is read exclusively through lock-free structures built
+///    for this purpose: the registry's context snapshot table and
+///    stall-report ring, the observer's release-published event rings
+///    (peekTail), the pacer's raw window counters, and the plain atomic
+///    escalation/cycle counters. Locked state (pacer estimates, the
+///    gauge log, free-list internals) is deliberately absent;
+///  * reads racing live mutators may be torn — a crash dump reports a
+///    best-effort snapshot, never blocks, and never deadlocks against
+///    whatever the crashing thread held.
+///
+/// Report format (one record per line, `key=value` fields):
+///
+///   === cgc flight recorder (signal N) ===
+///   heap=0x... phase=concurrent cycle=7 completed=6
+///   registry epoch=42 stop_requested=0 stw_warnings=0 fence_timeouts=3
+///   thread id=2 state=running ack=41 ack_lag=1 poll_age_ns=12345 ...
+///   stall t=... id=2 proto=fence state=running poll_age_ns=... ack_lag=1
+///   pacer window_alloc=... window_bg_traced=...
+///   ladder refill-retry=0 ... watchdog-trips=1 handshake-aborts=1
+///   ring tid=0 events=8
+///   ev t=... tid=0 kind=cycle_kickoff a0=7 a1=123456
+///   === end cgc flight recorder ===
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_GC_FLIGHTRECORDER_H
+#define CGC_GC_FLIGHTRECORDER_H
+
+namespace cgc {
+
+struct GcCore;
+
+/// Process-wide registry of heaps whose state is dumped on a fatal
+/// signal. All methods are static: signal dispositions are process
+/// state. Thread-safe; install/uninstall are cold.
+class FlightRecorder {
+public:
+  /// Heaps that can be registered concurrently (more simply don't
+  /// appear in dumps).
+  static constexpr unsigned MaxCores = 8;
+
+  /// Registers \p Core and, on the first registration, installs the
+  /// SIGSEGV/SIGABRT handlers (previous dispositions are saved and
+  /// re-raised into). \p Fd receives the report (last installer wins;
+  /// one descriptor per process).
+  static void install(GcCore *Core, int Fd);
+
+  /// Unregisters \p Core; removing the last one restores the saved
+  /// signal dispositions. Must be called before \p Core is destroyed.
+  static void uninstall(GcCore *Core);
+
+  /// Writes the report for \p Core to \p Fd immediately (test hook and
+  /// debugging aid; also async-signal-safe). \p Signal is only echoed
+  /// into the header, 0 = not a signal.
+  static void dumpNow(GcCore *Core, int Fd, int Signal = 0);
+};
+
+} // namespace cgc
+
+#endif // CGC_GC_FLIGHTRECORDER_H

@@ -59,7 +59,13 @@ struct GcCore {
               &Inject, &Obs),
         Cleaner(Heap, Registry, &Inject, &Obs), Sweep(Heap, &Obs),
         Workers(Opts.GcWorkerThreads, &Inject),
-        Pace(Opts, Heap.sizeBytes(), &Obs) {}
+        Pace(Opts, Heap.sizeBytes(), &Obs) {
+    // Arm the registry's deadline-aware cooperation waits before any
+    // thread can attach (DESIGN.md §13).
+    Registry.configureStallDefense(
+        uint64_t(Opts.StwGraceMicros) * 1000ull,
+        uint64_t(Opts.FenceGraceMicros) * 1000ull, &Inject, &Obs);
+  }
 
   GcOptions Options;
   /// Fault injector shared by every subsystem below (declared first so

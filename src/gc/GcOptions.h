@@ -127,6 +127,34 @@ struct GcOptions {
   /// pacer-lag escalation.
   unsigned WatchdogLagTicks = 100;
 
+  /// Cooperation-stall defense (DESIGN.md §13). Grace period before a
+  /// stop-the-world wait starts attributing laggards (it keeps waiting —
+  /// the world must actually stop — but reports the exact still-running
+  /// contexts each elapsed grace period). 0 disables the deadline.
+  unsigned StwGraceMicros = 500000;
+
+  /// Grace period before a ragged fence handshake gives up and returns
+  /// Timeout, failing the caller's pass (card-cleaning registrations
+  /// recirculate; the watchdog counts the timeout toward the strike
+  /// limit below). 0 disables the deadline.
+  unsigned FenceGraceMicros = 500000;
+
+  /// Fence-handshake timeouts within one concurrent cycle that make the
+  /// watchdog abort the cycle to its STW finish (a non-cooperative
+  /// mutator must not wedge the cycle forever; the stop-the-world
+  /// safepoint needs no handshake acks and still completes once the
+  /// thread polls or blocks). 0 disables the escalation.
+  unsigned HandshakeStrikeLimit = 8;
+
+  /// Install the signal-safe GC flight recorder: on SIGSEGV/SIGABRT (or
+  /// a fatal assert) dump cycle phase, per-thread cooperation state,
+  /// pacer/ladder counters and event-ring tails to FlightRecorderFd
+  /// before re-raising. Off by default (tests and long soaks opt in).
+  bool FlightRecorder = false;
+
+  /// File descriptor the flight recorder writes to (2 = stderr).
+  int FlightRecorderFd = 2;
+
   /// Fault-injection plan (chaos mode). Disabled by default: every
   /// injection site then costs one relaxed load behind a cold branch.
   FaultPlan Faults;

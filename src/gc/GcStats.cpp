@@ -29,6 +29,7 @@ EscalationCounts GcStatsCollector::escalations() const {
   for (unsigned I = 0; I < Counts.Rungs.size(); ++I)
     Counts.Rungs[I] = Escalations[I].load(std::memory_order_relaxed);
   Counts.WatchdogTrips = WatchdogTripsV.load(std::memory_order_relaxed);
+  Counts.HandshakeAborts = HandshakeAbortsV.load(std::memory_order_relaxed);
   return Counts;
 }
 
@@ -39,6 +40,8 @@ void GcStatsCollector::printEscalations(std::FILE *Out) const {
     Table.addRow({escalationRungName(static_cast<EscalationRung>(I)),
                   TablePrinter::num(Counts.Rungs[I])});
   Table.addRow({"watchdog-trips", TablePrinter::num(Counts.WatchdogTrips)});
+  Table.addRow(
+      {"handshake-aborts", TablePrinter::num(Counts.HandshakeAborts)});
   Table.print(Out);
 }
 

@@ -50,6 +50,7 @@ struct EscalationCounts {
   std::array<uint64_t, static_cast<unsigned>(EscalationRung::NumRungs)>
       Rungs{};
   uint64_t WatchdogTrips = 0;
+  uint64_t HandshakeAborts = 0;
 
   uint64_t rung(EscalationRung R) const {
     return Rungs[static_cast<unsigned>(R)];
@@ -153,6 +154,7 @@ public:
     for (auto &C : Escalations)
       C.store(0, std::memory_order_relaxed);
     WatchdogTripsV.store(0, std::memory_order_relaxed);
+    HandshakeAbortsV.store(0, std::memory_order_relaxed);
   }
 
   /// --- Degradation-ladder accounting ---------------------------------
@@ -169,6 +171,12 @@ public:
     WatchdogTripsV.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Records one cycle aborted to STW-finish because fence handshakes
+  /// kept timing out (the cooperation-stall strike escalation).
+  void noteHandshakeAbort() {
+    HandshakeAbortsV.fetch_add(1, std::memory_order_relaxed);
+  }
+
   uint64_t escalationCount(EscalationRung Rung) const {
     return Escalations[static_cast<unsigned>(Rung)].load(
         std::memory_order_relaxed);
@@ -176,6 +184,10 @@ public:
 
   uint64_t watchdogTrips() const {
     return WatchdogTripsV.load(std::memory_order_relaxed);
+  }
+
+  uint64_t handshakeAborts() const {
+    return HandshakeAbortsV.load(std::memory_order_relaxed);
   }
 
   /// Snapshot of all escalation counters.
@@ -192,6 +204,7 @@ private:
              static_cast<unsigned>(EscalationRung::NumRungs)>
       Escalations{};
   std::atomic<uint64_t> WatchdogTripsV{0};
+  std::atomic<uint64_t> HandshakeAbortsV{0};
 };
 
 /// Aggregates over a set of cycle records (helper for the benches).

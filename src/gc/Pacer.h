@@ -83,6 +83,16 @@ public:
   double estimateM() const;
   double estimateBest() const;
 
+  /// Raw Best-window counters. Async-signal-safe (single relaxed loads;
+  /// the smoothed estimates above take a lock and must not be read from
+  /// a crash handler) — the flight recorder dumps these instead.
+  uint64_t windowAllocatedBytes() const {
+    return WindowAllocated.load(std::memory_order_relaxed);
+  }
+  uint64_t windowBgTracedBytes() const {
+    return WindowBgTraced.load(std::memory_order_relaxed);
+  }
+
 private:
   const double K0;
   const double Kmax;

@@ -118,6 +118,12 @@ public:
     State.store(static_cast<uint8_t>(S), std::memory_order_release);
   }
 
+  /// Small registry-assigned id used in stall reports and the flight
+  /// recorder (stable for the context's lifetime; contexts are reported
+  /// by id, never by pointer, so a report outlives a detached thread).
+  uint32_t debugId() const { return DebugIdV; }
+  void setDebugId(uint32_t Id) { DebugIdV = Id; }
+
   /// Handshake epoch this thread has acknowledged.
   CGC_ATOMIC_DOC("owner stores release at poll; registrar acquire-scans")
   std::atomic<uint64_t> HandshakeAck{0};
@@ -137,10 +143,36 @@ public:
   CGC_ATOMIC_DOC("owner adds relaxed; reporting reads racily")
   std::atomic<uint64_t> OpsCompleted{0};
 
+  /// --- Cooperation-stall defense state -------------------------------
+
+  /// nowNanos() of this thread's most recent cooperation point (poll
+  /// acknowledgement, park, idle transition; polls stamp on a stride to
+  /// keep the allocation fast path clock-free). The timed handshake
+  /// initiators read it to compute a laggard's poll age.
+  CGC_ATOMIC_DOC("owner stores relaxed; stall reporters read racily")
+  std::atomic<uint64_t> LastPollNanos{0};
+
+  /// Execution-state transition seqlock: odd while the owner is inside
+  /// an enterIdle/exitIdle/park state transition, even when stable. A
+  /// handshake initiator counts a non-Running thread as quiescent only
+  /// when it reads an even, unchanged sequence around the state read —
+  /// the state transition (and its fence) provably completed. A thread
+  /// stalled mid-transition is treated as a laggard, never silently
+  /// quiescent.
+  CGC_ATOMIC_DOC("owner acq_rel increments; initiators acquire-read pairs")
+  std::atomic<uint64_t> TransitionSeq{0};
+
+  /// Owner-only poll bookkeeping (no atomicity needed): stride counter
+  /// for LastPollNanos stamping, and the remaining length of an active
+  /// fault-injected non-cooperation burst (FaultSite::MutatorPollSkip).
+  uint32_t PollStride = 0;
+  uint32_t SkipPollsRemaining = 0;
+
 private:
   AllocationCache Cache;
   TraceContext Trace;
   unsigned PreferredShardV = 0;
+  uint32_t DebugIdV = 0;
   mutable SpinLock RootsLock;
   std::vector<uintptr_t> Roots CGC_GUARDED_BY(RootsLock);
   CGC_ATOMIC_DOC("owner stores release; collector acquire-reads at stops")

@@ -3,7 +3,10 @@
 #include "mutator/ThreadRegistry.h"
 
 #include "heap/BitVector8.h"
+#include "observe/Observe.h"
+#include "support/FaultInjector.h"
 #include "support/Fences.h"
+#include "support/Timing.h"
 
 #include <algorithm>
 #include <cassert>
@@ -11,14 +14,64 @@
 
 using namespace cgc;
 
+/// Execution-state transitions are bracketed by the context's
+/// TransitionSeq seqlock: odd while mid-transition, even when stable.
+/// The acq_rel entry increment orders it before the state store; the
+/// release exit increment publishes the completed transition.
+static void beginTransition(MutatorContext &Ctx) {
+  Ctx.TransitionSeq.fetch_add(1, std::memory_order_acq_rel);
+}
+static void endTransition(MutatorContext &Ctx) {
+  Ctx.TransitionSeq.fetch_add(1, std::memory_order_release);
+}
+
+void ThreadRegistry::stampPoll(MutatorContext &Ctx) {
+  Ctx.LastPollNanos.store(nowNanos(), std::memory_order_relaxed);
+}
+
+bool ThreadRegistry::stableNonRunning(MutatorContext &Ctx) {
+  uint64_t Seq = Ctx.TransitionSeq.load(std::memory_order_acquire);
+  if (Seq & 1)
+    return false; // mid-transition: the fence ordering is not proven yet
+  if (Ctx.state() == ExecState::Running)
+    return false;
+  // Unchanged even sequence around the state read: the transition out
+  // of Running — including its fence — provably completed.
+  return Ctx.TransitionSeq.load(std::memory_order_acquire) == Seq;
+}
+
+void ThreadRegistry::configureStallDefense(uint64_t StwGrace,
+                                           uint64_t FenceGrace,
+                                           FaultInjector *Injector,
+                                           GcObserver *Observer) {
+  assert(numThreads() == 0 && "configure before threads attach");
+  StwGraceNanos = StwGrace;
+  FenceGraceNanos = FenceGrace;
+  FI = Injector;
+  Obs = Observer;
+}
+
 void ThreadRegistry::attach(MutatorContext *Ctx) {
   SpinLockGuard Guard(ThreadsLock);
   assert(std::find(Threads.begin(), Threads.end(), Ctx) == Threads.end() &&
          "context attached twice");
+  Ctx->setDebugId(NextDebugId.fetch_add(1, std::memory_order_relaxed));
   // A freshly attached thread has acknowledged everything so far.
   Ctx->HandshakeAck.store(HandshakeEpoch.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
+  stampPoll(*Ctx);
   Threads.push_back(Ctx);
+  // Publish a flight-recorder snapshot slot (best effort: a full table
+  // means this context is simply absent from crash dumps). This is a
+  // slot scan, not a same-location retry loop: each CAS targets a
+  // different slot exactly once. cgc-lint: allow(R3)
+  for (unsigned I = 0; I < MaxSnapshotSlots; ++I) {
+    MutatorContext *Expected = nullptr; // cgc-lint: allow(R3)
+    if (SnapshotSlots[I].compare_exchange_strong(Expected, Ctx,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed))
+      break;
+  }
 }
 
 void ThreadRegistry::detach(MutatorContext *Ctx) {
@@ -26,6 +79,14 @@ void ThreadRegistry::detach(MutatorContext *Ctx) {
   auto It = std::find(Threads.begin(), Threads.end(), Ctx);
   assert(It != Threads.end() && "detaching unknown context");
   Threads.erase(It);
+  // Slot scan, one CAS per distinct slot (see attach). cgc-lint: allow(R3)
+  for (unsigned I = 0; I < MaxSnapshotSlots; ++I) {
+    MutatorContext *Expected = Ctx; // cgc-lint: allow(R3)
+    if (SnapshotSlots[I].compare_exchange_strong(Expected, nullptr,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed))
+      break;
+  }
 }
 
 size_t ThreadRegistry::numThreads() const {
@@ -40,6 +101,25 @@ void ThreadRegistry::forEach(const std::function<void(MutatorContext &)> &Fn) {
 }
 
 void ThreadRegistry::poll(MutatorContext &Ctx, BitVector8 &AllocBits) {
+  // Chaos: a non-cooperative mutator skips this cooperation point
+  // entirely — no acknowledgement, no park, no timestamp. A hit with a
+  // configured burst keeps THIS thread non-cooperative for its next
+  // BurstLength visits (a thread wedged in a syscall does not draw a
+  // fresh decision every poll).
+  if (__builtin_expect(Ctx.SkipPollsRemaining > 0, 0)) {
+    --Ctx.SkipPollsRemaining;
+    return;
+  }
+  if (FI && FI->shouldFail(FaultSite::MutatorPollSkip)) {
+    Ctx.SkipPollsRemaining = FI->burstLength(FaultSite::MutatorPollSkip);
+    return;
+  }
+  // Strided timestamp: polls run on the allocation fast path, so the
+  // clock is read on every 32nd visit only (laggard detection operates
+  // on grace periods many orders of magnitude longer). Slow cooperation
+  // points (acks, parks, idle transitions) always stamp.
+  if ((++Ctx.PollStride & 31u) == 0)
+    stampPoll(Ctx);
   if (Ctx.HandshakeAck.load(std::memory_order_relaxed) !=
       HandshakeEpoch.load(std::memory_order_acquire))
     acknowledgeHandshake(Ctx, AllocBits);
@@ -57,37 +137,153 @@ void ThreadRegistry::acknowledgeHandshake(MutatorContext &Ctx,
   Ctx.cache().flushAllocBits(AllocBits);
   fence(FenceSite::CardTableHandshake);
   Ctx.HandshakeAck.store(Epoch, std::memory_order_release);
+  stampPoll(Ctx);
 }
 
 void ThreadRegistry::park(MutatorContext &Ctx) {
   fence(FenceSite::StopTheWorld);
+  stampPoll(Ctx);
   std::unique_lock<std::mutex> Lock(ParkMutex);
+  beginTransition(Ctx);
   Ctx.setState(ExecState::AtSafepoint);
-  ParkCV.wait(Lock, [this] {
-    return !StopRequested.load(std::memory_order_acquire);
-  });
-  Ctx.setState(ExecState::Running);
+  endTransition(Ctx);
+  for (;;) {
+    ParkCV.wait(Lock, [this] {
+      return !StopRequested.load(std::memory_order_acquire);
+    });
+    beginTransition(Ctx);
+    Ctx.setState(ExecState::Running);
+    endTransition(Ctx);
+    // Same Dekker handoff as exitIdle(): a stop that began between the
+    // resume and this unpark either observes Running or is observed by
+    // the load below — otherwise this thread could leave the safepoint
+    // while a new stop still counts it parked.
+    fence(FenceSite::StopTheWorld);
+    if (!StopRequested.load(std::memory_order_seq_cst))
+      break;
+    beginTransition(Ctx);
+    Ctx.setState(ExecState::AtSafepoint);
+    endTransition(Ctx);
+  }
+  stampPoll(Ctx);
 }
 
 void ThreadRegistry::enterIdle(MutatorContext &Ctx) {
   assert(Ctx.state() == ExecState::Running && "nested idle region");
+  stampPoll(Ctx);
+  beginTransition(Ctx);
+  // Chaos: stretch the mid-transition window so handshake initiators
+  // observe a thread caught between execution states.
+  if (FI)
+    FI->maybePerturb(FaultSite::IdleTransitionStall);
   fence(FenceSite::StopTheWorld);
   Ctx.setState(ExecState::Idle);
+  endTransition(Ctx);
 }
 
 void ThreadRegistry::exitIdle(MutatorContext &Ctx, BitVector8 &AllocBits) {
   assert(Ctx.state() == ExecState::Idle && "not in an idle region");
-  // Do not come back to life in the middle of a stop-the-world.
-  if (StopRequested.load(std::memory_order_acquire)) {
-    std::unique_lock<std::mutex> Lock(ParkMutex);
-    ParkCV.wait(Lock, [this] {
-      return !StopRequested.load(std::memory_order_acquire);
-    });
+  // Do not come back to life in the middle of a stop-the-world. The
+  // wait keeps the transition seqlock even (state is still Idle, which
+  // is provably quiescent) — a blocked exitIdle must not read as a
+  // stalled transition.
+  for (;;) {
+    if (StopRequested.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> Lock(ParkMutex);
+      ParkCV.wait(Lock, [this] {
+        return !StopRequested.load(std::memory_order_acquire);
+      });
+    }
+    beginTransition(Ctx);
+    if (FI)
+      FI->maybePerturb(FaultSite::IdleTransitionStall);
+    Ctx.setState(ExecState::Running);
+    endTransition(Ctx);
+    // Dekker handoff with stopTheWorld(): each side orders its store
+    // before a sequentially consistent fence before its load, so either
+    // the initiator observes the Running state (and waits for this
+    // thread to park) or the load below observes the stop. Without it,
+    // a stop that began after the wait above could complete with this
+    // thread still counted quiescent-as-Idle — and the collector would
+    // sweep this context's allocation cache concurrently with the
+    // flush in this thread's first poll.
+    fence(FenceSite::StopTheWorld);
+    if (!StopRequested.load(std::memory_order_seq_cst))
+      break;
+    // A stop slipped in: revert to the provably quiescent state without
+    // touching the heap (in particular, no allocation-cache flush — the
+    // initiator may already own this context's cache) and wait for the
+    // resume.
+    beginTransition(Ctx);
+    Ctx.setState(ExecState::Idle);
+    endTransition(Ctx);
   }
-  Ctx.setState(ExecState::Running);
-  // A stop that began in the race window above is handled by this poll
-  // (and by every later poll the running code performs).
+  stampPoll(Ctx);
+  // A stop that begins from here on observes Running (the fence above
+  // proves it) and is handled by this poll or any later one.
   poll(Ctx, AllocBits);
+}
+
+void ThreadRegistry::reportStall(MutatorContext &Ctx, StallProtocol Protocol,
+                                 uint64_t NowNs, uint64_t Epoch) {
+  uint64_t Last = Ctx.LastPollNanos.load(std::memory_order_relaxed);
+  uint64_t PollAge = NowNs > Last ? NowNs - Last : 0;
+  uint64_t Ack = Ctx.HandshakeAck.load(std::memory_order_acquire);
+  uint64_t AckLag =
+      Protocol == StallProtocol::FenceHandshake && Epoch > Ack ? Epoch - Ack
+                                                               : 0;
+  uint64_t Meta = uint64_t(Ctx.debugId()) |
+                  (uint64_t(static_cast<uint8_t>(Protocol)) << 32) |
+                  (uint64_t(static_cast<uint8_t>(Ctx.state())) << 40);
+  uint64_t Slot =
+      StallCursor.fetch_add(1, std::memory_order_acq_rel) % StallRingSize;
+  std::atomic<uint64_t> *W = &StallWords[Slot * 4];
+  W[0].store(NowNs, std::memory_order_relaxed);
+  W[1].store(Meta, std::memory_order_relaxed);
+  W[2].store(PollAge, std::memory_order_relaxed);
+  W[3].store(AckLag, std::memory_order_release);
+  CGC_OBS_EVENT_P(Obs, HandshakeStall, Ctx.debugId(), PollAge);
+}
+
+static StallReport decodeStall(uint64_t T, uint64_t Meta, uint64_t PollAge,
+                               uint64_t AckLag) {
+  StallReport R;
+  R.TimeNs = T;
+  R.DebugId = static_cast<uint32_t>(Meta & 0xffffffffu);
+  R.Protocol = static_cast<StallProtocol>((Meta >> 32) & 0xff);
+  R.State = static_cast<ExecState>((Meta >> 40) & 0xff);
+  R.PollAgeNanos = PollAge;
+  R.AckLagEpochs = AckLag;
+  return R;
+}
+
+std::vector<StallReport> ThreadRegistry::recentStalls() const {
+  uint64_t End = StallCursor.load(std::memory_order_acquire);
+  uint64_t N = End < StallRingSize ? End : StallRingSize;
+  std::vector<StallReport> Out;
+  Out.reserve(N);
+  for (uint64_t I = 1; I <= N; ++I) {
+    uint64_t Slot = (End - I) % StallRingSize;
+    const std::atomic<uint64_t> *W = &StallWords[Slot * 4];
+    Out.push_back(decodeStall(W[0].load(std::memory_order_relaxed),
+                              W[1].load(std::memory_order_relaxed),
+                              W[2].load(std::memory_order_relaxed),
+                              W[3].load(std::memory_order_acquire)));
+  }
+  return Out;
+}
+
+bool ThreadRegistry::readStallSlot(unsigned I, StallReport &Out) const {
+  if (I >= StallRingSize)
+    return false;
+  const std::atomic<uint64_t> *W = &StallWords[I * 4];
+  uint64_t T = W[0].load(std::memory_order_relaxed);
+  uint64_t Meta = W[1].load(std::memory_order_relaxed);
+  if (T == 0 && Meta == 0)
+    return false; // never written
+  Out = decodeStall(T, Meta, W[2].load(std::memory_order_relaxed),
+                    W[3].load(std::memory_order_relaxed));
+  return true;
 }
 
 void ThreadRegistry::stopTheWorld(MutatorContext *Self,
@@ -96,6 +292,12 @@ void ThreadRegistry::stopTheWorld(MutatorContext *Self,
          "stop already in progress");
   StopRequested.store(true, std::memory_order_seq_cst);
   fence(FenceSite::StopTheWorld);
+  uint64_t StartNs = nowNanos();
+  // Deadline-aware wait: there is no safe way to proceed without the
+  // world actually stopped, so laggards are reported (not skipped) each
+  // elapsed grace period while the wait continues. The watchdog and the
+  // flight recorder read the reports; tests assert the attribution.
+  uint64_t NextWarnNs = StwGraceNanos ? StartNs + StwGraceNanos : 0;
   for (;;) {
     // Keep cooperating with a concurrent fence handshake: its registrar
     // may be one of the threads we are waiting to see parked.
@@ -115,9 +317,23 @@ void ThreadRegistry::stopTheWorld(MutatorContext *Self,
       }
     }
     if (AllStopped)
-      return;
+      break;
+    if (NextWarnNs) {
+      uint64_t Now = nowNanos();
+      if (Now >= NextWarnNs) {
+        {
+          SpinLockGuard Guard(ThreadsLock);
+          for (MutatorContext *Ctx : Threads)
+            if (Ctx != Self && Ctx->state() == ExecState::Running)
+              reportStall(*Ctx, StallProtocol::StopTheWorld, Now, 0);
+        }
+        StwStallWarningsV.fetch_add(1, std::memory_order_relaxed);
+        NextWarnNs += StwGraceNanos;
+      }
+    }
     std::this_thread::yield();
   }
+  CGC_OBS_PAUSE_P(Obs, StwEntry, nowNanos() - StartNs);
 }
 
 void ThreadRegistry::resumeTheWorld() {
@@ -130,12 +346,15 @@ void ThreadRegistry::resumeTheWorld() {
   ParkCV.notify_all();
 }
 
-void ThreadRegistry::requestFenceHandshake(MutatorContext *Self,
-                                           BitVector8 &AllocBits) {
+CooperationResult
+ThreadRegistry::requestFenceHandshake(MutatorContext *Self,
+                                      BitVector8 &AllocBits) {
   uint64_t Epoch = HandshakeEpoch.fetch_add(1, std::memory_order_seq_cst) + 1;
   fence(FenceSite::CardTableHandshake);
   if (Self)
     acknowledgeHandshake(*Self, AllocBits);
+  uint64_t StartNs = nowNanos();
+  uint64_t DeadlineNs = FenceGraceNanos ? StartNs + FenceGraceNanos : 0;
   for (;;) {
     bool Done = true;
     {
@@ -145,15 +364,35 @@ void ThreadRegistry::requestFenceHandshake(MutatorContext *Self,
           continue;
         // Parked and idle threads performed a fence on their way out of
         // Running and do no stores until they return; they count as
-        // acknowledged.
-        if (Ctx->state() != ExecState::Running)
+        // acknowledged — but only when the transition seqlock proves
+        // the exit from Running completed. A thread caught
+        // mid-transition is a laggard, never silently quiescent.
+        if (stableNonRunning(*Ctx))
           continue;
         Done = false;
         break;
       }
     }
-    if (Done)
-      return;
+    if (Done) {
+      CGC_OBS_PAUSE_P(Obs, FenceHandshake, nowNanos() - StartNs);
+      return CooperationResult::Ok;
+    }
+    if (DeadlineNs) {
+      uint64_t Now = nowNanos();
+      if (Now >= DeadlineNs) {
+        // Attribute the timeout to the exact unacknowledged contexts,
+        // then fail the pass: the caller recirculates and retries.
+        {
+          SpinLockGuard Guard(ThreadsLock);
+          for (MutatorContext *Ctx : Threads)
+            if (Ctx->HandshakeAck.load(std::memory_order_acquire) < Epoch &&
+                !stableNonRunning(*Ctx))
+              reportStall(*Ctx, StallProtocol::FenceHandshake, Now, Epoch);
+        }
+        FenceTimeoutsV.fetch_add(1, std::memory_order_relaxed);
+        return CooperationResult::Timeout;
+      }
+    }
     std::this_thread::yield();
   }
 }

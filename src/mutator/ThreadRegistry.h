@@ -16,6 +16,31 @@
 ///     are quiescent (their last transition fenced) and count as
 ///     acknowledged.
 ///
+/// ## Stall defense (DESIGN.md §13)
+///
+/// Both protocols lean entirely on mutator cooperation, so a thread
+/// stuck in a syscall or refusing to poll would stall them forever.
+/// When configured with grace periods (configureStallDefense, wired from
+/// GcOptions), the waits become deadline-aware:
+///
+///  * stopTheWorld keeps waiting (there is no safe way to proceed
+///    without the world actually stopped) but, each elapsed grace
+///    period, identifies the exact still-running contexts, records
+///    typed StallReports and HandshakeStall events, and bumps a warning
+///    counter the watchdog and flight recorder can read.
+///
+///  * requestFenceHandshake returns CooperationResult::Timeout past its
+///    grace period instead of spinning forever; the caller must fail
+///    its pass and recirculate (CardCleaner keeps its registration
+///    pending; the deferred-packet redistribution simply retries
+///    later). A non-Running thread counts as quiescent only when its
+///    TransitionSeq seqlock proves the state transition — and its
+///    fence — completed; a thread caught mid-transition is a laggard.
+///
+/// Every wait's entry latency is recorded into the observer's StwEntry /
+/// FenceHandshake pause histograms, so stall regressions show up in the
+/// bench JSON long before a timeout fires.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CGC_MUTATOR_THREADREGISTRY_H
@@ -34,12 +59,61 @@
 namespace cgc {
 
 class BitVector8;
+class FaultInjector;
+class GcObserver;
+
+/// Why a deadline-aware cooperation wait returned.
+enum class CooperationResult {
+  /// Every thread cooperated (or is provably quiescent).
+  Ok,
+  /// The grace period elapsed with laggards outstanding; the caller
+  /// must fail its pass and retry later — never silently proceed.
+  Timeout
+};
+
+/// Which cooperation protocol a stall was detected in.
+enum class StallProtocol : uint8_t { StopTheWorld = 0, FenceHandshake = 1 };
+
+/// One laggard observed past a cooperation grace period. Reports carry
+/// copied data, never context pointers: a report must stay valid after
+/// the laggard detaches (the detach-mid-handshake case).
+struct StallReport {
+  /// nowNanos() at detection.
+  uint64_t TimeNs = 0;
+  /// debugId() of the laggard context.
+  uint32_t DebugId = 0;
+  /// Protocol the laggard stalled.
+  StallProtocol Protocol = StallProtocol::StopTheWorld;
+  /// Execution state at detection.
+  ExecState State = ExecState::Running;
+  /// Nanoseconds since the laggard's last cooperation point.
+  uint64_t PollAgeNanos = 0;
+  /// Fence handshakes the laggard is behind (0 for stop-the-world).
+  uint64_t AckLagEpochs = 0;
+};
 
 /// Registry of attached mutators plus the safepoint/handshake machinery.
 class ThreadRegistry {
 public:
-  /// Adds \p Ctx to the registry. Caller must ensure no collection is in
-  /// progress (the runtime holds the collection lock).
+  /// Capacity of the lock-free context snapshot table the flight
+  /// recorder walks (threads beyond this are tracked normally but do
+  /// not appear in crash dumps).
+  static constexpr unsigned MaxSnapshotSlots = 64;
+  /// Capacity of the stall-report ring (drop-oldest).
+  static constexpr unsigned StallRingSize = 32;
+
+  /// Arms the deadline-aware waits. \p StwGraceNanos / \p
+  /// FenceGraceNanos of 0 disable the respective deadline (legacy
+  /// unbounded waits). \p FI (optional) arms the non-cooperation
+  /// injection sites; \p Obs (optional) receives HandshakeStall events
+  /// and the StwEntry / FenceHandshake latency histograms. Call before
+  /// threads attach (the runtime configures it at heap construction).
+  void configureStallDefense(uint64_t StwGraceNanos, uint64_t FenceGraceNanos,
+                             FaultInjector *FI, GcObserver *Obs);
+
+  /// Adds \p Ctx to the registry and assigns its debug id. Caller must
+  /// ensure no collection is in progress (the runtime holds the
+  /// collection lock).
   void attach(MutatorContext *Ctx);
 
   /// Removes \p Ctx. Same locking requirement as attach().
@@ -73,7 +147,9 @@ public:
   /// thread). Only one stop may be in progress (the runtime's collection
   /// lock serializes initiators). While waiting, \p Self keeps
   /// acknowledging fence handshakes so a concurrent card-cleaning
-  /// registrar cannot deadlock against the initiator.
+  /// registrar cannot deadlock against the initiator. Deadline-aware:
+  /// past each elapsed StwGrace period the still-running laggards are
+  /// reported (see the file header) while the wait continues.
   void stopTheWorld(MutatorContext *Self, BitVector8 &AllocBits);
 
   /// Releases a stop; parked threads resume.
@@ -87,13 +163,67 @@ public:
   /// --- Ragged fence handshake (collector side) ------------------------
 
   /// Bumps the handshake epoch and blocks until every attached thread
-  /// has fenced (directly, or implicitly by being parked/idle).
-  /// \p Self (may be null) acknowledges inline.
-  void requestFenceHandshake(MutatorContext *Self, BitVector8 &AllocBits);
+  /// has fenced (directly, or provably-quiescent by a completed
+  /// transition out of Running). \p Self (may be null) acknowledges
+  /// inline. Returns Timeout once the fence grace period elapses with
+  /// unacknowledged threads outstanding (never with the grace disabled);
+  /// the caller must treat the fence as NOT executed and recirculate.
+  CooperationResult requestFenceHandshake(MutatorContext *Self,
+                                          BitVector8 &AllocBits);
+
+  /// --- Stall-defense introspection ------------------------------------
+
+  /// Stop-the-world grace periods that elapsed with laggards running.
+  uint64_t stwStallWarnings() const {
+    return StwStallWarningsV.load(std::memory_order_relaxed);
+  }
+  /// Fence handshakes that returned Timeout.
+  uint64_t fenceTimeouts() const {
+    return FenceTimeoutsV.load(std::memory_order_relaxed);
+  }
+  /// Total stall reports recorded (ring may have dropped old ones).
+  uint64_t stallReportCount() const {
+    return StallCursor.load(std::memory_order_acquire);
+  }
+  /// The most recent stall reports, newest first (racy snapshot; exact
+  /// when no wait is currently reporting).
+  std::vector<StallReport> recentStalls() const;
+
+  /// --- Flight-recorder access (async-signal-safe) ---------------------
+
+  /// Runs \p Fn over the lock-free context snapshot table. Safe from a
+  /// signal handler: no locks, pointer slots are published with release
+  /// stores and cleared before a context is destroyed (detach holds the
+  /// collection lock, so a crash dump racing detach reads either the
+  /// live context or null). Fn must itself be signal-safe.
+  template <typename FnT> void forEachSnapshotSlot(FnT Fn) const {
+    for (unsigned I = 0; I < MaxSnapshotSlots; ++I)
+      if (MutatorContext *Ctx =
+              SnapshotSlots[I].load(std::memory_order_acquire))
+        Fn(*Ctx);
+  }
+
+  /// Reads stall-report ring entry \p I (0 = oldest slot position) into
+  /// \p Out without locks; may be torn while a reporter races (crash
+  /// dumps accept that). Returns false for a never-written slot.
+  bool readStallSlot(unsigned I, StallReport &Out) const;
+
+  /// Current handshake epoch (for reports).
+  uint64_t handshakeEpoch() const {
+    return HandshakeEpoch.load(std::memory_order_acquire);
+  }
 
 private:
   void acknowledgeHandshake(MutatorContext &Ctx, BitVector8 &AllocBits);
   void park(MutatorContext &Ctx);
+  /// Whether \p Ctx is provably quiescent: non-Running with an even,
+  /// unchanged TransitionSeq around the state read.
+  static bool stableNonRunning(MutatorContext &Ctx);
+  /// Stamps \p Ctx's cooperation timestamp.
+  static void stampPoll(MutatorContext &Ctx);
+  /// Records one laggard into the stall ring + observer event stream.
+  void reportStall(MutatorContext &Ctx, StallProtocol Protocol,
+                   uint64_t NowNs, uint64_t Epoch);
 
   mutable SpinLock ThreadsLock;
   std::vector<MutatorContext *> Threads CGC_GUARDED_BY(ThreadsLock);
@@ -105,6 +235,37 @@ private:
 
   std::mutex ParkMutex;
   std::condition_variable ParkCV;
+
+  /// --- Stall defense --------------------------------------------------
+
+  // Configured once at heap construction, before any thread attaches
+  // (plain fields; read-only afterwards).
+  uint64_t StwGraceNanos = 0;
+  uint64_t FenceGraceNanos = 0;
+  FaultInjector *FI = nullptr;
+  GcObserver *Obs = nullptr;
+
+  CGC_ATOMIC_DOC("attach bumps relaxed; ids are never reused")
+  std::atomic<uint32_t> NextDebugId{1};
+  CGC_ATOMIC_DOC("initiators add relaxed; tests/watchdog read racily")
+  std::atomic<uint64_t> StwStallWarningsV{0};
+  CGC_ATOMIC_DOC("initiators add relaxed; watchdog strike check reads racily")
+  std::atomic<uint64_t> FenceTimeoutsV{0};
+
+  // Stall-report ring: plain atomic words (4 per report) so the crash
+  // handler can read it without locks; reporters claim slots with a
+  // fetch_add cursor. Torn reads are possible and accepted (post-mortem
+  // data); quiescent readers (tests) see exact values.
+  CGC_ATOMIC_DOC("reporter claims slot via cursor; relaxed word stores")
+  std::atomic<uint64_t> StallWords[StallRingSize * 4] = {};
+  CGC_ATOMIC_DOC("reporters fetch_add release; readers acquire")
+  std::atomic<uint64_t> StallCursor{0};
+
+  // Lock-free context snapshot table for the flight recorder: attach
+  // publishes a slot (release), detach clears it. The crash handler
+  // never takes ThreadsLock.
+  CGC_ATOMIC_DOC("attach CAS-publishes, detach clears; handler acquire-scans")
+  std::atomic<MutatorContext *> SnapshotSlots[MaxSnapshotSlots] = {};
 };
 
 } // namespace cgc

@@ -46,6 +46,10 @@ const char *cgc::eventKindName(EventKind Kind) {
     return "compaction";
   case EventKind::CompactionEnd:
     return "compaction_end";
+  case EventKind::HandshakeStall:
+    return "handshake_stall";
+  case EventKind::HandshakeAbort:
+    return "handshake_abort";
   case EventKind::NumKinds:
     break;
   }

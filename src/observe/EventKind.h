@@ -102,6 +102,16 @@ enum class EventKind : uint16_t {
   /// place (pinned + failed moves).
   CompactionEnd,
 
+  // --- Cooperation-stall defense ----------------------------------------
+  /// A cooperation grace period elapsed with a laggard outstanding (one
+  /// event per laggard per elapsed grace period). Arg0 = laggard
+  /// debugId, Arg1 = nanoseconds since its last cooperation point.
+  HandshakeStall,
+  /// The watchdog aborted a concurrent cycle to STW-finish because fence
+  /// handshakes kept timing out. Arg0 = fence timeouts this cycle,
+  /// Arg1 = configured strike limit.
+  HandshakeAbort,
+
   NumKinds
 };
 

@@ -135,6 +135,29 @@ public:
     return Dropped;
   }
 
+  /// Runs \p Fn over (at most) the newest \p MaxEvents resident records,
+  /// oldest-first, without consuming them (ReadCursor is untouched).
+  /// Async-signal-safe: no locks, no allocation — the flight recorder
+  /// calls this from a crash handler. Records racing the producer may be
+  /// torn; crash dumps accept that.
+  template <typename FnT> void peekTail(uint32_t MaxEvents, FnT Fn) const {
+    uint64_t End = WriteCursor.load(std::memory_order_acquire);
+    uint64_t N = End < MaxEvents ? End : MaxEvents;
+    if (N > Cap)
+      N = Cap;
+    for (uint64_t I = End - N; I != End; ++I) {
+      const auto *Slot = &Slots[(I & Mask) * WordsPerEvent];
+      EventRecord R;
+      R.TimeNs = Slot[0].load(std::memory_order_relaxed);
+      uint64_t Meta = Slot[1].load(std::memory_order_relaxed);
+      R.ThreadId = static_cast<uint32_t>(Meta >> 16);
+      R.Kind = static_cast<EventKind>(Meta & 0xffff);
+      R.Arg0 = Slot[2].load(std::memory_order_relaxed);
+      R.Arg1 = Slot[3].load(std::memory_order_relaxed);
+      Fn(R);
+    }
+  }
+
   /// Total records overwritten before being drained, over the ring's
   /// lifetime (updated at drain time).
   uint64_t droppedCount() const {

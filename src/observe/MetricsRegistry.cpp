@@ -75,6 +75,10 @@ const char *cgc::pauseMetricName(PauseMetric Metric) {
     return "sweep";
   case PauseMetric::IncQuantum:
     return "inc_quantum";
+  case PauseMetric::StwEntry:
+    return "stw_entry";
+  case PauseMetric::FenceHandshake:
+    return "fence_handshake";
   case PauseMetric::NumMetrics:
     break;
   }

@@ -99,6 +99,12 @@ enum class PauseMetric : uint8_t {
   Sweep,
   /// One mutator incremental-tracing quantum.
   IncQuantum,
+  /// Stop-the-world entry latency: request to all-threads-parked
+  /// (cooperation health; a stalling mutator shows up here first).
+  StwEntry,
+  /// Ragged fence-handshake completion latency (successful handshakes
+  /// only; timeouts are counted separately by the registry).
+  FenceHandshake,
   NumMetrics
 };
 

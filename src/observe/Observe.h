@@ -97,6 +97,18 @@ public:
     return NumRings.load(std::memory_order_acquire);
   }
 
+  /// Handler-safe ring access for the flight recorder: ring \p I, or
+  /// null when fewer rings exist. Never takes RingLock — the acquire
+  /// load of the release-published ring count makes the slot's pointer
+  /// store visible, and rings are never destroyed before the observer
+  /// (whose destruction the crash handler cannot race: the recorder is
+  /// uninstalled first).
+  const EventRing *ringAt(uint32_t I) const CGC_NO_THREAD_SAFETY_ANALYSIS {
+    if (I >= NumRings.load(std::memory_order_acquire))
+      return nullptr;
+    return Rings[I].get();
+  }
+
 private:
   /// The calling thread's ring for this observer, or nullptr when the
   /// ring table is full. Cached in a thread_local keyed by a
@@ -153,6 +165,15 @@ private:
           .record(static_cast<uint64_t>(Nanos));                               \
   } while (0)
 
+/// Pointer form of CGC_OBS_PAUSE: \p ObsPtr may be null.
+#define CGC_OBS_PAUSE_P(ObsPtr, Metric, Nanos)                                 \
+  do {                                                                         \
+    if ((ObsPtr) != nullptr && (ObsPtr)->enabled())                            \
+      (ObsPtr)->metrics()                                                      \
+          .histogram(::cgc::PauseMetric::Metric)                               \
+          .record(static_cast<uint64_t>(Nanos));                               \
+  } while (0)
+
 /// Timestamp for observability-only duration measurements: reads the
 /// clock only when the observer is enabled, 0 otherwise (and a literal
 /// 0 when instrumentation is compiled out, so dependent code folds
@@ -179,6 +200,11 @@ private:
 #define CGC_OBS_PAUSE(Obs, Metric, Nanos)                                      \
   do {                                                                         \
     (void)sizeof(&(Obs));                                                      \
+    (void)sizeof(Nanos);                                                       \
+  } while (0)
+#define CGC_OBS_PAUSE_P(ObsPtr, Metric, Nanos)                                 \
+  do {                                                                         \
+    (void)sizeof(ObsPtr);                                                      \
     (void)sizeof(Nanos);                                                       \
   } while (0)
 #define CGC_OBS_NOW(Obs) 0ull

@@ -3,6 +3,7 @@
 #include "runtime/GcHeap.h"
 
 #include "gc/ConcurrentCollector.h"
+#include "gc/FlightRecorder.h"
 #include "gc/StwCollector.h"
 
 #include <algorithm>
@@ -18,6 +19,8 @@ GcHeap::GcHeap(const GcOptions &Options)
     Col = std::make_unique<ConcurrentCollector>(Core);
   else
     Col = std::make_unique<StwCollector>(Core);
+  if (Options.FlightRecorder)
+    FlightRecorder::install(&Core, Options.FlightRecorderFd);
 }
 
 std::unique_ptr<GcHeap> GcHeap::create(const GcOptions &Options) {
@@ -34,6 +37,10 @@ std::unique_ptr<GcHeap> GcHeap::create(const GcOptions &Options) {
 }
 
 GcHeap::~GcHeap() {
+  // Unregister from the crash handler FIRST: a fatal signal during
+  // teardown must not walk a half-destroyed core.
+  if (Core.Options.FlightRecorder)
+    FlightRecorder::uninstall(&Core);
   Col->shutdown();
   assert(Core.Registry.numThreads() == 0 &&
          "threads still attached at heap teardown");

@@ -37,10 +37,21 @@ const char *cgc::faultSiteName(FaultSite Site) {
     return "worker-dispatch";
   case FaultSite::CompactorTargetAlloc:
     return "compactor-target-alloc";
+  case FaultSite::MutatorPollSkip:
+    return "mutator-poll-skip";
+  case FaultSite::IdleTransitionStall:
+    return "idle-transition-stall";
+  case FaultSite::MutatorDetach:
+    return "mutator-detach";
   case FaultSite::NumSites:
     break;
   }
   return "unknown";
+}
+
+uint32_t FaultInjector::burstLength(FaultSite S) const {
+  SpinLockGuard Guard(PlanLock);
+  return Plan.Sites[static_cast<unsigned>(S)].BurstLength;
 }
 
 void FaultInjector::reconfigure(const FaultPlan &NewPlan) {

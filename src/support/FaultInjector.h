@@ -82,6 +82,22 @@ enum class FaultSite : unsigned {
   /// and is counted as a failed move; compaction degrades gracefully
   /// instead of aborting).
   CompactorTargetAlloc,
+  /// ThreadRegistry::poll — the mutator skips this cooperation point
+  /// entirely (no handshake acknowledgement, no safepoint park). With
+  /// BurstLength configured, one hit opens a per-thread burst: that
+  /// mutator skips its next BurstLength visits too, simulating a thread
+  /// wedged in a long syscall or native loop. Drives the timed-handshake
+  /// stall defense.
+  MutatorPollSkip,
+  /// Perturb-only: stretch the mid-transition window of
+  /// ThreadRegistry::enterIdle/exitIdle (the odd span of the context's
+  /// TransitionSeq seqlock), so handshake initiators observe threads
+  /// caught between execution states.
+  IdleTransitionStall,
+  /// Decision site consulted by chaos workloads: detach the mutator
+  /// mid-cycle and reattach it, exercising registry membership churn
+  /// against in-flight handshakes.
+  MutatorDetach,
   NumSites
 };
 
@@ -99,6 +115,11 @@ struct FaultSiteConfig {
   uint32_t YieldCount = 0;
   /// Forced stall (microseconds) on every visit to the site.
   uint32_t StallMicros = 0;
+  /// Non-cooperation burst: when a failure decision hits, the affected
+  /// actor keeps failing for this many further visits of its own (0 =
+  /// single-shot). Consumed per-thread by the MutatorPollSkip site (the
+  /// thread that drew the hit skips its next BurstLength polls).
+  uint32_t BurstLength = 0;
 };
 
 /// A full injection plan: the GcOptions knob for chaos mode.
@@ -136,6 +157,10 @@ struct FaultPlan {
     site(S).YieldCount = Yields;
     site(S).StallMicros = StallMicros;
     Enabled = true;
+    return *this;
+  }
+  FaultPlan &burst(FaultSite S, uint32_t Length) {
+    site(S).BurstLength = Length;
     return *this;
   }
 };
@@ -197,6 +222,9 @@ public:
     return Perturbed[static_cast<unsigned>(S)].load(
         std::memory_order_relaxed);
   }
+  /// The configured burst length of \p S (cold; callers read it only
+  /// after a hit, to size their per-actor non-cooperation window).
+  uint32_t burstLength(FaultSite S) const;
   /// Total failures injected across all sites.
   uint64_t totalInjected() const;
 

@@ -1,0 +1,83 @@
+//===- SigSafe.h - Async-signal-safe output helpers -------------*- C++ -*-===//
+///
+/// \file
+/// Formatting helpers usable from signal handlers (the GC flight
+/// recorder dumps its crash report through these). Everything here obeys
+/// the async-signal-safety rules: no allocation, no locks, no stdio, no
+/// errno-clobbering beyond write(2) — just fixed-size stack buffers and
+/// direct write() calls, with short writes and EINTR retried.
+///
+/// The helpers deliberately mirror the subset of printf the flight
+/// recorder needs (strings, decimal and hex integers) rather than
+/// re-implementing format strings: a handler running after memory
+/// corruption should execute as little cleverness as possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_SIGSAFE_H
+#define CGC_SUPPORT_SIGSAFE_H
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+
+#include <unistd.h>
+
+namespace cgc {
+
+/// Writes \p Len bytes of \p Buf to \p Fd, retrying short writes and
+/// EINTR. Errors other than EINTR abandon the write (a crash dump must
+/// never loop forever on a dead descriptor).
+inline void sigSafeWrite(int Fd, const char *Buf, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Buf, Len);
+    if (N < 0) {
+      // Reading errno is async-signal-safe (handlers must only
+      // save/restore it, which our callers do not need: the process is
+      // about to die).
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (N == 0)
+      return;
+    Buf += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+/// Writes a NUL-terminated string.
+inline void sigSafeWriteStr(int Fd, const char *S) {
+  size_t Len = 0;
+  while (S[Len] != '\0')
+    ++Len;
+  sigSafeWrite(Fd, S, Len);
+}
+
+/// Writes \p V in decimal.
+inline void sigSafeWriteDec(int Fd, uint64_t V) {
+  char Buf[24];
+  size_t I = sizeof(Buf);
+  do {
+    Buf[--I] = static_cast<char>('0' + V % 10);
+    V /= 10;
+  } while (V != 0);
+  sigSafeWrite(Fd, Buf + I, sizeof(Buf) - I);
+}
+
+/// Writes \p V as 0x-prefixed lowercase hex.
+inline void sigSafeWriteHex(int Fd, uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  char Buf[18];
+  size_t I = sizeof(Buf);
+  do {
+    Buf[--I] = Digits[V & 0xf];
+    V >>= 4;
+  } while (V != 0);
+  sigSafeWrite(Fd, "0x", 2);
+  sigSafeWrite(Fd, Buf + I, sizeof(Buf) - I);
+}
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_SIGSAFE_H

@@ -46,7 +46,7 @@ void PacketPool::pushTo(SubPool &SP, WorkPacket *Packet) {
       SP.Head, std::memory_order_relaxed, std::memory_order_release,
       std::memory_order_relaxed,
       [&](TaggedHead Old) -> std::optional<TaggedHead> {
-        Packet->Next = headIndex(Old);
+        Packet->Next.store(headIndex(Old), std::memory_order_relaxed);
         return makeHead(Index + 1, static_cast<uint32_t>(Old >> 32) + 1);
       },
       [&] {
@@ -59,7 +59,8 @@ void PacketPool::pushTo(SubPool &SP, WorkPacket *Packet) {
 WorkPacket *PacketPool::popFrom(SubPool &SP) {
   // Treiber pop: reading Packet->Next for a packet another thread may
   // concurrently pop-and-repush is safe because a stale link makes the
-  // tagged CAS fail (the tag advanced), never corrupts the stack.
+  // tagged CAS fail (the tag advanced), never corrupts the stack. The
+  // link is atomic (relaxed) purely to keep that read defined.
   std::optional<TaggedHead> Popped = atomicCasLoop(
       SP.Head, std::memory_order_acquire, std::memory_order_acquire,
       std::memory_order_acquire,
@@ -68,7 +69,8 @@ WorkPacket *PacketPool::popFrom(SubPool &SP) {
         if (IndexPlus1 == 0)
           return std::nullopt; // Stack observed empty: give up.
         WorkPacket *Packet = &Packets[IndexPlus1 - 1];
-        return makeHead(Packet->Next, static_cast<uint32_t>(Old >> 32) + 1);
+        return makeHead(Packet->Next.load(std::memory_order_relaxed),
+                        static_cast<uint32_t>(Old >> 32) + 1);
       },
       [&] {
         if (FI)

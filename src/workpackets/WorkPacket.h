@@ -13,6 +13,7 @@
 #ifndef CGC_WORKPACKETS_WORKPACKET_H
 #define CGC_WORKPACKETS_WORKPACKET_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 
@@ -64,8 +65,12 @@ private:
   friend class PacketPool;
 
   /// Intrusive link for the owning sub-pool list: (index of next packet
-  /// + 1), or 0 for end-of-list. Only touched inside pool CAS sections.
-  uint32_t Next = 0;
+  /// + 1), or 0 for end-of-list. Only touched inside pool CAS sections,
+  /// but atomic nonetheless: a Treiber pop may read the link of a packet
+  /// that a concurrent pop-and-repush is relinking. The stale value is
+  /// always discarded (the tagged-head CAS fails), so relaxed accesses
+  /// suffice — the atomic only keeps the benign race defined.
+  std::atomic<uint32_t> Next{0};
   uint32_t Count = 0;
   /// Sub-pool the packet was last acquired from (a PacketSubPool value;
   /// observability only). Written by the pool while the packet is

@@ -12,6 +12,8 @@
 #ifndef CGC_TESTS_TESTSEED_H
 #define CGC_TESTS_TESTSEED_H
 
+#include <gtest/gtest.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +38,33 @@ inline uint64_t testSeed(uint64_t Default, const char *Label) {
                Label, static_cast<unsigned long long>(Seed));
   return Seed;
 }
+
+/// RAII guard for randomized tests: if the enclosing gtest test has
+/// failed by the time the guard goes out of scope, the effective seed is
+/// printed AGAIN, adjacent to the failure output. Chaos tests emit a lot
+/// of log between the testSeed() banner and an eventual assertion
+/// failure; the repro line must be the last thing a triager reads, not
+/// the first thing scrolled away.
+class ScopedSeedLog {
+public:
+  ScopedSeedLog(uint64_t Seed, const char *Label)
+      : Seed(Seed), Label(Label) {}
+  ~ScopedSeedLog() {
+    if (::testing::Test::HasFailure())
+      std::fprintf(
+          stderr, "[ cgc ] %s: FAILED with CGC_SEED=%llu — rerun with "
+                  "CGC_SEED=%llu to reproduce\n",
+          Label, static_cast<unsigned long long>(Seed),
+          static_cast<unsigned long long>(Seed));
+  }
+
+  ScopedSeedLog(const ScopedSeedLog &) = delete;
+  ScopedSeedLog &operator=(const ScopedSeedLog &) = delete;
+
+private:
+  uint64_t Seed;
+  const char *Label;
+};
 
 } // namespace cgc
 

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -350,6 +351,16 @@ TEST(FaultInjectionTest, ExhaustionReturnsNullThenRecovers) {
 
 TEST(FaultInjectionTest, ChaosSoak) {
   uint64_t Seed = testSeed(0xc4a05, "FaultInjectionTest.ChaosSoak");
+  ScopedSeedLog SeedLog(Seed, "FaultInjectionTest.ChaosSoak");
+
+  // The nightly CI chaos job stretches the soak via the environment; the
+  // default stays sized for the normal ctest run.
+  int ItersPerThread = 5000;
+  if (const char *Env = std::getenv("CGC_CHAOS_ITERS")) {
+    long Iters = std::strtol(Env, nullptr, 10);
+    if (Iters > 0)
+      ItersPerThread = static_cast<int>(Iters);
+  }
 
   // Small heap + many short-lived objects: the soak spends most of its
   // time in GC-triggering territory while faults land in every subsystem.
@@ -370,6 +381,13 @@ TEST(FaultInjectionTest, ChaosSoak) {
       .failWithProbability(FaultSite::CardCleanStep, 1e-2)
       .failWithProbability(FaultSite::TracerStep, 5e-3)
       .failWithProbability(FaultSite::WorkerDispatch, 1e-2)
+      // Non-cooperation chaos (DESIGN.md §13): skipped-poll bursts delay
+      // handshake acks, idle transitions stretch mid-seqlock, and
+      // mutators vanish mid-cycle (consulted test-side below).
+      .failWithProbability(FaultSite::MutatorPollSkip, 2e-2)
+      .burst(FaultSite::MutatorPollSkip, 32)
+      .failWithProbability(FaultSite::MutatorDetach, 1e-2)
+      .perturb(FaultSite::IdleTransitionStall, 1)
       .perturb(FaultSite::PacketCas, 1)
       .perturb(FaultSite::AllocCacheFlush, 1);
   auto Heap = GcHeap::create(Opts);
@@ -379,7 +397,6 @@ TEST(FaultInjectionTest, ChaosSoak) {
   // injection. Allocation failures are tolerated (counted, never fatal);
   // payload nonces catch corruption.
   constexpr int NumThreads = 3;
-  constexpr int ItersPerThread = 5000;
   std::atomic<uint64_t> Iterations{0};
   std::atomic<uint64_t> FailedAllocs{0};
   std::atomic<uint64_t> IntegrityFailures{0};
@@ -387,9 +404,9 @@ TEST(FaultInjectionTest, ChaosSoak) {
   std::vector<std::thread> Threads;
   for (int T = 0; T < NumThreads; ++T)
     Threads.emplace_back([&, T] {
-      MutatorContext &Ctx = Heap->attachThread();
+      MutatorContext *Ctx = &Heap->attachThread();
       constexpr size_t RingSize = 64;
-      Ctx.reserveRoots(RingSize);
+      Ctx->reserveRoots(RingSize);
       std::vector<Object *> Ring(RingSize, nullptr);
       std::vector<uint64_t> Nonce(RingSize, 0);
       Random Rng(Seed * 41 + static_cast<uint64_t>(T));
@@ -401,13 +418,25 @@ TEST(FaultInjectionTest, ChaosSoak) {
         // Force extra concurrent phases: organic kickoff alone leaves
         // most of the run idle, and idle chaos tests nothing.
         if (I % 500 == 250)
-          Concurrent.startConcurrentCycle(&Ctx);
+          Concurrent.startConcurrentCycle(Ctx);
         // Thread 0 also runs cycles to completion so the completed-cycle
         // assertion below holds on any core count; on a single CPU an
         // open concurrent phase can outlive the whole loop otherwise.
         if (T == 0 && I % 1000 == 750)
-          Heap->requestGC(&Ctx);
-        Object *Obj = Heap->allocate(Ctx, Payload, 2);
+          Heap->requestGC(Ctx);
+        // MutatorDetach chaos: the thread vanishes mid-cycle and comes
+        // back as a fresh context. Its roots die with the old context,
+        // so the ring restarts empty (dangling Ring entries would be
+        // integrity failures, not chaos).
+        if (I % 64 == 0 &&
+            Heap->core().Inject.shouldFail(FaultSite::MutatorDetach)) {
+          Heap->detachThread(*Ctx);
+          std::fill(Ring.begin(), Ring.end(), nullptr);
+          std::fill(Nonce.begin(), Nonce.end(), 0);
+          Ctx = &Heap->attachThread();
+          Ctx->reserveRoots(RingSize);
+        }
+        Object *Obj = Heap->allocate(*Ctx, Payload, 2);
         if (!Obj) {
           FailedAllocs.fetch_add(1, std::memory_order_relaxed);
           Iterations.fetch_add(1, std::memory_order_relaxed);
@@ -424,21 +453,22 @@ TEST(FaultInjectionTest, ChaosSoak) {
             IntegrityFailures.fetch_add(1, std::memory_order_relaxed);
           // Cross-link into a survivor to exercise the write barrier on
           // old objects during concurrent phases.
-          Heap->writeRef(Ctx, Obj, 0, Old);
+          Heap->writeRef(*Ctx, Obj, 0, Old);
         }
         Ring[Slot] = Obj;
         Nonce[Slot] = Tag;
-        Ctx.setRoot(Slot, Obj);
+        Ctx->setRoot(Slot, Obj);
         if (I % 256 == 0)
-          Heap->safepointPoll(Ctx);
+          Heap->safepointPoll(*Ctx);
         Iterations.fetch_add(1, std::memory_order_relaxed);
       }
-      Heap->detachThread(Ctx);
+      Heap->detachThread(*Ctx);
     });
   for (std::thread &T : Threads)
     T.join();
 
-  EXPECT_GE(Iterations.load(), 10000u);
+  EXPECT_GE(Iterations.load(), static_cast<uint64_t>(NumThreads) *
+                                   static_cast<uint64_t>(ItersPerThread));
   EXPECT_EQ(IntegrityFailures.load(), 0u);
   EXPECT_GT(Heap->core().Inject.totalInjected(), 0u);
   EXPECT_GE(Heap->completedCycles(), 3u);

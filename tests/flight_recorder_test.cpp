@@ -1,0 +1,205 @@
+//===- flight_recorder_test.cpp - signal-safe GC crash dump ---------------===//
+///
+/// \file
+/// The flight recorder (DESIGN.md §13) dumps cycle phase, the per-thread
+/// cooperation table, stall reports, pacer windows, ladder counters and
+/// event-ring tails on SIGSEGV/SIGABRT. Two kinds of coverage:
+///
+///  * death tests: a crashing process with GcOptions::FlightRecorder set
+///    really emits the report to stderr before dying with the original
+///    signal (gtest's death-test harness still sees the abort);
+///  * a parse test: dumpNow()'s report is well-formed line-oriented
+///    `record key=value...` text, includes the records the ISSUE asks
+///    for (threads, stalls, pacer, ladder), and lands in $CGC_FLIGHT_OUT
+///    when CI wants it as an artifact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/FlightRecorder.h"
+#include "mutator/ThreadRegistry.h"
+#include "runtime/GcHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace cgc;
+
+namespace {
+
+GcOptions recorderOptions() {
+  GcOptions Opts;
+  Opts.Kind = CollectorKind::MostlyConcurrent;
+  Opts.HeapBytes = 8u << 20;
+  Opts.BackgroundThreads = 1;
+  Opts.GcWorkerThreads = 2;
+  Opts.NumWorkPackets = 64;
+  return Opts;
+}
+
+/// Splits \p Text into lines (discarding a trailing partial line, which
+/// cannot happen here: every record ends in '\n').
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  for (size_t I = 0; I < Text.size(); ++I)
+    if (Text[I] == '\n') {
+      Lines.push_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  return Lines;
+}
+
+size_t countPrefixed(const std::vector<std::string> &Lines,
+                     const char *Prefix) {
+  size_t N = 0;
+  for (const std::string &L : Lines)
+    if (L.rfind(Prefix, 0) == 0)
+      ++N;
+  return N;
+}
+
+TEST(FlightRecorderTest, DumpNowReportIsWellFormed) {
+  GcOptions Opts = recorderOptions();
+  Opts.Observe = true; // Event rings show up as ring/ev records.
+  Opts.FenceGraceMicros = 20000;
+  auto Heap = GcHeap::create(Opts);
+
+  MutatorContext &Ctx = Heap->attachThread();
+  Ctx.reserveRoots(8);
+  for (size_t I = 0; I < 8; ++I)
+    if (Object *Obj = Heap->allocate(Ctx, 512, 1))
+      Ctx.setRoot(I, Obj);
+
+  // A wedged second thread forces a fence timeout so the dump contains
+  // stall records — the whole point of a flight recorder.
+  std::atomic<bool> Attached{false};
+  std::atomic<bool> Release{false};
+  std::thread Laggard([&] {
+    MutatorContext &LCtx = Heap->attachThread();
+    Attached.store(true, std::memory_order_release);
+    while (!Release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    Heap->detachThread(LCtx);
+  });
+  while (!Attached.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  EXPECT_EQ(Heap->core().Registry.requestFenceHandshake(
+                &Ctx, Heap->core().Heap.allocBits()),
+            CooperationResult::Timeout);
+
+  int Fds[2];
+  ASSERT_EQ(pipe(Fds), 0);
+  FlightRecorder::dumpNow(&Heap->core(), Fds[1], /*Signal=*/0);
+  close(Fds[1]);
+  std::string Report;
+  char Buf[4096];
+  for (ssize_t N; (N = read(Fds[0], Buf, sizeof(Buf))) > 0;)
+    Report.append(Buf, static_cast<size_t>(N));
+  close(Fds[0]);
+
+  Release.store(true, std::memory_order_release);
+  Laggard.join();
+
+  // CI collects the report as an artifact when asked.
+  if (const char *Out = std::getenv("CGC_FLIGHT_OUT"))
+    if (std::FILE *F = std::fopen(Out, "w")) {
+      std::fwrite(Report.data(), 1, Report.size(), F);
+      std::fclose(F);
+    }
+
+  std::vector<std::string> Lines = splitLines(Report);
+  ASSERT_GE(Lines.size(), 6u) << Report;
+  EXPECT_EQ(Lines.front(), "=== cgc flight recorder (signal 0) ===");
+  EXPECT_EQ(Lines.back(), "=== end cgc flight recorder ===");
+
+  // Every record the ISSUE names is present.
+  EXPECT_EQ(countPrefixed(Lines, "heap="), 1u);
+  EXPECT_EQ(countPrefixed(Lines, "registry "), 1u);
+  EXPECT_GE(countPrefixed(Lines, "thread "), 2u) << Report;
+  EXPECT_GE(countPrefixed(Lines, "stall "), 1u) << Report;
+  EXPECT_EQ(countPrefixed(Lines, "pacer "), 1u);
+  EXPECT_EQ(countPrefixed(Lines, "ladder "), 1u);
+  EXPECT_GE(countPrefixed(Lines, "ring "), 1u) << Report;
+
+  // The fence timeout above is in the dump, attributed.
+  bool FenceStall = false;
+  for (const std::string &L : Lines)
+    if (L.rfind("stall ", 0) == 0 &&
+        L.find(" proto=fence ") != std::string::npos)
+      FenceStall = true;
+  EXPECT_TRUE(FenceStall) << Report;
+
+  // Well-formedness: every body line is `record key=value...` — each
+  // space-separated token after the record tag carries an '='.
+  for (size_t I = 1; I + 1 < Lines.size(); ++I) {
+    const std::string &L = Lines[I];
+    size_t Pos = L.find(' ');
+    ASSERT_NE(Pos, std::string::npos) << "untagged record: " << L;
+    while (Pos != std::string::npos) {
+      size_t Next = L.find(' ', Pos + 1);
+      std::string Tok = L.substr(
+          Pos + 1, Next == std::string::npos ? Next : Next - Pos - 1);
+      EXPECT_NE(Tok.find('='), std::string::npos)
+          << "malformed field '" << Tok << "' in: " << L;
+      Pos = Next;
+    }
+  }
+
+  Heap->detachThread(Ctx);
+}
+
+/// Death tests spawn the statement in a child whose stderr the harness
+/// captures: the regex below must match the recorder's header line.
+/// "threadsafe" style re-execs the binary — required, the statement
+/// spawns GC background threads.
+class FlightRecorderDeathTest : public ::testing::Test {
+protected:
+  FlightRecorderDeathTest() {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+void crashWithRecorder(int Sig) {
+  GcOptions Opts = recorderOptions();
+  Opts.FlightRecorder = true;
+  Opts.FlightRecorderFd = 2;
+  auto Heap = GcHeap::create(Opts);
+  MutatorContext &Ctx = Heap->attachThread();
+  Ctx.reserveRoots(4);
+  for (size_t I = 0; I < 4; ++I)
+    if (Object *Obj = Heap->allocate(Ctx, 256, 1))
+      Ctx.setRoot(I, Obj);
+  if (Sig == SIGABRT)
+    std::abort();
+  raise(Sig);
+}
+
+TEST_F(FlightRecorderDeathTest, AbortEmitsReportThenDies) {
+  // abort() also covers assert() failures in release-with-asserts
+  // builds: same SIGABRT path.
+  EXPECT_DEATH(crashWithRecorder(SIGABRT),
+               "=== cgc flight recorder \\(signal 6\\) ===");
+}
+
+TEST_F(FlightRecorderDeathTest, SegvEmitsReportThenDies) {
+  EXPECT_DEATH(crashWithRecorder(SIGSEGV),
+               "=== cgc flight recorder \\(signal 11\\) ===");
+}
+
+TEST_F(FlightRecorderDeathTest, ReportIsTerminatedBeforeReraise) {
+  // The trailer must be flushed before the re-raise kills the process:
+  // a truncated report is almost as bad as none.
+  EXPECT_DEATH(crashWithRecorder(SIGABRT),
+               "=== end cgc flight recorder ===");
+}
+
+} // namespace

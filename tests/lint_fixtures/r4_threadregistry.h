@@ -1,0 +1,47 @@
+// fixture-as: mutator/ThreadRegistry.h
+// Rule R4 over the thread-registry header: the stall-defense state
+// (handshake epoch, stall-ring cursor, per-thread poll timestamps and
+// the transition seqlock) is all cross-thread atomics — every one must
+// document its publication protocol, because the flight recorder reads
+// them from a signal handler and the fence handshake's quiescence proof
+// hangs off their ordering. Orders stay explicit so R1 passes alongside.
+#include "support/Annotations.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace cgc {
+
+class ThreadRegistryFixture {
+public:
+  uint64_t bumpEpoch() {
+    return HandshakeEpoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  void stampPoll(uint64_t Now) {
+    LastPollNanos.store(Now, std::memory_order_release);
+  }
+
+  bool stableNonRunning() const {
+    uint64_t Seq = TransitionSeq.load(std::memory_order_acquire);
+    return (Seq & 1) == 0 &&
+           TransitionSeq.load(std::memory_order_acquire) == Seq;
+  }
+
+private:
+  std::atomic<uint64_t> HandshakeEpoch{0}; // expect(R4)
+
+  CGC_ATOMIC_DOC("monotone poll timestamp; release store by the owning "
+                 "mutator at every cooperation point, acquire-read by "
+                 "stall reporters and the flight recorder")
+  std::atomic<uint64_t> LastPollNanos{0};
+
+  std::atomic<uint64_t> StallCursor{0}; // expect(R4)
+
+  CGC_ATOMIC_DOC("execution-transition seqlock: odd while the owner is "
+                 "mid-transition; acq_rel bumps bracket the state store "
+                 "so an even read-read-same pair proves fence ordering")
+  std::atomic<uint64_t> TransitionSeq{0};
+};
+
+} // namespace cgc

@@ -27,6 +27,7 @@ TEST(SoakTest, MixedWorkloadsShareOneHeap) {
   // Per-workload seeds derive from one base seed so a single CGC_SEED
   // value reproduces the whole run.
   uint64_t Seed = testSeed(0x5eed, "SoakTest.MixedWorkloadsShareOneHeap");
+  ScopedSeedLog SeedLog(Seed, "SoakTest.MixedWorkloadsShareOneHeap");
   GcOptions Opts;
   Opts.Kind = CollectorKind::MostlyConcurrent;
   Opts.HeapBytes = 24u << 20;
