@@ -51,6 +51,10 @@ bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
   // table (they must not be re-registered) but unpublished — no cleaner
   // may scan them until the fence ordering is proven.
   if (PendingFence.load(std::memory_order_relaxed)) {
+    // RegistrarLock only serializes would-be registrars, and they all
+    // use try_lock (above) — a mutator acknowledging this handshake
+    // never touches it, so the fence cannot deadlock against the held
+    // lock. cgc-mole: allow(M3): try_lock-only registrar lock
     if (Registry.requestFenceHandshake(Self, Heap.allocBits()) !=
         CooperationResult::Ok)
       return false; // still pending; recirculate again
@@ -79,6 +83,7 @@ bool CardCleaner::tryBeginConcurrentPass(MutatorContext *Self) {
     // Step 2: force all mutators to execute a fence before any cleaner
     // scans the registered cards. A timeout keeps the registration
     // pending and the pass un-started (see the header).
+    // cgc-mole: allow(M3): as above — only try_lock registrars contend
     if (Registry.requestFenceHandshake(Self, Heap.allocBits()) !=
         CooperationResult::Ok) {
       PendingFence.store(true, std::memory_order_relaxed);

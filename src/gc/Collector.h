@@ -11,6 +11,8 @@
 #ifndef CGC_GC_COLLECTOR_H
 #define CGC_GC_COLLECTOR_H
 
+#include "support/Annotations.h"
+
 #include <cstddef>
 
 namespace cgc {
@@ -26,12 +28,13 @@ public:
   /// BEFORE memory is taken, with the number of bytes about to be
   /// allocated. This is where kickoff checks and incremental tracing
   /// increments happen (Section 3).
-  virtual void onAllocationSlowPath(MutatorContext &Ctx, size_t Bytes) = 0;
+  CGC_SAFEPOINT virtual void onAllocationSlowPath(MutatorContext &Ctx,
+                                                  size_t Bytes) = 0;
 
   /// Allocation failed: run (or finish) a full collection cycle.
   /// Collapses onto an already-running collection when one completes in
   /// the meantime. \p Ctx may be null for non-mutator callers.
-  virtual void collectNow(MutatorContext *Ctx) = 0;
+  CGC_SAFEPOINT virtual void collectNow(MutatorContext *Ctx) = 0;
 
   /// Whether the concurrent tracing phase is currently active.
   virtual bool concurrentPhaseActive() const { return false; }

@@ -16,6 +16,7 @@
 
 #include "heap/BitVector8.h"
 #include "heap/ObjectModel.h"
+#include "support/Annotations.h"
 #include "support/FaultInjector.h"
 #include "support/Fences.h"
 
@@ -55,8 +56,10 @@ public:
   /// Allocates and header-initializes an object of \p TotalBytes with
   /// \p NumRefs reference slots. Returns nullptr when the cache cannot
   /// satisfy the request (caller refills). Does NOT set the allocation
-  /// bit — that happens in batch at flushAllocBits().
-  Object *allocate(size_t TotalBytes, uint16_t NumRefs, uint16_t ClassId) {
+  /// bit — that happens in batch at flushAllocBits(). Pure bump pointer:
+  /// never polls, never hands control to the collector.
+  CGC_NO_SAFEPOINT Object *allocate(size_t TotalBytes, uint16_t NumRefs,
+                                    uint16_t ClassId) {
     assert(TotalBytes % GranuleBytes == 0 && "unaligned allocation");
     if (static_cast<size_t>(End - Cur) < TotalBytes)
       return nullptr;

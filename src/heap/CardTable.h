@@ -15,6 +15,8 @@
 #ifndef CGC_HEAP_CARDTABLE_H
 #define CGC_HEAP_CARDTABLE_H
 
+#include "support/Annotations.h"
+
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -59,8 +61,9 @@ public:
   }
 
   /// Write-barrier store: dirties the card containing \p Addr. A plain
-  /// relaxed byte store — no fence, per Section 5.3.
-  void dirty(const void *Addr) {
+  /// relaxed byte store — no fence, per Section 5.3. Never safepoints:
+  /// GcHeap::writeRef's CGC_NO_SAFEPOINT guarantee depends on it.
+  CGC_NO_SAFEPOINT void dirty(const void *Addr) {
     Cards[cardIndexFor(Addr)].store(1, std::memory_order_relaxed);
   }
 

@@ -24,6 +24,8 @@
 #ifndef CGC_HEAP_OBJECTMODEL_H
 #define CGC_HEAP_OBJECTMODEL_H
 
+#include "support/Annotations.h"
+
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -56,7 +58,8 @@ public:
 
   /// Initializes the header of a freshly allocated object and zeroes its
   /// reference slots (so a concurrent tracer can never read junk refs).
-  void initialize(uint32_t TotalBytes, uint16_t Refs, uint16_t Class) {
+  CGC_NO_SAFEPOINT void initialize(uint32_t TotalBytes, uint16_t Refs,
+                                   uint16_t Class) {
     assert(TotalBytes % GranuleBytes == 0 && "object size not granular");
     assert(TotalBytes >= HeaderBytes + Refs * 8ull && "refs do not fit");
     SizeBytes = TotalBytes;
@@ -75,17 +78,42 @@ public:
   uint16_t classId() const { return ClassId; }
 
   /// Reads reference slot \p I (relaxed; safe against concurrent stores).
-  Object *loadRef(unsigned I) const {
+  CGC_NO_SAFEPOINT Object *loadRef(unsigned I) const {
     assert(I < NumRefs && "ref slot out of range");
     std::atomic_ref<uintptr_t> Slot(
         const_cast<Object *>(this)->refArray()[I]);
     return reinterpret_cast<Object *>(Slot.load(std::memory_order_relaxed));
   }
 
-  /// Writes reference slot \p I without a write barrier. The runtime's
-  /// writeRef wraps this with the card-dirtying barrier; the raw form is
-  /// for initialization stores before an object is published.
-  void storeRefRaw(unsigned I, Object *Value) {
+  /// Writes reference slot \p I without a write barrier.
+  ///
+  /// THE BARRIER CONTRACT (the single source of truth; GcHeap::writeRef
+  /// and cgc-mole rule M2 both reference it):
+  ///
+  /// During the concurrent phase the card cleaner only re-scans objects
+  /// whose card was dirtied after tracing visited them. A reference
+  /// stored without dirtying the holder's card is therefore invisible
+  /// to concurrent marking: if it is the only path to the target, the
+  /// target is freed while reachable. This is silent corruption, not a
+  /// crash at the store site.
+  ///
+  /// A raw (card-less) store is permissible in exactly three places:
+  ///
+  ///   1. Here, and in GcHeap::writeRef, which wraps it with the
+  ///      card-dirtying barrier (store slot, then dirty — Section 5.3).
+  ///   2. Initialization of a not-yet-published object: until the
+  ///      allocating thread publishes the object (stores a reference to
+  ///      it through writeRef, or roots it), no tracer can have visited
+  ///      it, so there is no visit to invalidate.
+  ///   3. The compactor's slot fix-up (gc/Compactor.*), which rewrites
+  ///      references while their holders are pinned or the world is
+  ///      stopped, under the collector's own ordering.
+  ///
+  /// Everything else must go through GcHeap::writeRef. cgc-mole flags
+  /// any other call site as M2; CGC_GC_UNSAFE_OK (with a written
+  /// reason) is the audited escape hatch for new collector-internal
+  /// sites.
+  CGC_NO_SAFEPOINT void storeRefRaw(unsigned I, Object *Value) {
     assert(I < NumRefs && "ref slot out of range");
     std::atomic_ref<uintptr_t> Slot(refArray()[I]);
     Slot.store(reinterpret_cast<uintptr_t>(Value), std::memory_order_relaxed);

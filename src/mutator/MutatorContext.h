@@ -53,8 +53,9 @@ public:
 
   /// Stores \p Value in root slot \p I. No write barrier: stacks are
   /// rescanned during the final stop-the-world phase, exactly as in the
-  /// paper.
-  void setRoot(size_t I, Object *Value) {
+  /// paper. Rooting primitives never safepoint — cgc-mole rule M1
+  /// depends on that (an anchoring call must not itself be a hazard).
+  CGC_NO_SAFEPOINT void setRoot(size_t I, Object *Value) {
     SpinLockGuard Guard(RootsLock);
     Roots[I] = reinterpret_cast<uintptr_t>(Value);
   }
@@ -81,13 +82,13 @@ public:
   /// Shadow-stack style roots appended after the fixed slots: anchors
   /// objects under construction (e.g. a parser's partial ASTs) exactly
   /// like values on a real thread stack would.
-  void pushRoot(Object *Value) {
+  CGC_NO_SAFEPOINT void pushRoot(Object *Value) {
     SpinLockGuard Guard(RootsLock);
     Roots.push_back(reinterpret_cast<uintptr_t>(Value));
   }
 
   /// Pops the \p N most recently pushed shadow-stack roots.
-  void popRoots(size_t N) {
+  CGC_NO_SAFEPOINT void popRoots(size_t N) {
     SpinLockGuard Guard(RootsLock);
     assert(Roots.size() >= N && "popping more roots than pushed");
     Roots.resize(Roots.size() - N);

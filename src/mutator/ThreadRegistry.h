@@ -132,13 +132,13 @@ public:
   /// allocation cache first so deferred objects become traceable) and
   /// parks while a stop-the-world is in progress. \p AllocBits is the
   /// heap's allocation bit vector.
-  void poll(MutatorContext &Ctx, BitVector8 &AllocBits);
+  CGC_SAFEPOINT void poll(MutatorContext &Ctx, BitVector8 &AllocBits);
 
   /// Marks the start of an idle region (no heap access allowed inside).
-  void enterIdle(MutatorContext &Ctx);
+  CGC_SAFEPOINT void enterIdle(MutatorContext &Ctx);
 
   /// Ends an idle region; parks first if a stop-the-world is active.
-  void exitIdle(MutatorContext &Ctx, BitVector8 &AllocBits);
+  CGC_SAFEPOINT void exitIdle(MutatorContext &Ctx, BitVector8 &AllocBits);
 
   /// --- Stop the world (collector side) -------------------------------
 
@@ -150,10 +150,10 @@ public:
   /// registrar cannot deadlock against the initiator. Deadline-aware:
   /// past each elapsed StwGrace period the still-running laggards are
   /// reported (see the file header) while the wait continues.
-  void stopTheWorld(MutatorContext *Self, BitVector8 &AllocBits);
+  CGC_SAFEPOINT void stopTheWorld(MutatorContext *Self, BitVector8 &AllocBits);
 
   /// Releases a stop; parked threads resume.
-  void resumeTheWorld();
+  CGC_SAFEPOINT void resumeTheWorld();
 
   /// Whether a stop is currently requested.
   bool stopRequested() const {
@@ -168,8 +168,8 @@ public:
   /// inline. Returns Timeout once the fence grace period elapses with
   /// unacknowledged threads outstanding (never with the grace disabled);
   /// the caller must treat the fence as NOT executed and recirculate.
-  CooperationResult requestFenceHandshake(MutatorContext *Self,
-                                          BitVector8 &AllocBits);
+  CGC_SAFEPOINT CooperationResult
+  requestFenceHandshake(MutatorContext *Self, BitVector8 &AllocBits);
 
   /// --- Stall-defense introspection ------------------------------------
 
@@ -214,8 +214,9 @@ public:
   }
 
 private:
-  void acknowledgeHandshake(MutatorContext &Ctx, BitVector8 &AllocBits);
-  void park(MutatorContext &Ctx);
+  CGC_SAFEPOINT void acknowledgeHandshake(MutatorContext &Ctx,
+                                          BitVector8 &AllocBits);
+  CGC_SAFEPOINT void park(MutatorContext &Ctx);
   /// Whether \p Ctx is provably quiescent: non-Running with an even,
   /// unchanged TransitionSeq around the state read.
   static bool stableNonRunning(MutatorContext &Ctx);

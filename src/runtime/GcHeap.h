@@ -31,6 +31,7 @@
 #include "gc/Collector.h"
 #include "gc/GcCore.h"
 #include "gc/HeapVerifier.h"
+#include "support/Annotations.h"
 
 #include <memory>
 #include <vector>
@@ -52,11 +53,11 @@ public:
 
   /// Attaches the calling thread; returns its mutator context. The
   /// context is only valid on the attaching thread.
-  MutatorContext &attachThread();
+  CGC_SAFEPOINT MutatorContext &attachThread();
 
   /// Detaches; \p Ctx must belong to the calling thread and must not be
   /// used afterwards.
-  void detachThread(MutatorContext &Ctx);
+  CGC_SAFEPOINT void detachThread(MutatorContext &Ctx);
 
   /// --- Allocation and mutation ----------------------------------------
 
@@ -66,13 +67,23 @@ public:
   /// sweep finish, STW finish, full collections) — never aborts.
   /// Performs the incremental tracing increment of Section 3 on cache
   /// refills.
-  Object *allocate(MutatorContext &Ctx, size_t PayloadBytes, uint16_t NumRefs,
-                   uint16_t ClassId = 0);
+  CGC_SAFEPOINT Object *allocate(MutatorContext &Ctx, size_t PayloadBytes,
+                                 uint16_t NumRefs, uint16_t ClassId = 0);
 
   /// Reference store with the card-marking write barrier: store the
   /// slot, then dirty the holder's card — no fence (Section 5.3).
-  void writeRef(MutatorContext &Ctx, Object *Holder, unsigned Slot,
-                Object *Value) {
+  ///
+  /// This is the ONLY sanctioned way for mutator/runtime code to store
+  /// a reference into a heap object after initialization. The barrier
+  /// contract lives with the raw primitive it wraps — see
+  /// Object::storeRefRaw in heap/ObjectModel.h for the full statement
+  /// of when a raw (card-less) store is permissible. cgc-mole rule M2
+  /// enforces that contract tree-wide.
+  ///
+  /// The barrier itself never safepoints: callers may hold raw Object*
+  /// across it (the CGC_NO_SAFEPOINT below is verified by cgc-mole).
+  CGC_NO_SAFEPOINT void writeRef(MutatorContext &Ctx, Object *Holder,
+                                 unsigned Slot, Object *Value) {
     Holder->storeRefRaw(Slot, Value);
     if (BarrierEnabled)
       Core.Heap.cards().dirty(Holder);
@@ -81,7 +92,8 @@ public:
   }
 
   /// Reference load (no read barrier in this collector).
-  static Object *readRef(const Object *Holder, unsigned Slot) {
+  CGC_NO_SAFEPOINT static Object *readRef(const Object *Holder,
+                                          unsigned Slot) {
     return Holder->loadRef(Slot);
   }
 
@@ -89,24 +101,26 @@ public:
 
   /// Safepoint/handshake poll; call inside long loops that don't
   /// allocate.
-  void safepointPoll(MutatorContext &Ctx) {
+  CGC_SAFEPOINT void safepointPoll(MutatorContext &Ctx) {
     Core.Registry.poll(Ctx, Core.Heap.allocBits());
   }
 
   /// Brackets a no-heap-access region (think time, simulated IO); the
   /// thread counts as stopped inside.
-  void enterIdle(MutatorContext &Ctx) { Core.Registry.enterIdle(Ctx); }
-  void exitIdle(MutatorContext &Ctx) {
+  CGC_SAFEPOINT void enterIdle(MutatorContext &Ctx) {
+    Core.Registry.enterIdle(Ctx);
+  }
+  CGC_SAFEPOINT void exitIdle(MutatorContext &Ctx) {
     Core.Registry.exitIdle(Ctx, Core.Heap.allocBits());
   }
 
   /// --- Control and introspection ---------------------------------------
 
   /// Forces a full collection (finishing any concurrent phase).
-  void requestGC(MutatorContext *Ctx);
+  CGC_SAFEPOINT void requestGC(MutatorContext *Ctx);
 
   /// Stops the world and runs the reachability verifier.
-  VerifyResult verifyNow(MutatorContext *Ctx);
+  CGC_SAFEPOINT VerifyResult verifyNow(MutatorContext *Ctx);
 
   /// Per-cycle statistics.
   GcStatsCollector &stats() { return Core.Stats; }
@@ -128,9 +142,9 @@ public:
 private:
   explicit GcHeap(const GcOptions &Options);
 
-  Object *allocateLarge(MutatorContext &Ctx, size_t TotalBytes,
-                        uint16_t NumRefs, uint16_t ClassId);
-  bool refillCache(MutatorContext &Ctx, size_t MinBytes);
+  CGC_SAFEPOINT Object *allocateLarge(MutatorContext &Ctx, size_t TotalBytes,
+                                      uint16_t NumRefs, uint16_t ClassId);
+  CGC_SAFEPOINT bool refillCache(MutatorContext &Ctx, size_t MinBytes);
 
   /// The graceful-degradation ladder behind every allocation slow path.
   /// \p TryOnce attempts the allocation (returning success) and is
@@ -148,8 +162,8 @@ private:
   /// Each rung is counted in GcStats when escalated INTO (even when its
   /// remedy is a no-op), so tests observe a deterministic order.
   template <typename TryFn>
-  bool runAllocationLadder(MutatorContext &Ctx, size_t WantedBytes,
-                           TryFn TryOnce) {
+  CGC_SAFEPOINT bool runAllocationLadder(MutatorContext &Ctx,
+                                         size_t WantedBytes, TryFn TryOnce) {
     if (TryOnce())
       return true;
     noteRung(EscalationRung::RefillRetry, WantedBytes);

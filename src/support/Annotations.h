@@ -71,4 +71,37 @@
 /// on every std::atomic member of the core concurrent components.
 #define CGC_ATOMIC_DOC(claim)
 
+//===----------------------------------------------------------------------===//
+// GC-safety annotations (consumed by tools/cgc-mole, DESIGN.md §14)
+//===----------------------------------------------------------------------===//
+//
+// cgc-mole propagates a may-reach-safepoint bit over the whole-tree
+// call graph. These markers extend (CGC_SAFEPOINT) and constrain
+// (CGC_NO_SAFEPOINT) that propagation, and CGC_GC_UNSAFE_OK is the
+// audited escape hatch. All three expand to nothing — they exist in the
+// token stream for the analyzer and in the source for the reader.
+
+/// Declares that this function may reach a GC safepoint: it can poll,
+/// allocate, park the calling thread, or hand control to the collector.
+/// cgc-mole seeds its propagation here (in addition to its built-in
+/// seed list), so callers inherit the bit transitively. Put it on the
+/// declaration the callers see.
+#define CGC_SAFEPOINT
+
+/// Asserts that this function NEVER reaches a safepoint, directly or
+/// transitively. cgc-mole treats it as a propagation barrier and
+/// verifies the claim: a CGC_NO_SAFEPOINT function whose body calls a
+/// may-safepoint function is a build error (rule NS). Use it on
+/// barrier/allocation fast paths and signal-safe code whose callers
+/// rely on the guarantee.
+#define CGC_NO_SAFEPOINT
+
+/// Audited escape hatch: suppresses every cgc-mole finding on this
+/// statement (its line and the next). The argument must say WHY the
+/// flagged pattern is safe here — suppressions are counted in the tool
+/// output, so each one stays a visible, justified exception rather
+/// than silent drift. Equivalent comment form:
+///   // cgc-mole: allow(M1): reason
+#define CGC_GC_UNSAFE_OK(reason)
+
 #endif // CGC_SUPPORT_ANNOTATIONS_H

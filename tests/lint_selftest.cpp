@@ -136,8 +136,19 @@ TEST(LintSelfTest, SuppressionCoversOwnAndNextLine) {
 }
 
 TEST(LintSelfTest, FormatViolation) {
-  cgclint::LintViolation V{"R2", "gc/Tracer.cpp", 12, "boom"};
-  EXPECT_EQ(cgclint::formatViolation(V), "gc/Tracer.cpp:12: [R2] boom");
+  cgclint::LintViolation V{"R2", "gc/Tracer.cpp", 12, 7, "boom"};
+  EXPECT_EQ(cgclint::formatViolation(V), "gc/Tracer.cpp:12:7: [R2] boom");
+}
+
+TEST(LintSelfTest, JsonOutput) {
+  std::vector<cgclint::LintViolation> Vs = {
+      {"R1", "gc/X.cpp", 3, 9, "a \"quoted\" msg"}};
+  std::string Json = cgclint::violationsToJson(Vs);
+  EXPECT_NE(Json.find("\"file\": \"gc/X.cpp\""), std::string::npos);
+  EXPECT_NE(Json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(Json.find("\"column\": 9"), std::string::npos);
+  EXPECT_NE(Json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(cgclint::violationsToJson({}), "[]\n");
 }
 
 TEST(LintSelfTest, LintTreeOnRealSourcesIsClean) {

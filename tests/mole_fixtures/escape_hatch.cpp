@@ -1,0 +1,16 @@
+// fixture-as: workloads/mole_escape_hatch.cpp
+// Escape hatch: both suppression forms silence a would-be M2 on their
+// own line and the next. Suppressed findings are not dropped — they are
+// counted per rule in the tool summary. expect-suppressed() markers
+// below are checked against Report.Suppressed.
+namespace cgc {
+
+void moleInitGraphNode(MutatorContext &Ctx, Object *Node, Object *A,
+                       Object *B) {
+  CGC_GC_UNSAFE_OK("Node is unpublished: no tracer can have visited it");
+  Node->storeRefRaw(0, A); // expect-suppressed(M2)
+  // cgc-mole: allow(M2): unpublished object, initializing store
+  Node->storeRefRaw(1, B); // expect-suppressed(M2)
+}
+
+} // namespace cgc

@@ -1,0 +1,19 @@
+// fixture-as: workloads/mole_m1_caught.cpp
+// M1 (caught): `First` stays live across the second allocation — a GC
+// point — without being rooted. Under compaction the referent can be
+// evacuated, leaving `First` dangling at the writeRef.
+namespace cgc {
+
+class M1CaughtFixture {
+  GcHeap &Heap;
+  MutatorContext &Ctx;
+
+  Object *buildPair() {
+    Object *First = Heap.allocate(Ctx, 16, 2, 0);
+    Object *Second = Heap.allocate(Ctx, 16, 2, 0);
+    Heap.writeRef(Ctx, First, 0, Second); // expect(M1)
+    return First;
+  }
+};
+
+} // namespace cgc

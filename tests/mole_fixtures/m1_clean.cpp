@@ -1,0 +1,30 @@
+// fixture-as: workloads/mole_m1_clean.cpp
+// M1 (clean): the same shape as m1_caught.cpp, but every local that is
+// live across a GC point is anchored first (pushRoot for the shadow
+// stack, setRoot for a fixed slot) — exactly what the M1 message asks
+// the author to do.
+namespace cgc {
+
+class M1CleanFixture {
+  GcHeap &Heap;
+  MutatorContext &Ctx;
+
+  Object *buildPair() {
+    Object *First = Heap.allocate(Ctx, 16, 2, 0);
+    Ctx.pushRoot(First);
+    Object *Second = Heap.allocate(Ctx, 16, 2, 0);
+    Heap.writeRef(Ctx, First, 0, Second);
+    Ctx.popRoots(1);
+    return First;
+  }
+
+  Object *buildRooted() {
+    Object *Node = Heap.allocate(Ctx, 16, 2, 0);
+    Ctx.setRoot(0, Node);
+    Object *Leaf = Heap.allocate(Ctx, 16, 0, 0);
+    Heap.writeRef(Ctx, Node, 0, Leaf);
+    return Node;
+  }
+};
+
+} // namespace cgc

@@ -1,0 +1,11 @@
+// fixture-as: gc/Compactor.cpp
+// M2 (clean): the compactor's slot fix-up is barrier-contract case 3 —
+// one of the documented raw-store sites — so rule M2 does not apply to
+// this path at all.
+namespace cgc {
+
+void moleFixupSlot(Object *Holder, Object *Relocated) {
+  Holder->storeRefRaw(0, Relocated);
+}
+
+} // namespace cgc

@@ -1,0 +1,12 @@
+// fixture-as: workloads/mole_m2_caught.cpp
+// M2 (caught): a raw unbarriered store outside the documented barrier
+// sites (see Object::storeRefRaw in heap/ObjectModel.h). The card is
+// never dirtied, so concurrent marking can lose `To`.
+namespace cgc {
+
+void moleM2Scribble(GcHeap &Heap, MutatorContext &Ctx, Object *From,
+                    Object *To) {
+  From->storeRefRaw(0, To); // expect(M2)
+}
+
+} // namespace cgc

@@ -1,0 +1,11 @@
+// fixture-as: workloads/mole_m2_clean.cpp
+// M2 (clean): the sanctioned path — GcHeap::writeRef stores the slot
+// and dirties the holder's card (Section 5.3).
+namespace cgc {
+
+void moleM2Rewire(GcHeap &Heap, MutatorContext &Ctx, Object *From,
+                  Object *To) {
+  Heap.writeRef(Ctx, From, 0, To);
+}
+
+} // namespace cgc

@@ -1,0 +1,18 @@
+// fixture-as: gc/mole_m3_caught.cpp
+// M3 (caught): a may-safepoint call while a SpinLockGuard is held. If
+// the thread parks here, the spinlock stays taken and the STW/handshake
+// protocol can deadlock against it.
+namespace cgc {
+
+class M3CaughtFixture {
+  SpinLock TableLock;
+  GcHeap &Heap;
+  MutatorContext &Ctx;
+
+  void refillUnderLock() {
+    SpinLockGuard Guard(TableLock);
+    Heap.allocate(Ctx, 16, 0, 0); // expect(M3)
+  }
+};
+
+} // namespace cgc

@@ -1,0 +1,21 @@
+// fixture-as: gc/mole_m3_clean.cpp
+// M3 (clean): the guard lives in an inner scope that closes before the
+// may-safepoint call, so nothing is held at the GC point.
+namespace cgc {
+
+class M3CleanFixture {
+  SpinLock TableLock;
+  GcHeap &Heap;
+  MutatorContext &Ctx;
+  int Hits;
+
+  void refillAfterLock() {
+    {
+      SpinLockGuard Guard(TableLock);
+      Hits = Hits + 1;
+    }
+    Heap.allocate(Ctx, 16, 0, 0);
+  }
+};
+
+} // namespace cgc

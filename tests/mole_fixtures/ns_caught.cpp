@@ -1,0 +1,15 @@
+// fixture-as: runtime/mole_ns_caught.cpp
+// NS (caught): the function claims CGC_NO_SAFEPOINT but calls the poll
+// entry point — the analyzer verifies the claim instead of trusting it.
+namespace cgc {
+
+class NsCaughtFixture {
+  GcHeap &Heap;
+  MutatorContext &Ctx;
+
+  CGC_NO_SAFEPOINT void fastPath() {
+    Heap.safepointPoll(Ctx); // expect(NS)
+  }
+};
+
+} // namespace cgc

@@ -1,0 +1,10 @@
+// fixture-as: heap/mole_ns_clean.cpp
+// NS (clean): a CGC_NO_SAFEPOINT function whose body only touches
+// never-safepoint primitives keeps its claim.
+namespace cgc {
+
+CGC_NO_SAFEPOINT Object *moleReadEdge(const Object *From) {
+  return From->loadRef(0);
+}
+
+} // namespace cgc

@@ -1,0 +1,286 @@
+//===- mole_selftest.cpp - cgc-mole analyzer self-test ------------------------//
+///
+/// \file
+/// Drives the cgc-mole analysis engine (tools/cgc-mole/MoleCore.h) over
+/// the fixture files in tests/mole_fixtures/ and checks that each rule
+/// fires exactly where the fixtures say it should — and nowhere else.
+///
+/// Fixture format:
+///   - line 1: `// fixture-as: <relpath>` — the tree-relative path the
+///     fixture is analyzed as (M1 enforcement and the M2 allowlist are
+///     path-sensitive).
+///   - `// expect(M1)` on a line declares one expected finding there;
+///     `expect(M1,M3)` declares several.
+///   - `// expect-suppressed(M2)` declares an expected SUPPRESSED
+///     finding (the escape-hatch fixtures).
+///
+/// On top of the fixtures, three seeded mutations of the real sources
+/// check end-to-end sensitivity: un-rooting a live local (M1), bypassing
+/// the write barrier (M2), and polling under a spinlock (M3) must each
+/// produce a new finding when the whole tree is re-analyzed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "MoleCore.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+using cgcmole::Finding;
+using cgcmole::Report;
+using cgcmole::SourceFile;
+
+using Marks = std::multiset<std::pair<std::string, int>>; // (rule, line)
+
+struct Fixture {
+  std::string FileName;  // fixture file name, for messages
+  std::string AnalyzeAs; // tree-relative path from the directive
+  std::string Content;
+  Marks Expected;
+  Marks ExpectedSuppressed;
+};
+
+/// Collects `marker(R1,R2)` occurrences on \p Line into \p Out.
+void collectMarks(const std::string &Line, const std::string &Marker,
+                  int LineNo, Marks &Out) {
+  size_t At = Line.find(Marker);
+  if (At == std::string::npos)
+    return;
+  size_t Close = Line.find(')', At);
+  ASSERT_NE(Close, std::string::npos) << "unterminated " << Marker;
+  std::stringstream RuleSS(
+      Line.substr(At + Marker.size(), Close - At - Marker.size()));
+  std::string Rule;
+  while (std::getline(RuleSS, Rule, ','))
+    Out.insert({Rule, LineNo});
+}
+
+std::vector<Fixture> loadFixtures() {
+  std::vector<Fixture> Out;
+  for (const auto &Entry : fs::directory_iterator(CGC_MOLE_FIXTURE_DIR)) {
+    if (!Entry.is_regular_file())
+      continue;
+    Fixture F;
+    F.FileName = Entry.path().filename().string();
+    std::ifstream In(Entry.path());
+    std::stringstream SS;
+    SS << In.rdbuf();
+    F.Content = SS.str();
+
+    std::istringstream Lines(F.Content);
+    std::string Line;
+    int LineNo = 0;
+    while (std::getline(Lines, Line)) {
+      ++LineNo;
+      if (LineNo == 1) {
+        const std::string Directive = "// fixture-as: ";
+        EXPECT_EQ(Line.rfind(Directive, 0), 0u)
+            << F.FileName << ": first line must be '" << Directive
+            << "<relpath>'";
+        F.AnalyzeAs = Line.substr(Directive.size());
+        continue;
+      }
+      // "expect-suppressed(" does not contain "expect(", so the two
+      // markers never double-count.
+      collectMarks(Line, "expect(", LineNo, F.Expected);
+      collectMarks(Line, "expect-suppressed(", LineNo, F.ExpectedSuppressed);
+    }
+    Out.push_back(std::move(F));
+  }
+  std::sort(Out.begin(), Out.end(), [](const Fixture &A, const Fixture &B) {
+    return A.FileName < B.FileName;
+  });
+  return Out;
+}
+
+std::string describe(const Marks &S) {
+  std::string Out;
+  for (const auto &[Rule, Line] : S)
+    Out += "  " + Rule + " @ line " + std::to_string(Line) + "\n";
+  return Out.empty() ? "  (none)\n" : Out;
+}
+
+Marks marksOf(const std::vector<Finding> &Fs) {
+  Marks Out;
+  for (const Finding &F : Fs)
+    Out.insert({F.Rule, F.Line});
+  return Out;
+}
+
+TEST(MoleSelfTest, FixturesMatchExactly) {
+  auto Fixtures = loadFixtures();
+  ASSERT_FALSE(Fixtures.empty()) << "no fixtures under " CGC_MOLE_FIXTURE_DIR;
+  for (const Fixture &F : Fixtures) {
+    Report R = cgcmole::analyze({{F.AnalyzeAs, F.Content}});
+    for (const Finding &Fd : R.Findings)
+      EXPECT_EQ(Fd.File, F.AnalyzeAs);
+    EXPECT_EQ(marksOf(R.Findings), F.Expected)
+        << F.FileName << " (as " << F.AnalyzeAs << ")\nexpected:\n"
+        << describe(F.Expected) << "actual:\n"
+        << describe(marksOf(R.Findings));
+    EXPECT_EQ(marksOf(R.Suppressed), F.ExpectedSuppressed)
+        << F.FileName << " (as " << F.AnalyzeAs << ") suppressed\nexpected:\n"
+        << describe(F.ExpectedSuppressed) << "actual:\n"
+        << describe(marksOf(R.Suppressed));
+  }
+}
+
+TEST(MoleSelfTest, EveryRuleIsCoveredByAFixture) {
+  std::set<std::string> Fired;
+  std::set<std::string> Suppressed;
+  for (const Fixture &F : loadFixtures()) {
+    for (const auto &[Rule, Line] : F.Expected)
+      Fired.insert(Rule);
+    for (const auto &[Rule, Line] : F.ExpectedSuppressed)
+      Suppressed.insert(Rule);
+  }
+  for (const char *Rule : {"M1", "M2", "M3", "NS"})
+    EXPECT_TRUE(Fired.count(Rule)) << "no fixture exercises rule " << Rule;
+  EXPECT_FALSE(Suppressed.empty()) << "no fixture exercises the escape hatch";
+}
+
+TEST(MoleSelfTest, SuppressedFindingsAreCountedPerRule) {
+  for (const Fixture &F : loadFixtures()) {
+    if (F.FileName != "escape_hatch.cpp")
+      continue;
+    Report R = cgcmole::analyze({{F.AnalyzeAs, F.Content}});
+    auto ByRule = cgcmole::suppressedByRule(R);
+    EXPECT_EQ(ByRule["M2"], 2u);
+    EXPECT_TRUE(R.Findings.empty());
+    return;
+  }
+  FAIL() << "escape_hatch.cpp fixture missing";
+}
+
+TEST(MoleSelfTest, FormatFinding) {
+  Finding F{"M1", "workloads/X.cpp", 12, 7, "boom"};
+  EXPECT_EQ(cgcmole::formatFinding(F), "workloads/X.cpp:12:7: [M1] boom");
+}
+
+TEST(MoleSelfTest, JsonOutput) {
+  Report R;
+  R.Findings.push_back({"M2", "gc/X.cpp", 3, 9, "a \"quoted\" msg"});
+  R.NumFunctions = 5;
+  R.NumMaySafepoint = 2;
+  std::string Json = cgcmole::reportToJson(R);
+  EXPECT_NE(Json.find("\"file\": \"gc/X.cpp\""), std::string::npos);
+  EXPECT_NE(Json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(Json.find("\"column\": 9"), std::string::npos);
+  EXPECT_NE(Json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\"functions\": 5"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// The real tree: clean as-is, and sensitive to seeded bugs
+//===----------------------------------------------------------------------===//
+
+fs::path srcRoot() { return fs::path(CGC_MOLE_SRC_DIR); }
+
+std::vector<SourceFile> loadTree() {
+  std::vector<SourceFile> Files;
+  std::vector<fs::path> Paths;
+  for (const auto &Entry : fs::recursive_directory_iterator(srcRoot())) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::string Ext = Entry.path().extension().string();
+    if (Ext == ".h" || Ext == ".cpp")
+      Paths.push_back(Entry.path());
+  }
+  std::sort(Paths.begin(), Paths.end());
+  for (const fs::path &P : Paths) {
+    std::ifstream In(P);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Files.push_back({fs::relative(P, srcRoot()).generic_string(), SS.str()});
+  }
+  return Files;
+}
+
+TEST(MoleSelfTest, TreeOnRealSourcesIsClean) {
+  // The same invariant the `cgc_mole` ctest enforces, reachable from the
+  // unit suite so a violating edit fails close to the change.
+  ASSERT_TRUE(fs::exists(srcRoot())) << srcRoot();
+  Report R = cgcmole::analyzeTree(srcRoot().string());
+  for (const Finding &F : R.Findings)
+    ADD_FAILURE() << cgcmole::formatFinding(F);
+  EXPECT_GT(R.NumFunctions, 100u);
+  EXPECT_GT(R.NumMaySafepoint, 10u);
+}
+
+/// Applies `s/Needle/Replacement/` (first occurrence) to \p RelPath in a
+/// fresh copy of the tree and returns the re-analysis. Asserts the
+/// needle exists so a refactor that moves it fails loudly here instead
+/// of silently degrading the mutation test.
+Report analyzeMutated(const std::string &RelPath, const std::string &Needle,
+                      const std::string &Replacement) {
+  std::vector<SourceFile> Files = loadTree();
+  bool Applied = false;
+  for (SourceFile &SF : Files) {
+    if (SF.RelPath != RelPath)
+      continue;
+    size_t At = SF.Content.find(Needle);
+    EXPECT_NE(At, std::string::npos)
+        << RelPath << ": mutation needle not found: " << Needle;
+    if (At == std::string::npos)
+      break;
+    SF.Content.replace(At, Needle.size(), Replacement);
+    Applied = true;
+  }
+  EXPECT_TRUE(Applied) << RelPath << " not in tree";
+  return cgcmole::analyze(Files);
+}
+
+size_t countRuleInFile(const Report &R, const std::string &Rule,
+                       const std::string &File) {
+  size_t N = 0;
+  for (const Finding &F : R.Findings)
+    if (F.Rule == Rule && F.File == File)
+      ++N;
+  return N;
+}
+
+TEST(MoleSelfTest, MutationUnrootedLocalIsCaught) {
+  // Drop the shadow-stack anchor on `Left` in the bottom-up tree
+  // builder: the local is then live, unrooted, across the parent's
+  // allocation — the exact bug class M1 exists for.
+  Report R = analyzeMutated("workloads/BinaryTrees.cpp",
+                            "Ctx.pushRoot(Left);", ";");
+  EXPECT_GE(countRuleInFile(R, "M1", "workloads/BinaryTrees.cpp"), 1u)
+      << "un-rooting a live local must produce an M1 finding";
+}
+
+TEST(MoleSelfTest, MutationBarrierBypassIsCaught) {
+  // Replace the barriered edge store with the raw primitive: concurrent
+  // marking would lose the reference.
+  Report R = analyzeMutated("workloads/GraphChurn.cpp",
+                            "Heap.writeRef(Ctx, From, Slot, To);",
+                            "From->storeRefRaw(Slot, To);");
+  EXPECT_GE(countRuleInFile(R, "M2", "workloads/GraphChurn.cpp"), 1u)
+      << "bypassing the write barrier must produce an M2 finding";
+}
+
+TEST(MoleSelfTest, MutationSafepointUnderLockIsCaught) {
+  // Force a collection while holding the contexts spinlock in
+  // attachThread: parking there would deadlock the STW protocol.
+  Report R = analyzeMutated("runtime/GcHeap.cpp",
+                            "SpinLockGuard Guard(ContextsLock);\n"
+                            "    Contexts.push_back(std::move(Owned));",
+                            "SpinLockGuard Guard(ContextsLock);\n"
+                            "    Col->collectNow(Ctx);\n"
+                            "    Contexts.push_back(std::move(Owned));");
+  EXPECT_GE(countRuleInFile(R, "M3", "runtime/GcHeap.cpp"), 1u)
+      << "a may-safepoint call under a SpinLockGuard must produce M3";
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- Lexer.h - Shared analyzer tokenizer ----------------------*- C++ -*-===//
+///
+/// \file
+/// The token-level front end shared by the repo's in-tree analyzers:
+/// `cgc-lint` (tools/cgc-lint, concurrency discipline, DESIGN.md §10)
+/// and `cgc-mole` (tools/cgc-mole, GC-safety call-graph analysis,
+/// DESIGN.md §14). It is deliberately not a C++ parser: comments,
+/// string literals and preprocessor lines are stripped, identifiers,
+/// numbers and punctuation survive with 1-based line/column positions,
+/// and comments are preserved on the side so each analyzer can parse
+/// its own suppression syntax out of them.
+///
+/// Because preprocessor lines are skipped (not evaluated), both arms of
+/// every #if land in the token stream — analyses over the lexed stream
+/// are build-configuration independent, which is exactly what the
+/// `-DCGC_OBSERVE=OFF` CI job relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_TOOLS_LEXER_H
+#define CGC_TOOLS_LEXER_H
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace cgclint {
+
+/// One lexed token. Line and Col are 1-based.
+struct Token {
+  enum KindT { Ident, Punct, Number, Str } Kind;
+  std::string Text;
+  int Line = 0;
+  int Col = 0;
+};
+
+/// A comment's text and the line it starts on (analyzers mine these for
+/// `<tool>: allow(...)` suppressions).
+struct Comment {
+  int Line = 0;
+  std::string Text;
+};
+
+/// The lexed form of one translation unit.
+struct Lexed {
+  std::vector<Token> Toks;
+  std::vector<Comment> Comments;
+};
+
+inline bool lexIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+inline bool lexIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Tokenizes \p S. Never fails: unterminated constructs run to EOF.
+inline Lexed lex(const std::string &S) {
+  Lexed L;
+  int Line = 1;
+  size_t LineStart = 0; // byte offset of the current line's first char
+  bool AtLineStart = true;
+  size_t I = 0, N = S.size();
+  auto bump = [&](char C, size_t At) {
+    if (C == '\n') {
+      ++Line;
+      LineStart = At + 1;
+      AtLineStart = true;
+    }
+  };
+  auto col = [&](size_t At) { return static_cast<int>(At - LineStart) + 1; };
+  while (I < N) {
+    char C = S[I];
+    if (C == '\n') {
+      bump(C, I);
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Preprocessor directive: skip the whole (possibly continued) line.
+    if (C == '#' && AtLineStart) {
+      while (I < N) {
+        if (S[I] == '\\' && I + 1 < N && S[I + 1] == '\n') {
+          bump('\n', I + 1);
+          I += 2;
+          continue;
+        }
+        if (S[I] == '\n')
+          break;
+        ++I;
+      }
+      continue;
+    }
+    AtLineStart = false;
+    // Line comment.
+    if (C == '/' && I + 1 < N && S[I + 1] == '/') {
+      size_t End = S.find('\n', I);
+      if (End == std::string::npos)
+        End = N;
+      L.Comments.push_back({Line, S.substr(I, End - I)});
+      I = End;
+      continue;
+    }
+    // Block comment.
+    if (C == '/' && I + 1 < N && S[I + 1] == '*') {
+      int StartLine = Line;
+      size_t End = S.find("*/", I + 2);
+      if (End == std::string::npos)
+        End = N;
+      else
+        End += 2;
+      L.Comments.push_back({StartLine, S.substr(I, End - I)});
+      for (size_t J = I; J < End; ++J)
+        bump(S[J], J);
+      AtLineStart = false;
+      I = End;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (C == 'R' && I + 1 < N && S[I + 1] == '"' &&
+        (L.Toks.empty() || L.Toks.back().Text != "\"")) {
+      size_t DelimEnd = S.find('(', I + 2);
+      if (DelimEnd != std::string::npos) {
+        std::string Close = ")" + S.substr(I + 2, DelimEnd - I - 2) + "\"";
+        size_t End = S.find(Close, DelimEnd);
+        if (End == std::string::npos)
+          End = N;
+        else
+          End += Close.size();
+        int StartCol = col(I);
+        L.Toks.push_back({Token::Str, "<raw>", Line, StartCol});
+        for (size_t J = I; J < End; ++J)
+          bump(S[J], J);
+        AtLineStart = false;
+        I = End;
+        continue;
+      }
+    }
+    // String / char literal.
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      size_t J = I + 1;
+      while (J < N && S[J] != Quote) {
+        if (S[J] == '\\')
+          ++J;
+        ++J;
+      }
+      L.Toks.push_back({Token::Str, "<lit>", Line, col(I)});
+      I = (J < N) ? J + 1 : N;
+      continue;
+    }
+    if (lexIdentStart(C)) {
+      size_t J = I + 1;
+      while (J < N && lexIdentChar(S[J]))
+        ++J;
+      L.Toks.push_back({Token::Ident, S.substr(I, J - I), Line, col(I)});
+      I = J;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t J = I + 1;
+      while (J < N && (lexIdentChar(S[J]) || S[J] == '.' || S[J] == '\''))
+        ++J;
+      L.Toks.push_back({Token::Number, S.substr(I, J - I), Line, col(I)});
+      I = J;
+      continue;
+    }
+    // Two-character puncts the analyses care about.
+    if (I + 1 < N) {
+      char D = S[I + 1];
+      if ((C == '-' && D == '>') || (C == ':' && D == ':')) {
+        L.Toks.push_back({Token::Punct, std::string() + C + D, Line, col(I)});
+        I += 2;
+        continue;
+      }
+    }
+    L.Toks.push_back({Token::Punct, std::string(1, C), Line, col(I)});
+    ++I;
+  }
+  return L;
+}
+
+/// Index of the token holding the ')' matching the '(' at \p OpenIdx,
+/// or Toks.size() if unbalanced.
+inline size_t matchParen(const std::vector<Token> &Toks, size_t OpenIdx) {
+  int Depth = 0;
+  for (size_t I = OpenIdx; I < Toks.size(); ++I) {
+    if (Toks[I].Kind != Token::Punct)
+      continue;
+    if (Toks[I].Text == "(")
+      ++Depth;
+    else if (Toks[I].Text == ")" && --Depth == 0)
+      return I;
+  }
+  return Toks.size();
+}
+
+} // namespace cgclint
+
+#endif // CGC_TOOLS_LEXER_H

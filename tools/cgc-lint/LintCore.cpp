@@ -2,8 +2,9 @@
 
 #include "LintCore.h"
 
+#include "Lexer.h"
+
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -14,23 +15,11 @@ using namespace cgclint;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Tokenizer
-//===----------------------------------------------------------------------===//
+/// Line -> rules suppressed by a `cgc-lint: allow(...)` comment there.
+using SuppressionMap = std::map<int, std::set<std::string>>;
 
-struct Token {
-  enum KindT { Ident, Punct, Number, Str } Kind;
-  std::string Text;
-  int Line;
-};
-
-struct Lexed {
-  std::vector<Token> Toks;
-  /// Line -> rules suppressed by a `cgc-lint: allow(...)` comment there.
-  std::map<int, std::set<std::string>> Allowed;
-};
-
-void recordSuppression(Lexed &L, const std::string &Comment, int Line) {
+void recordSuppression(SuppressionMap &Allowed, const std::string &Comment,
+                       int Line) {
   const std::string Key = "cgc-lint:";
   size_t At = Comment.find(Key);
   if (At == std::string::npos)
@@ -48,135 +37,8 @@ void recordSuppression(Lexed &L, const std::string &Comment, int Line) {
     Rule.erase(std::remove_if(Rule.begin(), Rule.end(), ::isspace),
                Rule.end());
     if (!Rule.empty())
-      L.Allowed[Line].insert(Rule);
+      Allowed[Line].insert(Rule);
   }
-}
-
-bool identStart(char C) { return std::isalpha(static_cast<unsigned char>(C)) || C == '_'; }
-bool identChar(char C) { return std::isalnum(static_cast<unsigned char>(C)) || C == '_'; }
-
-Lexed lex(const std::string &S) {
-  Lexed L;
-  int Line = 1;
-  bool AtLineStart = true;
-  size_t I = 0, N = S.size();
-  auto bump = [&](char C) {
-    if (C == '\n') {
-      ++Line;
-      AtLineStart = true;
-    }
-  };
-  while (I < N) {
-    char C = S[I];
-    if (C == '\n') {
-      bump(C);
-      ++I;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(C))) {
-      ++I;
-      continue;
-    }
-    // Preprocessor directive: skip the whole (possibly continued) line.
-    if (C == '#' && AtLineStart) {
-      while (I < N) {
-        if (S[I] == '\\' && I + 1 < N && S[I + 1] == '\n') {
-          bump('\n');
-          I += 2;
-          continue;
-        }
-        if (S[I] == '\n')
-          break;
-        ++I;
-      }
-      continue;
-    }
-    AtLineStart = false;
-    // Line comment.
-    if (C == '/' && I + 1 < N && S[I + 1] == '/') {
-      size_t End = S.find('\n', I);
-      if (End == std::string::npos)
-        End = N;
-      recordSuppression(L, S.substr(I, End - I), Line);
-      I = End;
-      continue;
-    }
-    // Block comment.
-    if (C == '/' && I + 1 < N && S[I + 1] == '*') {
-      int StartLine = Line;
-      size_t End = S.find("*/", I + 2);
-      if (End == std::string::npos)
-        End = N;
-      else
-        End += 2;
-      recordSuppression(L, S.substr(I, End - I), StartLine);
-      for (size_t J = I; J < End; ++J)
-        bump(S[J]);
-      AtLineStart = false;
-      I = End;
-      continue;
-    }
-    // Raw string literal R"delim( ... )delim".
-    if (C == 'R' && I + 1 < N && S[I + 1] == '"' &&
-        (L.Toks.empty() || L.Toks.back().Text != "\"")) {
-      size_t DelimEnd = S.find('(', I + 2);
-      if (DelimEnd != std::string::npos) {
-        std::string Close = ")" + S.substr(I + 2, DelimEnd - I - 2) + "\"";
-        size_t End = S.find(Close, DelimEnd);
-        if (End == std::string::npos)
-          End = N;
-        else
-          End += Close.size();
-        for (size_t J = I; J < End; ++J)
-          bump(S[J]);
-        AtLineStart = false;
-        L.Toks.push_back({Token::Str, "<raw>", Line});
-        I = End;
-        continue;
-      }
-    }
-    // String / char literal.
-    if (C == '"' || C == '\'') {
-      char Quote = C;
-      size_t J = I + 1;
-      while (J < N && S[J] != Quote) {
-        if (S[J] == '\\')
-          ++J;
-        ++J;
-      }
-      L.Toks.push_back({Token::Str, "<lit>", Line});
-      I = (J < N) ? J + 1 : N;
-      continue;
-    }
-    if (identStart(C)) {
-      size_t J = I + 1;
-      while (J < N && identChar(S[J]))
-        ++J;
-      L.Toks.push_back({Token::Ident, S.substr(I, J - I), Line});
-      I = J;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(C))) {
-      size_t J = I + 1;
-      while (J < N && (identChar(S[J]) || S[J] == '.' || S[J] == '\''))
-        ++J;
-      L.Toks.push_back({Token::Number, S.substr(I, J - I), Line});
-      I = J;
-      continue;
-    }
-    // Two-character puncts the rules care about.
-    if (I + 1 < N) {
-      char D = S[I + 1];
-      if ((C == '-' && D == '>') || (C == ':' && D == ':')) {
-        L.Toks.push_back({Token::Punct, std::string() + C + D, Line});
-        I += 2;
-        continue;
-      }
-    }
-    L.Toks.push_back({Token::Punct, std::string(1, C), Line});
-    ++I;
-  }
-  return L;
 }
 
 //===----------------------------------------------------------------------===//
@@ -187,30 +49,16 @@ bool startsWith(const std::string &S, const char *Prefix) {
   return S.rfind(Prefix, 0) == 0;
 }
 
-/// Index of the token holding the ')' matching the '(' at \p OpenIdx,
-/// or Toks.size() if unbalanced.
-size_t matchParen(const std::vector<Token> &Toks, size_t OpenIdx) {
-  int Depth = 0;
-  for (size_t I = OpenIdx; I < Toks.size(); ++I) {
-    if (Toks[I].Kind != Token::Punct)
-      continue;
-    if (Toks[I].Text == "(")
-      ++Depth;
-    else if (Toks[I].Text == ")" && --Depth == 0)
-      return I;
-  }
-  return Toks.size();
-}
-
 struct RuleContext {
   const std::string &Path;
   const Lexed &L;
+  const SuppressionMap &Allowed;
   std::vector<LintViolation> &Out;
 
   bool suppressed(const std::string &Rule, int Line) const {
     for (int Probe : {Line, Line - 1}) {
-      auto It = L.Allowed.find(Probe);
-      if (It == L.Allowed.end())
+      auto It = Allowed.find(Probe);
+      if (It == Allowed.end())
         continue;
       if (It->second.count(Rule) || It->second.count("all"))
         return true;
@@ -218,9 +66,10 @@ struct RuleContext {
     return false;
   }
 
-  void report(const std::string &Rule, int Line, const std::string &Msg) {
-    if (!suppressed(Rule, Line))
-      Out.push_back({Rule, Path, Line, Msg});
+  void report(const std::string &Rule, const Token &At,
+              const std::string &Msg) {
+    if (!suppressed(Rule, At.Line))
+      Out.push_back({Rule, Path, At.Line, At.Col, Msg});
   }
 };
 
@@ -267,7 +116,7 @@ void checkR1(RuleContext &C) {
     const std::string &Op = T[I + 1].Text;
     int Needed = startsWith(Op, "compare_exchange") ? 2 : 1;
     if (Orders < Needed)
-      C.report("R1", T[I + 1].Line,
+      C.report("R1", T[I + 1],
                Op + "() without " + (Needed == 2 ? "success+failure " : "") +
                    "explicit std::memory_order (implicit seq_cst)");
   }
@@ -307,7 +156,7 @@ void checkR2(RuleContext &C) {
       continue;
     if (T[I].Text == "atomic_thread_fence" || T[I].Text == "atomic_signal_fence") {
       if (!rawFenceAllowed(C.Path))
-        C.report("R2", T[I].Line,
+        C.report("R2", T[I],
                  "raw " + T[I].Text +
                      " outside support/Fences.h (use fence(FenceSite::...))");
       continue;
@@ -334,7 +183,7 @@ void checkR2(RuleContext &C) {
         break;
       }
     if (Site.empty()) {
-      C.report("R2", T[I].Line,
+      C.report("R2", T[I],
                "fence() with a non-literal site: spell fence(FenceSite::X) "
                "so the allowlist can check it");
       continue;
@@ -345,7 +194,7 @@ void checkR2(RuleContext &C) {
       if (FastPathFile)
         Msg = "fence in the write-barrier/card-table fast path — the "
               "paper's Section 5 discipline requires this path fence free";
-      C.report("R2", T[I].Line, Msg);
+      C.report("R2", T[I], Msg);
     }
   }
 }
@@ -380,7 +229,7 @@ void checkR3(RuleContext &C) {
       else if (Tok.Text == "do")
         PendingLoopBody = true;
       else if (startsWith(Tok.Text, "compare_exchange") && inLoop())
-        C.report("R3", Tok.Line,
+        C.report("R3", Tok,
                  "hand-rolled " + Tok.Text +
                      " retry loop: use atomicCasLoop/atomicStoreMax/"
                      "atomicClaimBelow from support/Atomics.h");
@@ -440,7 +289,7 @@ void checkR4(RuleContext &C) {
     if (T[I].Kind == Token::Ident && T[I].Text == "lock_guard" &&
         T[I + 1].Text == "<" && T[I + 2].Kind == Token::Ident &&
         T[I + 2].Text == "SpinLock")
-      C.report("R4", T[I].Line,
+      C.report("R4", T[I],
                "std::lock_guard<SpinLock> bypasses the thread-safety "
                "analysis: use cgc::SpinLockGuard");
 
@@ -458,7 +307,7 @@ void checkR4(RuleContext &C) {
       continue;
     // Fragment [Start, I).
     bool HasAtomicType = false, HasClaim = false, LooksLikeFunction = false;
-    int AtomicLine = 0;
+    size_t AtomicTok = 0;
     for (size_t J = Start; J + 1 < I; ++J) {
       if (T[J].Kind != Token::Ident)
         continue;
@@ -474,14 +323,14 @@ void checkR4(RuleContext &C) {
       }
       if (T[J].Text == "atomic" && J + 1 < I && T[J + 1].Text == "<") {
         HasAtomicType = true;
-        AtomicLine = T[J].Line;
+        AtomicTok = J;
         continue;
       }
       if (J + 1 < I && T[J + 1].Kind == Token::Punct && T[J + 1].Text == "(")
         LooksLikeFunction = true; // signature, not a member declaration
     }
     if (HasAtomicType && !LooksLikeFunction && !HasClaim)
-      C.report("R4", AtomicLine,
+      C.report("R4", T[AtomicTok],
                "std::atomic member in a core component header without "
                "CGC_ATOMIC_DOC/CGC_GUARDED_BY (who touches it, and why "
                "these orders suffice?)");
@@ -498,8 +347,11 @@ void checkR4(RuleContext &C) {
 std::vector<LintViolation> cgclint::lintSource(const std::string &RelPath,
                                                const std::string &Content) {
   Lexed L = lex(Content);
+  SuppressionMap Allowed;
+  for (const Comment &Cm : L.Comments)
+    recordSuppression(Allowed, Cm.Text, Cm.Line);
   std::vector<LintViolation> Out;
-  RuleContext C{RelPath, L, Out};
+  RuleContext C{RelPath, L, Allowed, Out};
   checkR1(C);
   checkR2(C);
   checkR3(C);
@@ -540,6 +392,34 @@ std::vector<LintViolation> cgclint::lintTree(const std::string &SrcRoot) {
 }
 
 std::string cgclint::formatViolation(const LintViolation &V) {
-  return V.File + ":" + std::to_string(V.Line) + ": [" + V.Rule + "] " +
-         V.Message;
+  return V.File + ":" + std::to_string(V.Line) + ":" + std::to_string(V.Col) +
+         ": [" + V.Rule + "] " + V.Message;
+}
+
+std::string cgclint::violationsToJson(const std::vector<LintViolation> &Vs) {
+  auto Escape = [](const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (C == '\n') {
+        Out += "\\n";
+        continue;
+      }
+      Out += C;
+    }
+    return Out;
+  };
+  std::string Out = "[";
+  for (size_t I = 0; I < Vs.size(); ++I) {
+    const LintViolation &V = Vs[I];
+    if (I)
+      Out += ",";
+    Out += "\n  {\"file\": \"" + Escape(V.File) +
+           "\", \"line\": " + std::to_string(V.Line) +
+           ", \"column\": " + std::to_string(V.Col) + ", \"rule\": \"" +
+           Escape(V.Rule) + "\", \"message\": \"" + Escape(V.Message) + "\"}";
+  }
+  Out += Vs.empty() ? "]\n" : "\n]\n";
+  return Out;
 }

@@ -34,11 +34,12 @@
 
 namespace cgclint {
 
-/// One finding. Line numbers are 1-based.
+/// One finding. Line and column numbers are 1-based.
 struct LintViolation {
   std::string Rule; // "R1".."R4"
   std::string File; // path as passed in (tree-relative for lintTree)
   int Line = 0;
+  int Col = 1;
   std::string Message;
 };
 
@@ -52,8 +53,13 @@ std::vector<LintViolation> lintSource(const std::string &RelPath,
 /// the result are relative to \p SrcRoot.
 std::vector<LintViolation> lintTree(const std::string &SrcRoot);
 
-/// Formats a finding as "file:line: [Rule] message".
+/// Formats a finding as "file:line:col: [Rule] message" (the format the
+/// CI problem matcher in .github/problem-matchers/ parses).
 std::string formatViolation(const LintViolation &V);
+
+/// Renders findings as a JSON array of {file, line, column, rule,
+/// message} objects (the `--json` CLI mode).
+std::string violationsToJson(const std::vector<LintViolation> &Vs);
 
 } // namespace cgclint
 

@@ -1,34 +1,50 @@
 //===- main.cpp - cgc-lint CLI ------------------------------------------------//
 ///
 /// \file
-/// Usage: cgc-lint <src-root> [<src-root>...]
+/// Usage: cgc-lint [--json] <src-root> [<src-root>...]
 ///
 /// Lints every .h/.cpp under each root against the concurrency
-/// discipline (see LintCore.h). Prints one line per finding and exits
-/// non-zero if any finding survives suppression.
+/// discipline (see LintCore.h). Prints one `file:line:col: [Rule]
+/// message` line per finding (or, with --json, a JSON findings array on
+/// stdout) and exits non-zero if any finding survives suppression.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "LintCore.h"
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 int main(int argc, char **argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: cgc-lint <src-root> [<src-root>...]\n");
+  bool Json = false;
+  std::vector<const char *> Roots;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else
+      Roots.push_back(argv[I]);
+  }
+  if (Roots.empty()) {
+    std::fprintf(stderr, "usage: cgc-lint [--json] <src-root> [<src-root>...]\n");
     return 2;
   }
-  size_t Total = 0;
-  for (int I = 1; I < argc; ++I) {
-    auto Violations = cgclint::lintTree(argv[I]);
-    for (const auto &V : Violations)
-      std::fprintf(stderr, "%s\n", cgclint::formatViolation(V).c_str());
-    Total += Violations.size();
+  std::vector<cgclint::LintViolation> All;
+  for (const char *Root : Roots) {
+    auto Violations = cgclint::lintTree(Root);
+    All.insert(All.end(), Violations.begin(), Violations.end());
   }
-  if (Total) {
-    std::fprintf(stderr, "cgc-lint: %zu violation(s)\n", Total);
+  if (Json) {
+    std::fputs(cgclint::violationsToJson(All).c_str(), stdout);
+  } else {
+    for (const auto &V : All)
+      std::fprintf(stderr, "%s\n", cgclint::formatViolation(V).c_str());
+  }
+  if (!All.empty()) {
+    std::fprintf(stderr, "cgc-lint: %zu violation(s)\n", All.size());
     return 1;
   }
-  std::printf("cgc-lint: clean\n");
+  if (!Json)
+    std::printf("cgc-lint: clean\n");
   return 0;
 }

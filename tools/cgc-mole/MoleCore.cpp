@@ -1,0 +1,1534 @@
+//===- MoleCore.cpp - Call-graph-aware GC-safety analyzer ----------------===//
+///
+/// \file
+/// Implementation of the cgc-mole analysis engine (see MoleCore.h for
+/// the rule catalogue and DESIGN.md §14 for the analysis model). The
+/// code is organized as the two phases described there: a whole-tree
+/// index (classes, functions, named lambdas, call graph, safepoint
+/// propagation) followed by per-function dataflow checks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "MoleCore.h"
+
+#include "Lexer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cgcmole {
+namespace {
+
+using cgclint::Lexed;
+using cgclint::Token;
+
+constexpr size_t NPOS = static_cast<size_t>(-1);
+
+//===----------------------------------------------------------------------===//
+// Token utilities
+//===----------------------------------------------------------------------===//
+
+/// Control-flow and operator keywords that can precede '(' without
+/// being a call or a function name.
+bool isStmtKeyword(const std::string &S) {
+  static const std::set<std::string> K = {
+      "if",       "for",    "while",   "switch",   "catch",  "do",
+      "return",   "sizeof", "alignof", "decltype", "noexcept", "new",
+      "delete",   "throw",  "static_assert", "alignas", "defined",
+      "co_return", "co_await", "co_yield", "case", "goto", "else"};
+  return K.count(S) != 0;
+}
+
+/// Type qualifiers / namespace heads skipped when extracting the
+/// "simple name" of a declared type.
+bool isTypeQualifier(const std::string &S) {
+  static const std::set<std::string> K = {
+      "const",   "volatile", "mutable", "static", "constexpr", "inline",
+      "struct",  "class",    "typename", "unsigned", "signed", "register",
+      "thread_local", "extern", "std", "cgc", "explicit", "virtual",
+      "friend", "long", "short", "auto"};
+  return K.count(S) != 0;
+}
+
+bool isCgcMacro(const std::string &S) { return S.rfind("CGC_", 0) == 0; }
+
+/// Bidirectional bracket matching over the whole token stream. Match[I]
+/// holds the index of the partner bracket, NPOS when unbalanced.
+std::vector<size_t> matchBrackets(const std::vector<Token> &T) {
+  std::vector<size_t> Match(T.size(), NPOS);
+  std::vector<size_t> Paren, Brace, Square;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I].Kind != Token::Punct || T[I].Text.size() != 1)
+      continue;
+    char C = T[I].Text[0];
+    auto close = [&](std::vector<size_t> &Stack) {
+      if (!Stack.empty()) {
+        Match[I] = Stack.back();
+        Match[Stack.back()] = I;
+        Stack.pop_back();
+      }
+    };
+    switch (C) {
+    case '(': Paren.push_back(I); break;
+    case '[': Square.push_back(I); break;
+    case '{': Brace.push_back(I); break;
+    case ')': close(Paren); break;
+    case ']': close(Square); break;
+    case '}': close(Brace); break;
+    default: break;
+    }
+  }
+  return Match;
+}
+
+//===----------------------------------------------------------------------===//
+// Index data structures
+//===----------------------------------------------------------------------===//
+
+struct FileUnit {
+  std::string Path;
+  Lexed L;
+  std::vector<size_t> Match;
+  /// line -> rules suppressed on that line (and probed from the next).
+  std::map<int, std::set<std::string>> Allowed;
+};
+
+struct ClassInfo {
+  std::map<std::string, std::string> FieldTypes;    // field -> simple type
+  std::map<std::string, std::string> MethodReturns; // method -> simple type
+  std::set<std::string> MethodsSeen;                // declared or defined
+};
+
+struct CallSite {
+  size_t TokIdx = 0;
+  int Line = 0, Col = 1;
+  std::string Simple;    // callee simple name
+  std::string Target;    // "Class::name" / free-fn qual; "" = unresolved
+  size_t ArgsEnd = 0;    // token index of the call's closing ')'
+  int GuardCount = 0;    // SpinLockGuards held at the call site
+  std::string GuardLock; // innermost guard's lock expression
+  int GuardLine = 0;     // innermost guard's declaration line
+};
+
+struct FunctionDef {
+  std::string Qual;   // "Class::name", "name", or "parent::lambdaName"
+  std::string Simple; // unqualified name ("" for anonymous lambdas)
+  size_t FileIdx = 0;
+  int Line = 0, Col = 1;
+  size_t ParamOpen = 0, ParamClose = 0; // '(' .. ')' token range
+  size_t BodyBegin = 0, BodyEnd = 0;    // '{' .. '}' token range
+  size_t DeclBegin = 0;                 // statement start (annotation scan)
+  std::string EnclosingClass;           // "" for free functions
+  bool Safepoint = false;               // CGC_SAFEPOINT on the definition
+  bool NoSafepoint = false;             // CGC_NO_SAFEPOINT on the definition
+  bool IsLambda = false;
+  size_t Parent = NPOS;                      // enclosing def for lambdas
+  std::vector<std::pair<size_t, size_t>> Masks; // child-lambda body ranges
+  std::vector<size_t> Children;                 // child def indices
+  std::map<std::string, std::string> VarTypes;  // params + locals
+  std::set<std::string> ObjectPtrParams;        // params of type Object*
+  std::vector<CallSite> Calls;
+};
+
+/// Built-in may-reach-safepoint seeds: the mutator poll, allocation and
+/// the degradation ladder, and the cooperation-protocol entry points.
+/// CGC_SAFEPOINT annotations extend this set; the list is kept here too
+/// so the analysis never silently loses its anchors if an annotation is
+/// dropped.
+const std::set<std::string> &builtinSeeds() {
+  static const std::set<std::string> S = {
+      "GcHeap::allocate",       "GcHeap::allocateLarge",
+      "GcHeap::refillCache",    "GcHeap::runAllocationLadder",
+      "GcHeap::safepointPoll",  "GcHeap::enterIdle",
+      "GcHeap::exitIdle",       "GcHeap::requestGC",
+      "GcHeap::verifyNow",      "GcHeap::attachThread",
+      "GcHeap::detachThread",   "ThreadRegistry::poll",
+      "ThreadRegistry::enterIdle", "ThreadRegistry::exitIdle",
+      "ThreadRegistry::stopTheWorld", "ThreadRegistry::resumeTheWorld",
+      "ThreadRegistry::requestFenceHandshake", "ThreadRegistry::park",
+      "Collector::collectNow",  "Collector::onAllocationSlowPath"};
+  return S;
+}
+
+/// Simple names that count as may-safepoint even when the receiver
+/// cannot be resolved: they are unique enough tree-wide that an
+/// unresolved call by this name is a safepoint with high confidence.
+/// (Deliberately NOT `allocate`/`poll`: those collide with the
+/// free-list / cache layers, which never safepoint.)
+bool isAlwaysSafepointName(const std::string &S) {
+  static const std::set<std::string> K = {
+      "safepointPoll",  "collectNow",       "requestFenceHandshake",
+      "stopTheWorld",   "resumeTheWorld",   "onAllocationSlowPath",
+      "runAllocationLadder", "park"};
+  return K.count(S) != 0;
+}
+
+/// M1 is enforced where mutators live; collector internals trace
+/// unanchored references by design (they run inside the protocol).
+bool m1Enforced(const std::string &Path) {
+  return Path.rfind("workloads/", 0) == 0 || Path.rfind("runtime/", 0) == 0 ||
+         Path.rfind("mutator/", 0) == 0;
+}
+
+/// The documented raw-store sites (the barrier contract in
+/// heap/ObjectModel.h): the definition itself, the write barrier that
+/// wraps it, and the compactor (which fixes slots while the world is
+/// stopped or the holder is pinned).
+bool m2Allowed(const std::string &Path) {
+  return Path == "heap/ObjectModel.h" || Path == "runtime/GcHeap.h" ||
+         Path == "gc/Compactor.cpp" || Path == "gc/Compactor.h";
+}
+
+//===----------------------------------------------------------------------===//
+// Analyzer
+//===----------------------------------------------------------------------===//
+
+class Analyzer {
+public:
+  explicit Analyzer(const std::vector<SourceFile> &Files) {
+    for (const auto &SF : Files) {
+      FileUnit U;
+      U.Path = SF.RelPath;
+      U.L = cgclint::lex(SF.Content);
+      U.Match = matchBrackets(U.L.Toks);
+      buildSuppressions(U);
+      Units.push_back(std::move(U));
+    }
+  }
+
+  Report run() {
+    // Phase 1: index every file, then resolve vars and calls with the
+    // complete class index in hand, then propagate the safepoint bit.
+    for (size_t F = 0; F < Units.size(); ++F)
+      walkDeclRegion(F, 0, Units[F].L.Toks.size(), "");
+    for (size_t D = 0; D < Defs.size(); ++D)
+      findLambdas(D);
+    for (size_t D = 0; D < Defs.size(); ++D)
+      collectVars(D);
+    for (size_t D = 0; D < Defs.size(); ++D)
+      extractCalls(D);
+    buildNameIndexes();
+    propagate();
+
+    // Phase 2: per-function dataflow.
+    Report R;
+    R.NumFunctions = Defs.size();
+    for (bool B : Tainted)
+      R.NumMaySafepoint += B ? 1 : 0;
+    for (size_t D = 0; D < Defs.size(); ++D) {
+      checkNoSafepoint(D);
+      checkRawStores(D);
+      checkSafepointUnderLock(D);
+      if (m1Enforced(Units[Defs[D].FileIdx].Path))
+        checkLiveAcrossSafepoint(D);
+    }
+    std::sort(All.begin(), All.end(), [](const Finding &A, const Finding &B) {
+      return std::tie(A.File, A.Line, A.Col, A.Rule, A.Message) <
+             std::tie(B.File, B.Line, B.Col, B.Rule, B.Message);
+    });
+    for (Finding &F : All) {
+      if (isSuppressed(F))
+        R.Suppressed.push_back(std::move(F));
+      else
+        R.Findings.push_back(std::move(F));
+    }
+    return R;
+  }
+
+private:
+  std::vector<FileUnit> Units;
+  std::map<std::string, ClassInfo> Classes;
+  std::vector<FunctionDef> Defs;
+  std::map<std::string, size_t> DefsByQual;
+  std::map<std::string, std::vector<size_t>> DefsBySimple;
+  std::set<std::string> Seeds;            // qualified may-safepoint roots
+  std::set<std::string> NoSafepointDecls; // qualified CGC_NO_SAFEPOINT decls
+  std::vector<char> Tainted;              // per-def may-reach-safepoint bit
+  std::vector<Finding> All;
+
+  const std::vector<Token> &toks(size_t F) const { return Units[F].L.Toks; }
+
+  //===--------------------------------------------------------------------===//
+  // Suppressions
+  //===--------------------------------------------------------------------===//
+
+  void buildSuppressions(FileUnit &U) {
+    for (const auto &C : U.L.Comments) {
+      size_t Tag = C.Text.find("cgc-mole:");
+      if (Tag == std::string::npos)
+        continue;
+      size_t Open = C.Text.find("allow(", Tag);
+      if (Open == std::string::npos)
+        continue;
+      size_t Close = C.Text.find(')', Open);
+      if (Close == std::string::npos)
+        continue;
+      std::stringstream SS(C.Text.substr(Open + 6, Close - Open - 6));
+      std::string Rule;
+      while (std::getline(SS, Rule, ',')) {
+        Rule.erase(0, Rule.find_first_not_of(" \t"));
+        Rule.erase(Rule.find_last_not_of(" \t") + 1);
+        if (!Rule.empty())
+          U.Allowed[C.Line].insert(Rule);
+      }
+    }
+    // CGC_GC_UNSAFE_OK("reason") suppresses every mole rule on its
+    // statement (its line, probed from the next line too).
+    for (const Token &T : U.L.Toks)
+      if (T.Kind == Token::Ident && T.Text == "CGC_GC_UNSAFE_OK")
+        U.Allowed[T.Line].insert("all");
+  }
+
+  bool isSuppressed(const Finding &F) const {
+    for (const FileUnit &U : Units) {
+      if (U.Path != F.File)
+        continue;
+      for (int Line : {F.Line, F.Line - 1}) {
+        auto It = U.Allowed.find(Line);
+        if (It != U.Allowed.end() &&
+            (It->second.count(F.Rule) || It->second.count("all")))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1a: declaration-region walk (namespaces, classes, functions)
+  //===--------------------------------------------------------------------===//
+
+  /// Skips a `template <...>` header starting at \p I (the `template`
+  /// token); returns the index just past the closing '>'.
+  size_t skipTemplateHeader(size_t F, size_t I) const {
+    const auto &T = toks(F);
+    size_t J = I + 1;
+    if (J >= T.size() || T[J].Text != "<")
+      return I + 1;
+    int Depth = 0;
+    for (; J < T.size(); ++J) {
+      if (T[J].Text == "<")
+        ++Depth;
+      else if (T[J].Text == ">" && --Depth == 0)
+        return J + 1;
+    }
+    return J;
+  }
+
+  /// First ';' at group depth zero starting from \p I, jumping bracket
+  /// groups via the match table. Returns the index of the ';' (or End).
+  size_t findSemi(size_t F, size_t I, size_t End) const {
+    const auto &T = toks(F);
+    const auto &M = Units[F].Match;
+    for (size_t J = I; J < End; ++J) {
+      const std::string &X = T[J].Text;
+      if (T[J].Kind != Token::Punct)
+        continue;
+      if (X == ";")
+        return J;
+      if ((X == "(" || X == "[" || X == "{") && M[J] != NPOS)
+        J = M[J];
+    }
+    return End;
+  }
+
+  /// Simple type name of a declarator chain ending just before \p
+  /// NameIdx (walking backwards over '*', '&', 'const' and template
+  /// argument lists; unwraps unique_ptr/shared_ptr to the pointee).
+  std::string typeBefore(size_t F, size_t NameIdx) const {
+    const auto &T = toks(F);
+    size_t J = NameIdx;
+    while (J > 0) {
+      --J;
+      const std::string &X = T[J].Text;
+      if (X == "*" || X == "&" || X == "const" || X == "volatile")
+        continue;
+      if (X == ">") { // template args: balance back to '<'
+        int Depth = 1;
+        while (J > 0 && Depth > 0) {
+          --J;
+          if (T[J].Text == ">")
+            ++Depth;
+          else if (T[J].Text == "<")
+            --Depth;
+        }
+        size_t LtIdx = J;
+        if (J == 0)
+          return "";
+        --J; // token before '<'
+        if (T[J].Kind == Token::Ident &&
+            (T[J].Text == "unique_ptr" || T[J].Text == "shared_ptr")) {
+          // Pointee simple name: first identifier after '<' that is
+          // not a namespace head.
+          for (size_t K = LtIdx + 1; K < NameIdx; ++K)
+            if (T[K].Kind == Token::Ident && !isTypeQualifier(T[K].Text))
+              return T[K].Text;
+          return "";
+        }
+        return T[J].Kind == Token::Ident ? T[J].Text : "";
+      }
+      if (T[J].Kind == Token::Ident)
+        return T[J].Text;
+      return "";
+    }
+    return "";
+  }
+
+  struct FnParse {
+    enum { Def, Decl, Fail } Kind = Fail;
+    size_t BodyOpen = 0, BodyClose = 0; // Def only
+    size_t Terminal = 0;                // Decl: the ';'
+  };
+
+  /// Classifies the identifier at \p NameIdx (followed by '(') as a
+  /// function definition, a declaration, or neither.
+  FnParse tryFunction(size_t F, size_t NameIdx) const {
+    const auto &T = toks(F);
+    const auto &M = Units[F].Match;
+    FnParse P;
+    size_t Open = NameIdx + 1;
+    if (Open >= T.size() || T[Open].Text != "(" || M[Open] == NPOS)
+      return P;
+    size_t K = M[Open] + 1;
+    auto skipGroup = [&](size_t At) {
+      return (At < T.size() && M[At] != NPOS) ? M[At] + 1 : At + 1;
+    };
+    while (K < T.size()) {
+      const std::string &X = T[K].Text;
+      if (T[K].Kind == Token::Ident) {
+        if (X == "const" || X == "override" || X == "final" ||
+            X == "mutable" || X == "volatile") {
+          ++K;
+          continue;
+        }
+        if (X == "noexcept") {
+          ++K;
+          if (K < T.size() && T[K].Text == "(")
+            K = skipGroup(K);
+          continue;
+        }
+        if (isCgcMacro(X)) {
+          ++K;
+          if (K < T.size() && T[K].Text == "(")
+            K = skipGroup(K);
+          continue;
+        }
+        return P; // unexpected identifier: not a function
+      }
+      if (X == "&") {
+        ++K;
+        continue;
+      }
+      if (X == "->") { // trailing return type
+        ++K;
+        while (K < T.size() &&
+               (T[K].Kind == Token::Ident || T[K].Text == "::" ||
+                T[K].Text == "*" || T[K].Text == "&" || T[K].Text == "<" ||
+                T[K].Text == ">" || T[K].Text == ","))
+          ++K;
+        continue;
+      }
+      if (X == "{") {
+        if (M[K] == NPOS)
+          return P;
+        P.Kind = FnParse::Def;
+        P.BodyOpen = K;
+        P.BodyClose = M[K];
+        return P;
+      }
+      if (X == ";") {
+        P.Kind = FnParse::Decl;
+        P.Terminal = K;
+        return P;
+      }
+      if (X == "=") {
+        // Pure virtual / defaulted / deleted declaration.
+        if (K + 1 < T.size() &&
+            (T[K + 1].Text == "0" || T[K + 1].Text == "default" ||
+             T[K + 1].Text == "delete")) {
+          P.Kind = FnParse::Decl;
+          P.Terminal = findSemi(F, K, T.size());
+          return P;
+        }
+        return P;
+      }
+      if (X == ":") { // constructor initializer list
+        ++K;
+        while (K < T.size()) {
+          while (K < T.size() &&
+                 (T[K].Kind == Token::Ident || T[K].Text == "::" ||
+                  T[K].Text == "<" || T[K].Text == ">"))
+            ++K;
+          if (K >= T.size() || (T[K].Text != "(" && T[K].Text != "{"))
+            return P;
+          K = skipGroup(K);
+          if (K < T.size() && T[K].Text == ",") {
+            ++K;
+            continue;
+          }
+          break;
+        }
+        if (K < T.size() && T[K].Text == "{" && M[K] != NPOS) {
+          P.Kind = FnParse::Def;
+          P.BodyOpen = K;
+          P.BodyClose = M[K];
+        }
+        return P;
+      }
+      return P;
+    }
+    return P;
+  }
+
+  /// Can the token before \p NameIdx legally precede a function name in
+  /// a declaration? (Filters out calls in initializers and operators.)
+  bool validDefPrev(size_t F, size_t NameIdx) const {
+    if (NameIdx == 0)
+      return true;
+    const Token &P = toks(F)[NameIdx - 1];
+    if (P.Kind == Token::Ident)
+      return !isStmtKeyword(P.Text);
+    const std::string &X = P.Text;
+    return X == "*" || X == "&" || X == "::" || X == "~" || X == ";" ||
+           X == "}" || X == "{" || X == ">" || X == ":";
+  }
+
+  bool rangeHasIdent(size_t F, size_t B, size_t E, const char *Name) const {
+    const auto &T = toks(F);
+    for (size_t I = B; I < E && I < T.size(); ++I)
+      if (T[I].Kind == Token::Ident && T[I].Text == Name)
+        return true;
+    return false;
+  }
+
+  void recordDecl(size_t F, size_t StmtBegin, size_t NameIdx, size_t Terminal,
+                  const std::string &Cls) {
+    const auto &T = toks(F);
+    if (Cls.empty())
+      return;
+    ClassInfo &CI = Classes[Cls];
+    const std::string &Name = T[NameIdx].Text;
+    CI.MethodsSeen.insert(Name);
+    std::string Ret = typeBefore(F, NameIdx);
+    if (!Ret.empty() && !CI.MethodReturns.count(Name))
+      CI.MethodReturns[Name] = Ret;
+    std::string Qual = Cls + "::" + Name;
+    if (rangeHasIdent(F, StmtBegin, Terminal, "CGC_SAFEPOINT"))
+      Seeds.insert(Qual);
+    if (rangeHasIdent(F, StmtBegin, Terminal, "CGC_NO_SAFEPOINT"))
+      NoSafepointDecls.insert(Qual);
+  }
+
+  void recordDef(size_t F, size_t StmtBegin, size_t NameIdx, const FnParse &P,
+                 const std::string &Cls) {
+    const auto &T = toks(F);
+    FunctionDef D;
+    D.FileIdx = F;
+    D.Line = T[NameIdx].Line;
+    D.Col = T[NameIdx].Col;
+    D.Simple = T[NameIdx].Text;
+    if (NameIdx > 0 && T[NameIdx - 1].Text == "~")
+      D.Simple = "~" + D.Simple;
+    // Out-of-line method: Class::name (use the last qualifier).
+    std::string Encl = Cls;
+    size_t Q = NameIdx - (D.Simple[0] == '~' ? 2 : 1);
+    if (NameIdx >= 2 && T[Q + 1 - 1].Text == "::" && Q >= 1 &&
+        T[Q - 1].Kind == Token::Ident && T[NameIdx - 1].Text != "~")
+      Encl = T[Q - 1].Text;
+    else if (D.Simple[0] == '~' && NameIdx >= 3 && T[NameIdx - 2].Text == "::")
+      Encl = Cls; // out-of-line dtor: keep class from context if any
+    D.EnclosingClass = Encl;
+    D.Qual = Encl.empty() ? D.Simple : Encl + "::" + D.Simple;
+    D.ParamOpen = NameIdx + 1;
+    D.ParamClose = Units[F].Match[D.ParamOpen];
+    D.BodyBegin = P.BodyOpen;
+    D.BodyEnd = P.BodyClose;
+    D.DeclBegin = StmtBegin;
+    D.Safepoint = rangeHasIdent(F, StmtBegin, P.BodyOpen, "CGC_SAFEPOINT");
+    D.NoSafepoint = rangeHasIdent(F, StmtBegin, P.BodyOpen, "CGC_NO_SAFEPOINT");
+    if (!Encl.empty()) {
+      ClassInfo &CI = Classes[Encl];
+      CI.MethodsSeen.insert(D.Simple);
+      std::string Ret = typeBefore(F, NameIdx);
+      if (!Ret.empty() && !CI.MethodReturns.count(D.Simple))
+        CI.MethodReturns[D.Simple] = Ret;
+    }
+    Defs.push_back(std::move(D));
+  }
+
+  void parseField(size_t F, size_t Begin, size_t End, const std::string &Cls) {
+    const auto &T = toks(F);
+    if (Cls.empty() || End <= Begin)
+      return;
+    // Field name: last identifier before the initializer / terminator.
+    size_t NameIdx = NPOS;
+    for (size_t I = Begin; I < End; ++I) {
+      const std::string &X = T[I].Text;
+      if (X == "=" || X == "{" || X == "[")
+        break;
+      if (T[I].Kind == Token::Ident && !isCgcMacro(X))
+        NameIdx = I;
+    }
+    if (NameIdx == NPOS)
+      return;
+    std::string Ty = typeBefore(F, NameIdx);
+    if (Ty.empty() || isTypeQualifier(Ty))
+      return;
+    Classes[Cls].FieldTypes[T[NameIdx].Text] = Ty;
+  }
+
+  /// Walks a namespace or class body region, indexing declarations.
+  void walkDeclRegion(size_t F, size_t Begin, size_t End,
+                      const std::string &Cls) {
+    const auto &T = toks(F);
+    const auto &M = Units[F].Match;
+    size_t I = Begin;
+    while (I < End) {
+      const Token &Tok = T[I];
+      if (Tok.Kind == Token::Punct) {
+        if (Tok.Text == "{" && M[I] != NPOS) {
+          I = M[I] + 1; // stray block (e.g. extern "C"): skip
+          continue;
+        }
+        ++I;
+        continue;
+      }
+      if (Tok.Kind != Token::Ident) {
+        ++I;
+        continue;
+      }
+      const std::string &X = Tok.Text;
+      if ((X == "public" || X == "private" || X == "protected") &&
+          I + 1 < End && T[I + 1].Text == ":") {
+        I += 2;
+        continue;
+      }
+      if (X == "template") {
+        I = skipTemplateHeader(F, I);
+        continue;
+      }
+      if (X == "using" || X == "typedef" || X == "friend" ||
+          X == "static_assert") {
+        I = findSemi(F, I, End) + 1;
+        continue;
+      }
+      if (X == "namespace") {
+        size_t J = I + 1;
+        while (J < End && (T[J].Kind == Token::Ident || T[J].Text == "::"))
+          ++J;
+        if (J < End && T[J].Text == "{" && M[J] != NPOS) {
+          walkDeclRegion(F, J + 1, M[J], "");
+          I = M[J] + 1;
+        } else {
+          I = findSemi(F, I, End) + 1; // namespace alias
+        }
+        continue;
+      }
+      if (X == "enum") {
+        size_t J = I + 1;
+        while (J < End && T[J].Text != "{" && T[J].Text != ";")
+          ++J;
+        if (J < End && T[J].Text == "{" && M[J] != NPOS)
+          J = M[J];
+        I = findSemi(F, J, End) + 1;
+        continue;
+      }
+      if (X == "class" || X == "struct" || X == "union") {
+        // Find the name (skipping annotation macros), then the body.
+        size_t J = I + 1;
+        std::string Name;
+        while (J < End) {
+          if (T[J].Kind == Token::Ident) {
+            if (isCgcMacro(T[J].Text) || T[J].Text == "alignas") {
+              ++J;
+              if (J < End && T[J].Text == "(" && M[J] != NPOS)
+                J = M[J] + 1;
+              continue;
+            }
+            Name = T[J].Text;
+            ++J;
+            break;
+          }
+          break;
+        }
+        // Scan to '{' (definition) or ';' (fwd decl / elaborated use).
+        size_t K = J;
+        while (K < End && T[K].Text != "{" && T[K].Text != ";" &&
+               T[K].Text != "(" && T[K].Text != "=")
+          ++K;
+        if (K < End && T[K].Text == "{" && M[K] != NPOS && !Name.empty()) {
+          Classes[Name]; // ensure the entry exists even if empty
+          walkDeclRegion(F, K + 1, M[K], Name);
+          I = findSemi(F, M[K], End) + 1;
+        } else {
+          I = findSemi(F, I, End) + 1;
+        }
+        continue;
+      }
+      // General statement: look for a function candidate; otherwise a
+      // field (class scope) or a variable (namespace scope).
+      size_t StmtBegin = I;
+      size_t J = I;
+      bool Consumed = false;
+      while (J < End) {
+        const std::string &Y = T[J].Text;
+        if (T[J].Kind == Token::Punct) {
+          if (Y == ";") {
+            parseField(F, StmtBegin, J, Cls);
+            I = J + 1;
+            Consumed = true;
+            break;
+          }
+          if (Y == "=") { // initializer: no defs past here
+            size_t Semi = findSemi(F, J, End);
+            parseField(F, StmtBegin, J, Cls);
+            I = Semi + 1;
+            Consumed = true;
+            break;
+          }
+          if ((Y == "{" || Y == "[") && M[J] != NPOS) {
+            J = M[J] + 1; // jump anonymous aggregate / attribute / init
+            continue;
+          }
+          ++J;
+          continue;
+        }
+        if (T[J].Kind == Token::Ident && J + 1 < End &&
+            T[J + 1].Text == "(" && !isStmtKeyword(T[J].Text) &&
+            !isCgcMacro(T[J].Text) && validDefPrev(F, J)) {
+          FnParse P = tryFunction(F, J);
+          if (P.Kind == FnParse::Def) {
+            recordDef(F, StmtBegin, J, P, Cls);
+            I = P.BodyClose + 1;
+            if (I < End && T[I].Text == ";")
+              ++I;
+            Consumed = true;
+            break;
+          }
+          if (P.Kind == FnParse::Decl) {
+            recordDecl(F, StmtBegin, J, P.Terminal, Cls);
+            I = P.Terminal + 1;
+            Consumed = true;
+            break;
+          }
+        }
+        ++J;
+      }
+      if (!Consumed)
+        I = (J >= End) ? End : J + 1;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1b: lambdas, variable types, call extraction
+  //===--------------------------------------------------------------------===//
+
+  bool masked(const FunctionDef &D, size_t I) const {
+    for (const auto &[B, E] : D.Masks)
+      if (I >= B && I <= E)
+        return true;
+    return false;
+  }
+
+  /// Parses a lambda introducer at \p LB (the '['). Returns {bodyOpen,
+  /// bodyClose} or {NPOS, NPOS}.
+  std::pair<size_t, size_t> lambdaBody(size_t F, size_t LB) const {
+    const auto &T = toks(F);
+    const auto &M = Units[F].Match;
+    if (M[LB] == NPOS)
+      return {NPOS, NPOS};
+    size_t K = M[LB] + 1;
+    if (K < T.size() && T[K].Text == "(") {
+      if (M[K] == NPOS)
+        return {NPOS, NPOS};
+      K = M[K] + 1;
+    }
+    while (K < T.size()) {
+      const std::string &X = T[K].Text;
+      if (X == "mutable" || X == "noexcept" || X == "constexpr") {
+        ++K;
+        continue;
+      }
+      if (X == "->") {
+        ++K;
+        while (K < T.size() &&
+               (T[K].Kind == Token::Ident || T[K].Text == "::" ||
+                T[K].Text == "*" || T[K].Text == "&" || T[K].Text == "<" ||
+                T[K].Text == ">"))
+          ++K;
+        continue;
+      }
+      break;
+    }
+    if (K < T.size() && T[K].Text == "{" && M[K] != NPOS)
+      return {K, M[K]};
+    return {NPOS, NPOS};
+  }
+
+  void findLambdas(size_t DefIdx) {
+    size_t F = Defs[DefIdx].FileIdx;
+    const auto &T = toks(F);
+    size_t I = Defs[DefIdx].BodyBegin + 1;
+    size_t End = Defs[DefIdx].BodyEnd;
+    while (I < End) {
+      if (masked(Defs[DefIdx], I)) {
+        ++I;
+        continue;
+      }
+      // Named lambda: auto Name = [...](...) ... { ... }
+      if (T[I].Text == "auto" && I + 3 < End && T[I + 1].Kind == Token::Ident &&
+          T[I + 2].Text == "=" && T[I + 3].Text == "[") {
+        auto [BO, BC] = lambdaBody(F, I + 3);
+        if (BO != NPOS) {
+          addLambda(DefIdx, T[I + 1].Text, I + 3, BO, BC);
+          I = BC + 1;
+          continue;
+        }
+      }
+      // Anonymous lambda: '[' not preceded by a postfix expression.
+      if (T[I].Text == "[" &&
+          (I == 0 || (toks(F)[I - 1].Kind != Token::Ident &&
+                      toks(F)[I - 1].Text != ")" &&
+                      toks(F)[I - 1].Text != "]"))) {
+        auto [BO, BC] = lambdaBody(F, I);
+        if (BO != NPOS) {
+          addLambda(DefIdx, "", I, BO, BC);
+          I = BC + 1;
+          continue;
+        }
+      }
+      ++I;
+    }
+  }
+
+  void addLambda(size_t ParentIdx, const std::string &Name, size_t Intro,
+                 size_t BodyOpen, size_t BodyClose) {
+    FunctionDef &P = Defs[ParentIdx];
+    size_t F = P.FileIdx;
+    const auto &T = toks(F);
+    FunctionDef D;
+    D.FileIdx = F;
+    D.Line = T[Intro].Line;
+    D.Col = T[Intro].Col;
+    D.Simple = Name;
+    D.Qual = P.Qual + "::" +
+             (Name.empty() ? "<lambda:" + std::to_string(T[Intro].Line) + ">"
+                           : Name);
+    D.EnclosingClass = P.EnclosingClass; // captures `this` conservatively
+    size_t AfterIntro = Units[F].Match[Intro] + 1;
+    if (AfterIntro < T.size() && T[AfterIntro].Text == "(") {
+      D.ParamOpen = AfterIntro;
+      D.ParamClose = Units[F].Match[AfterIntro];
+    } else {
+      D.ParamOpen = D.ParamClose = BodyOpen; // no parameter list
+    }
+    D.BodyBegin = BodyOpen;
+    D.BodyEnd = BodyClose;
+    D.DeclBegin = Intro;
+    D.IsLambda = true;
+    D.Parent = ParentIdx;
+    P.Masks.push_back({Intro, BodyClose});
+    P.Children.push_back(Defs.size());
+    Defs.push_back(std::move(D));
+    // Note: Defs may have reallocated; P reference is not used below.
+  }
+
+  void collectVars(size_t DefIdx) {
+    FunctionDef &D = Defs[DefIdx];
+    if (D.Parent != NPOS)
+      D.VarTypes = Defs[D.Parent].VarTypes; // captured outer scope
+    size_t F = D.FileIdx;
+    const auto &T = toks(F);
+    const auto &M = Units[F].Match;
+    // Parameters.
+    if (D.ParamClose > D.ParamOpen) {
+      size_t PB = D.ParamOpen + 1;
+      int Angle = 0;
+      std::vector<std::pair<size_t, size_t>> Pieces;
+      size_t PieceStart = PB;
+      for (size_t I = PB; I < D.ParamClose; ++I) {
+        const std::string &X = T[I].Text;
+        if (X == "(" && M[I] != NPOS) {
+          I = M[I];
+          continue;
+        }
+        if (X == "<")
+          ++Angle;
+        else if (X == ">" && Angle > 0)
+          --Angle;
+        else if (X == "," && Angle == 0) {
+          Pieces.push_back({PieceStart, I});
+          PieceStart = I + 1;
+        }
+      }
+      if (PieceStart < D.ParamClose)
+        Pieces.push_back({PieceStart, D.ParamClose});
+      for (auto [B, E] : Pieces) {
+        size_t NameIdx = NPOS;
+        for (size_t I = B; I < E; ++I) {
+          if (T[I].Text == "=")
+            break; // default argument
+          if (T[I].Kind == Token::Ident && !isCgcMacro(T[I].Text))
+            NameIdx = I;
+        }
+        if (NameIdx == NPOS)
+          continue;
+        std::string Ty = typeBefore(F, NameIdx);
+        if (!Ty.empty() && !isTypeQualifier(Ty))
+          D.VarTypes[T[NameIdx].Text] = Ty;
+        // Object* parameter?
+        bool SawObject = false;
+        for (size_t I = B; I < NameIdx; ++I) {
+          if (T[I].Kind == Token::Ident && T[I].Text == "Object")
+            SawObject = true;
+          else if (SawObject && T[I].Text == "*") {
+            D.ObjectPtrParams.insert(T[NameIdx].Text);
+            break;
+          } else if (T[I].Kind == Token::Ident && T[I].Text != "const" &&
+                     T[I].Text != "cgc" && T[I].Text != "volatile")
+            SawObject = false;
+          else if (T[I].Text != "::" && T[I].Text != "const")
+            SawObject = SawObject && T[I].Text == "*";
+        }
+      }
+    }
+    // Locals: `Type [*&]* Name` at a statement-ish position.
+    for (size_t I = D.BodyBegin + 1; I + 1 < D.BodyEnd; ++I) {
+      if (masked(D, I))
+        continue;
+      if (T[I].Kind != Token::Ident || isStmtKeyword(T[I].Text) ||
+          isCgcMacro(T[I].Text))
+        continue;
+      const Token &Prev = T[I - 1];
+      bool StmtStart = Prev.Text == ";" || Prev.Text == "{" ||
+                       Prev.Text == "}" || Prev.Text == "(" ||
+                       Prev.Text == "," || Prev.Text == "const";
+      if (!StmtStart)
+        continue;
+      // Walk the type: Ident (:: Ident)* (<...>)? [*&]* Name
+      size_t J = I;
+      while (J + 2 < D.BodyEnd && T[J + 1].Text == "::" &&
+             T[J + 2].Kind == Token::Ident)
+        J += 2;
+      size_t K = J + 1;
+      if (K < D.BodyEnd && T[K].Text == "<") {
+        int Depth = 0;
+        while (K < D.BodyEnd) {
+          if (T[K].Text == "<")
+            ++Depth;
+          else if (T[K].Text == ">" && --Depth == 0) {
+            ++K;
+            break;
+          }
+          ++K;
+        }
+      }
+      while (K < D.BodyEnd && (T[K].Text == "*" || T[K].Text == "&"))
+        ++K;
+      if (K >= D.BodyEnd || T[K].Kind != Token::Ident ||
+          isStmtKeyword(T[K].Text) || K == I)
+        continue;
+      if (K + 1 >= D.BodyEnd)
+        continue;
+      const std::string &Follow = T[K + 1].Text;
+      if (Follow != "=" && Follow != ";" && Follow != "(" && Follow != "{" &&
+          Follow != "," && Follow != "[" && Follow != ":")
+        continue;
+      std::string Ty = typeBefore(F, K);
+      if (!Ty.empty() && !isTypeQualifier(Ty) && !D.VarTypes.count(T[K].Text))
+        D.VarTypes[T[K].Text] = Ty;
+    }
+  }
+
+  std::string fieldType(const std::string &Cls, const std::string &Fld) const {
+    auto It = Classes.find(Cls);
+    if (It == Classes.end())
+      return "";
+    auto F = It->second.FieldTypes.find(Fld);
+    return F == It->second.FieldTypes.end() ? "" : F->second;
+  }
+
+  std::string methodReturn(const std::string &Cls,
+                           const std::string &Mth) const {
+    auto It = Classes.find(Cls);
+    if (It == Classes.end())
+      return "";
+    auto F = It->second.MethodReturns.find(Mth);
+    return F == It->second.MethodReturns.end() ? "" : F->second;
+  }
+
+  bool classHasMethod(const std::string &Cls, const std::string &Mth) const {
+    auto It = Classes.find(Cls);
+    return It != Classes.end() && It->second.MethodsSeen.count(Mth) != 0;
+  }
+
+  /// Static class of the postfix expression ending at token \p J ("" if
+  /// unknown). Depth-limited recursive chain resolution.
+  std::string classOfExprEndingAt(const FunctionDef &D, size_t J,
+                                  int Depth = 0) const {
+    if (Depth > 8 || J == NPOS || J >= toks(D.FileIdx).size())
+      return "";
+    size_t F = D.FileIdx;
+    const auto &T = toks(F);
+    const auto &M = Units[F].Match;
+    const std::string &X = T[J].Text;
+    if (X == ")") {
+      size_t Open = M[J];
+      if (Open == NPOS || Open == 0)
+        return "";
+      size_t NameIdx = Open - 1;
+      if (T[NameIdx].Kind != Token::Ident)
+        return ""; // parenthesized expression or cast
+      const std::string &Mth = T[NameIdx].Text;
+      if (NameIdx >= 2 && (T[NameIdx - 1].Text == "." ||
+                           T[NameIdx - 1].Text == "->")) {
+        std::string C = classOfExprEndingAt(D, NameIdx - 2, Depth + 1);
+        return C.empty() ? "" : methodReturn(C, Mth);
+      }
+      if (NameIdx >= 2 && T[NameIdx - 1].Text == "::")
+        return methodReturn(T[NameIdx - 2].Text, Mth);
+      if (!D.EnclosingClass.empty() && classHasMethod(D.EnclosingClass, Mth))
+        return methodReturn(D.EnclosingClass, Mth);
+      return "";
+    }
+    if (X == "]") {
+      size_t Open = M[J];
+      return Open == NPOS || Open == 0
+                 ? ""
+                 : classOfExprEndingAt(D, Open - 1, Depth + 1);
+    }
+    if (T[J].Kind == Token::Ident) {
+      if (J >= 2 && (T[J - 1].Text == "." || T[J - 1].Text == "->")) {
+        std::string C = classOfExprEndingAt(D, J - 2, Depth + 1);
+        return C.empty() ? "" : fieldType(C, X);
+      }
+      if (J >= 1 && T[J - 1].Text == "::")
+        return ""; // scoped constant / static — not a receiver we track
+      if (X == "this")
+        return D.EnclosingClass;
+      auto V = D.VarTypes.find(X);
+      if (V != D.VarTypes.end())
+        return V->second;
+      if (!D.EnclosingClass.empty()) {
+        std::string FT = fieldType(D.EnclosingClass, X);
+        if (!FT.empty())
+          return FT;
+      }
+      return "";
+    }
+    return "";
+  }
+
+  /// Named-lambda lookup through the lexical parent chain.
+  std::string findLambdaTarget(size_t DefIdx, const std::string &Name) const {
+    size_t Cur = DefIdx;
+    while (Cur != NPOS) {
+      for (size_t C : Defs[Cur].Children)
+        if (Defs[C].Simple == Name)
+          return Defs[C].Qual;
+      Cur = Defs[Cur].Parent;
+    }
+    return "";
+  }
+
+  void extractCalls(size_t DefIdx) {
+    FunctionDef &D = Defs[DefIdx];
+    size_t F = D.FileIdx;
+    const auto &T = toks(F);
+    const auto &M = Units[F].Match;
+    struct GuardRec {
+      int Depth;
+      std::string Lock;
+      int Line;
+    };
+    std::vector<GuardRec> Guards;
+    int BraceDepth = 0;
+    for (size_t I = D.BodyBegin + 1; I < D.BodyEnd; ++I) {
+      if (masked(D, I)) {
+        // Jump to the end of the mask region.
+        size_t SkipTo = I;
+        for (const auto &[B, E] : D.Masks)
+          if (I >= B && I <= E)
+            SkipTo = std::max(SkipTo, E);
+        I = SkipTo;
+        continue;
+      }
+      const std::string &X = T[I].Text;
+      if (T[I].Kind == Token::Punct) {
+        if (X == "{")
+          ++BraceDepth;
+        else if (X == "}") {
+          while (!Guards.empty() && Guards.back().Depth == BraceDepth)
+            Guards.pop_back();
+          --BraceDepth;
+        }
+        continue;
+      }
+      if (T[I].Kind != Token::Ident)
+        continue;
+      // SpinLockGuard G(LockExpr[, std::adopt_lock]);
+      if (X == "SpinLockGuard" && I + 2 < D.BodyEnd &&
+          T[I + 1].Kind == Token::Ident && T[I + 2].Text == "(") {
+        std::string Lock;
+        for (size_t J = I + 3; J < D.BodyEnd; ++J) {
+          const std::string &Y = T[J].Text;
+          if (Y == "," || Y == ")")
+            break;
+          if (T[J].Kind == Token::Ident || Y == "." || Y == "->")
+            Lock += Y;
+        }
+        Guards.push_back({BraceDepth, Lock, T[I].Line});
+        continue;
+      }
+      if (I + 1 >= D.BodyEnd || T[I + 1].Text != "(" ||
+          isStmtKeyword(X) || isCgcMacro(X))
+        continue;
+      // A declaration like `Foo Bar(...)` puts `Bar` before '(': skip
+      // idents directly preceded by another ident (not a call).
+      if (I > 0 && T[I - 1].Kind == Token::Ident &&
+          !isStmtKeyword(T[I - 1].Text) && !isTypeQualifier(T[I - 1].Text) &&
+          !isCgcMacro(T[I - 1].Text))
+        continue;
+      CallSite CS;
+      CS.TokIdx = I;
+      CS.Line = T[I].Line;
+      CS.Col = T[I].Col;
+      CS.Simple = X;
+      CS.ArgsEnd = M[I + 1] == NPOS ? I + 1 : M[I + 1];
+      CS.GuardCount = static_cast<int>(Guards.size());
+      if (!Guards.empty()) {
+        CS.GuardLock = Guards.back().Lock;
+        CS.GuardLine = Guards.back().Line;
+      }
+      if (I >= 2 && T[I - 1].Text == "::") {
+        const std::string &Q = T[I - 2].Text;
+        CS.Target = Q + "::" + X;
+      } else if (I >= 2 &&
+                 (T[I - 1].Text == "." || T[I - 1].Text == "->")) {
+        std::string C = classOfExprEndingAt(D, I - 2);
+        if (!C.empty())
+          CS.Target = C + "::" + X;
+      } else {
+        std::string L = findLambdaTarget(DefIdx, X);
+        if (!L.empty())
+          CS.Target = L;
+        else if (!D.EnclosingClass.empty() &&
+                 classHasMethod(D.EnclosingClass, X))
+          CS.Target = D.EnclosingClass + "::" + X;
+        // Unique free function fallback resolved in callVerdict via
+        // the simple-name index.
+      }
+      D.Calls.push_back(std::move(CS));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 1c: may-reach-safepoint propagation
+  //===--------------------------------------------------------------------===//
+
+  void buildNameIndexes() {
+    for (size_t D = 0; D < Defs.size(); ++D) {
+      if (!DefsByQual.count(Defs[D].Qual))
+        DefsByQual[Defs[D].Qual] = D;
+      if (!Defs[D].Simple.empty())
+        DefsBySimple[Defs[D].Simple].push_back(D);
+    }
+    for (const std::string &S : builtinSeeds())
+      Seeds.insert(S);
+    for (size_t D = 0; D < Defs.size(); ++D) {
+      if (Defs[D].Safepoint)
+        Seeds.insert(Defs[D].Qual);
+      if (Defs[D].NoSafepoint)
+        NoSafepointDecls.insert(Defs[D].Qual);
+    }
+  }
+
+  bool isNoSafepointQual(const std::string &Q) const {
+    return NoSafepointDecls.count(Q) != 0;
+  }
+
+  /// Is this call may-safepoint under the current Tainted assignment?
+  bool callVerdict(const CallSite &CS) const {
+    if (!CS.Target.empty()) {
+      if (isNoSafepointQual(CS.Target))
+        return false;
+      if (Seeds.count(CS.Target))
+        return true;
+      auto It = DefsByQual.find(CS.Target);
+      if (It != DefsByQual.end())
+        return Tainted[It->second] != 0;
+      // External target (no definition in the tree): only the seed /
+      // always-safepoint names count.
+      return isAlwaysSafepointName(CS.Simple);
+    }
+    if (isAlwaysSafepointName(CS.Simple))
+      return true;
+    // Unresolved: taint only if every definition by this simple name is
+    // tainted (so helpers shared with never-safepoint layers stay
+    // quiet).
+    auto It = DefsBySimple.find(CS.Simple);
+    if (It == DefsBySimple.end() || It->second.empty())
+      return false;
+    for (size_t D : It->second)
+      if (!Tainted[D])
+        return false;
+    return true;
+  }
+
+  void propagate() {
+    Tainted.assign(Defs.size(), 0);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t D = 0; D < Defs.size(); ++D) {
+        if (Tainted[D])
+          continue;
+        const FunctionDef &Def = Defs[D];
+        if (Def.NoSafepoint || isNoSafepointQual(Def.Qual))
+          continue; // propagation barrier (asserted separately)
+        bool T = Def.Safepoint || Seeds.count(Def.Qual) != 0;
+        if (!T)
+          for (const CallSite &CS : Def.Calls)
+            if (callVerdict(CS)) {
+              T = true;
+              break;
+            }
+        if (!T)
+          for (size_t C : Def.Children)
+            if (Tainted[C]) {
+              T = true; // a lambda the function runs may safepoint
+              break;
+            }
+        if (T) {
+          Tainted[D] = 1;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  /// Human-readable chain from \p Target to a seed, e.g.
+  /// " (safepoint path: a -> b -> GcHeap::allocate)".
+  std::string witnessPath(const std::string &Target) const {
+    std::string Cur = Target;
+    std::vector<std::string> Path{Cur};
+    for (int Hop = 0; Hop < 8; ++Hop) {
+      if (Seeds.count(Cur))
+        break;
+      auto It = DefsByQual.find(Cur);
+      if (It == DefsByQual.end())
+        break;
+      const FunctionDef &D = Defs[It->second];
+      std::string Next;
+      for (const CallSite &CS : D.Calls)
+        if (callVerdict(CS)) {
+          Next = CS.Target.empty() ? CS.Simple : CS.Target;
+          break;
+        }
+      if (Next.empty()) {
+        for (size_t C : D.Children)
+          if (Tainted[C]) {
+            Next = Defs[C].Qual;
+            break;
+          }
+      }
+      if (Next.empty() || Next == Cur)
+        break;
+      Path.push_back(Next);
+      Cur = Next;
+    }
+    std::string Out = " (safepoint path: ";
+    for (size_t I = 0; I < Path.size(); ++I)
+      Out += (I ? " -> " : "") + Path[I];
+    return Out + ")";
+  }
+
+  void report(const std::string &Rule, size_t FileIdx, int Line, int Col,
+              std::string Msg) {
+    All.push_back({Rule, Units[FileIdx].Path, Line, Col, std::move(Msg)});
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Phase 2 rules
+  //===--------------------------------------------------------------------===//
+
+  void checkNoSafepoint(size_t DefIdx) {
+    const FunctionDef &D = Defs[DefIdx];
+    if (!D.NoSafepoint && !isNoSafepointQual(D.Qual))
+      return;
+    for (const CallSite &CS : D.Calls)
+      if (callVerdict(CS)) {
+        std::string Callee = CS.Target.empty() ? CS.Simple : CS.Target;
+        report("NS", D.FileIdx, CS.Line, CS.Col,
+               "'" + D.Qual + "' is CGC_NO_SAFEPOINT but calls may-safepoint "
+               "'" + Callee + "'" + witnessPath(Callee));
+      }
+    for (size_t C : D.Children)
+      if (Tainted[C])
+        report("NS", D.FileIdx, Defs[C].Line, Defs[C].Col,
+               "'" + D.Qual + "' is CGC_NO_SAFEPOINT but contains a "
+               "may-safepoint lambda '" + Defs[C].Qual + "'" +
+                   witnessPath(Defs[C].Qual));
+  }
+
+  void checkRawStores(size_t DefIdx) {
+    const FunctionDef &D = Defs[DefIdx];
+    const std::string &Path = Units[D.FileIdx].Path;
+    if (m2Allowed(Path))
+      return;
+    for (const CallSite &CS : D.Calls)
+      if (CS.Simple == "storeRefRaw" || CS.Simple == "setRefRaw")
+        report("M2", D.FileIdx, CS.Line, CS.Col,
+               "raw unbarriered store '" + CS.Simple + "' outside the "
+               "documented barrier sites: the card table is never dirtied, "
+               "so concurrent marking can lose the stored reference; use "
+               "GcHeap::writeRef (barrier contract: heap/ObjectModel.h "
+               "Object::storeRefRaw, runtime/GcHeap.h GcHeap::writeRef)");
+  }
+
+  void checkSafepointUnderLock(size_t DefIdx) {
+    const FunctionDef &D = Defs[DefIdx];
+    for (const CallSite &CS : D.Calls) {
+      if (CS.GuardCount == 0 || !callVerdict(CS))
+        continue;
+      std::string Callee = CS.Target.empty() ? CS.Simple : CS.Target;
+      report("M3", D.FileIdx, CS.Line, CS.Col,
+             "may-safepoint call '" + Callee + "' while SpinLockGuard on '" +
+                 CS.GuardLock + "' (line " + std::to_string(CS.GuardLine) +
+                 ") is held: a safepoint here can park this thread with the "
+                 "spinlock taken and deadlock the STW/handshake protocol" +
+                 witnessPath(Callee));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // M1: heap-ref locals live across safepoints
+  //===--------------------------------------------------------------------===//
+
+  void checkLiveAcrossSafepoint(size_t DefIdx) {
+    const FunctionDef &D = Defs[DefIdx];
+    size_t F = D.FileIdx;
+    const auto &T = toks(F);
+    struct VarState {
+      bool Committed = false; // has a committed (visible) value
+      bool Anchored = false;  // rooted via setRoot/pushRoot since last write
+      bool Pending = false;   // a write in the current statement
+      bool Reported = false;
+      std::string HazardCallee; // tainted call crossed since last write
+      int HazardLine = 0;
+      size_t HazardFrom = 0; // uses past this token index are stale
+    };
+    std::map<std::string, VarState> Vars;
+    for (const std::string &P : D.ObjectPtrParams)
+      Vars[P].Committed = true;
+
+    // Calls by token index for the linear walk.
+    std::map<size_t, const CallSite *> CallAt;
+    for (const CallSite &CS : D.Calls)
+      CallAt[CS.TokIdx] = &CS;
+
+    auto commitPending = [&]() {
+      for (auto &[Name, V] : Vars)
+        if (V.Pending) {
+          V.Pending = false;
+          V.Committed = true;
+          V.Anchored = false;
+          V.HazardCallee.clear();
+        }
+    };
+    auto useOf = [&](const std::string &Name, size_t TokIdx, int Line,
+                     int Col) {
+      VarState &V = Vars[Name];
+      // Arguments of the hazard call itself are evaluated before the
+      // callee can reach a safepoint, so only later uses are stale.
+      if (!V.HazardCallee.empty() && !V.Reported && !V.Pending &&
+          TokIdx > V.HazardFrom) {
+        V.Reported = true;
+        report("M1", F, Line, Col,
+               "heap-ref local '" + Name + "' may be stale: it was live "
+               "across may-safepoint call '" + V.HazardCallee + "' (line " +
+                   std::to_string(V.HazardLine) + ") without being rooted; "
+                   "compaction can move the referent — anchor it first "
+                   "(Ctx.setRoot/Ctx.pushRoot) or re-read it from a root "
+                   "after the GC point");
+      }
+    };
+
+    size_t SkipUsesUntil = 0; // inside setRoot/pushRoot argument lists
+    for (size_t I = D.BodyBegin + 1; I < D.BodyEnd; ++I) {
+      if (masked(D, I)) {
+        size_t SkipTo = I;
+        for (const auto &[B, E] : D.Masks)
+          if (I >= B && I <= E)
+            SkipTo = std::max(SkipTo, E);
+        I = SkipTo;
+        continue;
+      }
+      const std::string &X = T[I].Text;
+      if (T[I].Kind == Token::Punct) {
+        if (X == ";" || X == "{" || X == "}")
+          commitPending();
+        continue;
+      }
+      if (T[I].Kind != Token::Ident)
+        continue;
+
+      // New tracked local: [const] [cgc::] Object * Name
+      if (X == "Object" && I + 2 < D.BodyEnd && T[I + 1].Text == "*" &&
+          T[I + 2].Kind == Token::Ident && T[I + 3].Text != "*") {
+        const Token &Prev = T[I - 1];
+        std::string P = Prev.Text;
+        if (P == "const")
+          P = T[I - 2].Text;
+        if (P == "::")
+          P = I >= 3 ? T[I - 3].Text : P; // cgc::Object — look further back
+        if (P == ";" || P == "{" || P == "}" || P == "(" || P == "," ||
+            P == "cgc" || P == "const") {
+          VarState &V = Vars[T[I + 2].Text];
+          V = VarState{};
+          V.Pending = true; // commits at end of the declaration statement
+          I += 2;
+          continue;
+        }
+      }
+
+      auto CallIt = CallAt.find(I);
+      if (CallIt != CallAt.end()) {
+        const CallSite &CS = *CallIt->second;
+        if (CS.Simple == "setRoot" || CS.Simple == "pushRoot") {
+          // Anchoring: names in the argument list become rooted. A
+          // stale name being anchored is itself a use of a stale value.
+          for (size_t J = I + 2; J < CS.ArgsEnd && J < D.BodyEnd; ++J) {
+            if (T[J].Kind != Token::Ident || !Vars.count(T[J].Text))
+              continue;
+            VarState &V = Vars[T[J].Text];
+            if (!V.HazardCallee.empty())
+              useOf(T[J].Text, J, T[J].Line, T[J].Col);
+            else if (!V.Pending)
+              V.Anchored = true;
+          }
+          SkipUsesUntil = std::max(SkipUsesUntil, CS.ArgsEnd);
+          continue;
+        }
+        if (callVerdict(CS)) {
+          std::string Callee = CS.Target.empty() ? CS.Simple : CS.Target;
+          for (auto &[Name, V] : Vars)
+            if (V.Committed && !V.Anchored && !V.Pending &&
+                V.HazardCallee.empty()) {
+              V.HazardCallee = Callee;
+              V.HazardLine = CS.Line;
+              V.HazardFrom = CS.ArgsEnd;
+            }
+        }
+        continue;
+      }
+
+      if (!Vars.count(X))
+        continue;
+      if (I < SkipUsesUntil)
+        continue;
+      // Write: Name = ... (not ==, !=, <=, >=, +=, ...).
+      bool IsWrite = I + 2 < D.BodyEnd && T[I + 1].Text == "=" &&
+                     T[I + 2].Text != "=";
+      const std::string &PrevTx = T[I - 1].Text;
+      if (IsWrite && PrevTx != "*" && PrevTx != "!" && PrevTx != "<" &&
+          PrevTx != ">" && PrevTx != "=" && PrevTx != "+" && PrevTx != "-") {
+        Vars[X].Pending = true;
+        ++I; // skip the '='
+        continue;
+      }
+      useOf(X, I, T[I].Line, T[I].Col);
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+} // namespace
+
+Report analyze(const std::vector<SourceFile> &Files) {
+  return Analyzer(Files).run();
+}
+
+Report analyzeTree(const std::string &SrcRoot) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> Files;
+  std::vector<fs::path> Paths;
+  for (const auto &Entry : fs::recursive_directory_iterator(SrcRoot)) {
+    if (!Entry.is_regular_file())
+      continue;
+    std::string Ext = Entry.path().extension().string();
+    if (Ext == ".h" || Ext == ".cpp")
+      Paths.push_back(Entry.path());
+  }
+  std::sort(Paths.begin(), Paths.end());
+  for (const fs::path &P : Paths) {
+    std::ifstream In(P);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Files.push_back(
+        {fs::relative(P, SrcRoot).generic_string(), SS.str()});
+  }
+  return analyze(Files);
+}
+
+std::string formatFinding(const Finding &F) {
+  return F.File + ":" + std::to_string(F.Line) + ":" + std::to_string(F.Col) +
+         ": [" + F.Rule + "] " + F.Message;
+}
+
+namespace {
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void appendFindings(std::string &Out, const std::vector<Finding> &Fs) {
+  Out += "[";
+  for (size_t I = 0; I < Fs.size(); ++I) {
+    const Finding &F = Fs[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"file\": \"" + jsonEscape(F.File) + "\", \"line\": " +
+           std::to_string(F.Line) + ", \"column\": " + std::to_string(F.Col) +
+           ", \"rule\": \"" + F.Rule + "\", \"message\": \"" +
+           jsonEscape(F.Message) + "\"}";
+  }
+  Out += Fs.empty() ? "]" : "\n  ]";
+}
+} // namespace
+
+std::string reportToJson(const Report &R) {
+  std::string Out = "{\n  \"findings\": ";
+  appendFindings(Out, R.Findings);
+  Out += ",\n  \"suppressed\": ";
+  appendFindings(Out, R.Suppressed);
+  Out += ",\n  \"stats\": {\"functions\": " + std::to_string(R.NumFunctions) +
+         ", \"may_safepoint\": " + std::to_string(R.NumMaySafepoint) + "}\n}\n";
+  return Out;
+}
+
+std::map<std::string, size_t> suppressedByRule(const Report &R) {
+  std::map<std::string, size_t> Out;
+  for (const Finding &F : R.Suppressed)
+    ++Out[F.Rule];
+  return Out;
+}
+
+} // namespace cgcmole

@@ -1,0 +1,105 @@
+//===- MoleCore.h - Call-graph-aware GC-safety analyzer ---------*- C++ -*-===//
+///
+/// \file
+/// The analysis engine behind `cgc-mole`, the tree-wide GC-safety
+/// checker (DESIGN.md §14). It shares the token-level front end with
+/// cgc-lint (tools/cgc-lint/Lexer.h — no libclang, both arms of every
+/// #if analyzed) and runs in two phases:
+///
+/// Phase 1 — whole-tree index. Every function definition in the tree is
+/// indexed (free functions, out-of-line and in-class methods, and named
+/// lambdas, which are treated as nested functions). A call graph is
+/// built with token-level receiver resolution (declared types of
+/// locals/params/fields, unwrapping unique_ptr/shared_ptr, following
+/// method-return types through chains like `Core.Heap.cards().dirty()`),
+/// and a **may-reach-safepoint** bit is propagated to fixpoint from the
+/// seed set: the mutator poll, GcHeap::allocate and the degradation
+/// ladder, the fence-handshake / stop-the-world entry points, and
+/// anything annotated CGC_SAFEPOINT. CGC_NO_SAFEPOINT is both a
+/// propagation barrier and an assertion: a no-safepoint function whose
+/// body calls a may-safepoint function is reported (rule NS) with the
+/// witness chain to the seed.
+///
+/// Phase 2 — intra-procedural dataflow per function:
+///
+///   M1  a heap-reference local (`Object *`) is used across a call to a
+///       may-safepoint function without being anchored in the mutator
+///       roots first (Ctx.setRoot / Ctx.pushRoot). Under compaction the
+///       referent may have moved; the stale pointer is a use-after-move.
+///       Enforced in mutator-facing code (workloads/, runtime/,
+///       mutator/); collector internals trace unanchored by design.
+///   M2  a call to the raw unbarriered store (Object::storeRefRaw)
+///       outside the documented barrier/collector sites. Raw stores
+///       skip the card-table dirty mark, so the card cleaner never
+///       re-scans the holder: the reference is invisible to concurrent
+///       marking (a lost object, not a crash — see the barrier contract
+///       in heap/ObjectModel.h and GcHeap::writeRef).
+///   M3  a call to a may-safepoint function while a SpinLockGuard is
+///       held. A safepoint inside the guard can park this thread with
+///       the spinlock held; if a GC worker (or the STW protocol) needs
+///       that lock the system deadlocks.
+///
+/// Suppression: `// cgc-mole: allow(M1[,M3|all]): reason` on the
+/// finding's line or the line above, or the CGC_GC_UNSAFE_OK("reason")
+/// annotation on the statement. Suppressed findings are counted and
+/// reported so drift stays visible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_TOOLS_MOLECORE_H
+#define CGC_TOOLS_MOLECORE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cgcmole {
+
+/// One source file handed to the in-memory entry point. RelPath must be
+/// tree-relative with '/' separators (rules M1/M2 are path-sensitive).
+struct SourceFile {
+  std::string RelPath;
+  std::string Content;
+};
+
+/// One finding. Rule is "M1", "M2", "M3" or "NS". Line/Col are 1-based.
+struct Finding {
+  std::string Rule;
+  std::string File;
+  int Line = 0;
+  int Col = 1;
+  std::string Message;
+};
+
+/// Analysis result: the surviving findings, the suppressed ones (kept
+/// separate so the CLI can count them per rule), and index statistics.
+struct Report {
+  std::vector<Finding> Findings;   // unsuppressed — these fail the build
+  std::vector<Finding> Suppressed; // suppressed, with justification on file
+  size_t NumFunctions = 0;         // functions indexed (incl. named lambdas)
+  size_t NumMaySafepoint = 0;      // of those, may-reach-safepoint
+};
+
+/// Analyzes a set of files as one program (the in-memory entry point
+/// the selftest and the seeded-mutation tests drive).
+Report analyze(const std::vector<SourceFile> &Files);
+
+/// Walks \p SrcRoot recursively, analyzing every .h/.cpp file as one
+/// program. Paths in the result are relative to \p SrcRoot.
+Report analyzeTree(const std::string &SrcRoot);
+
+/// Formats a finding as "file:line:col: [Rule] message" (the format the
+/// CI problem matcher in .github/problem-matchers/ parses).
+std::string formatFinding(const Finding &F);
+
+/// Renders a report as JSON: {"findings": [...], "suppressed": [...],
+/// "stats": {...}} with file/line/column per finding (the `--json` CLI
+/// mode).
+std::string reportToJson(const Report &R);
+
+/// Suppressed-finding counts keyed by rule (for the CLI summary line).
+std::map<std::string, size_t> suppressedByRule(const Report &R);
+
+} // namespace cgcmole
+
+#endif // CGC_TOOLS_MOLECORE_H

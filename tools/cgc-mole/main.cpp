@@ -1,0 +1,65 @@
+//===- main.cpp - cgc-mole CLI ------------------------------------------------//
+///
+/// \file
+/// Usage: cgc-mole [--json] <src-root> [<src-root>...]
+///
+/// Runs the call-graph-aware GC-safety analysis (MoleCore.h) over every
+/// .h/.cpp under each root. Prints one `file:line:col: [Rule] message`
+/// line per unsuppressed finding (or, with --json, the full report as
+/// JSON on stdout), plus a summary counting suppressed findings per
+/// rule so accepted hazards stay visible. Exits non-zero if any finding
+/// survives suppression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "MoleCore.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  std::vector<const char *> Roots;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0)
+      Json = true;
+    else
+      Roots.push_back(argv[I]);
+  }
+  if (Roots.empty()) {
+    std::fprintf(stderr, "usage: cgc-mole [--json] <src-root> [<src-root>...]\n");
+    return 2;
+  }
+  cgcmole::Report All;
+  for (const char *Root : Roots) {
+    cgcmole::Report R = cgcmole::analyzeTree(Root);
+    All.Findings.insert(All.Findings.end(), R.Findings.begin(),
+                        R.Findings.end());
+    All.Suppressed.insert(All.Suppressed.end(), R.Suppressed.begin(),
+                          R.Suppressed.end());
+    All.NumFunctions += R.NumFunctions;
+    All.NumMaySafepoint += R.NumMaySafepoint;
+  }
+  if (Json) {
+    std::fputs(cgcmole::reportToJson(All).c_str(), stdout);
+  } else {
+    for (const auto &F : All.Findings)
+      std::fprintf(stderr, "%s\n", cgcmole::formatFinding(F).c_str());
+  }
+  std::string Suppressed;
+  for (const auto &[Rule, N] : cgcmole::suppressedByRule(All))
+    Suppressed += " " + Rule + "=" + std::to_string(N);
+  if (Suppressed.empty())
+    Suppressed = " none";
+  std::fprintf(stderr,
+               "cgc-mole: %zu function(s), %zu may-safepoint; suppressed:%s\n",
+               All.NumFunctions, All.NumMaySafepoint, Suppressed.c_str());
+  if (!All.Findings.empty()) {
+    std::fprintf(stderr, "cgc-mole: %zu violation(s)\n", All.Findings.size());
+    return 1;
+  }
+  if (!Json)
+    std::printf("cgc-mole: clean\n");
+  return 0;
+}
