@@ -13,6 +13,7 @@
 #include "observe/BenchJsonWriter.h"
 #include "observe/ChromeTraceExporter.h"
 #include "runtime/GcHeap.h"
+#include "support/EnvKnob.h"
 #include "support/TablePrinter.h"
 #include "workloads/Compiler.h"
 #include "workloads/Warehouse.h"
@@ -168,25 +169,30 @@ inline RunOutcome runCompiler(const GcOptions &Options,
 }
 
 /// Workload duration override: env CGC_BENCH_MILLIS (for quick CI runs)
-/// or \p Default.
+/// or \p Default. Malformed or zero values are a hard error (EnvKnob) —
+/// a mistyped duration must not silently run the full-length sweep.
 inline uint64_t benchMillis(uint64_t Default) {
-  if (const char *Env = std::getenv("CGC_BENCH_MILLIS")) {
-    uint64_t Millis = std::strtoull(Env, nullptr, 10);
-    if (Millis > 0)
-      return Millis;
+  uint64_t Millis = envKnobU64("CGC_BENCH_MILLIS", Default);
+  if (Millis == 0) {
+    std::fprintf(stderr,
+                 "error: invalid CGC_BENCH_MILLIS=0: duration must be > 0\n");
+    std::exit(2);
   }
-  return Default;
+  return Millis;
 }
 
 /// Series-length override: env CGC_BENCH_MAX_SERIES caps the number of
 /// series points (warehouse counts, tracing rates, ...) a bench sweeps.
+/// Malformed or zero values are a hard error; values above \p Default
+/// leave the sweep unchanged (the knob only shortens).
 inline unsigned benchMaxSeries(unsigned Default) {
-  if (const char *Env = std::getenv("CGC_BENCH_MAX_SERIES")) {
-    unsigned Max = static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
-    if (Max > 0 && Max < Default)
-      return Max;
+  uint64_t Max = envKnobU64("CGC_BENCH_MAX_SERIES", Default);
+  if (Max == 0) {
+    std::fprintf(stderr, "error: invalid CGC_BENCH_MAX_SERIES=0: a sweep "
+                         "needs at least one point\n");
+    std::exit(2);
   }
-  return Default;
+  return Max < Default ? static_cast<unsigned>(Max) : Default;
 }
 
 /// Adds the standard observability metrics every bench row reports.

@@ -48,6 +48,14 @@ struct GcOptions {
   /// (Section 3.2: K + (K - K0) * C).
   double CorrectiveC = 2.0;
 
+  /// Multiplier on the kickoff threshold (L + M) / K0: values above 1.0
+  /// start concurrent cycles earlier, trading throughput (more cycles,
+  /// more floating garbage) for request-latency headroom — with less of
+  /// the heap outstanding when the final pause arrives, the pause is
+  /// shorter and an open-loop latency SLO (bench/openloop_kv) is easier
+  /// to hold. Values below 1.0 delay kickoff (throughput-biased).
+  double KickoffHeadroom = 1.0;
+
   /// Alpha for the exponential smoothing of L, M and Best.
   double SmoothingAlpha = 0.5;
 

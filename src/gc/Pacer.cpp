@@ -10,6 +10,8 @@ using namespace cgc;
 
 Pacer::Pacer(const GcOptions &Options, size_t HeapBytes, GcObserver *Obs)
     : K0(Options.TracingRate), Kmax(Options.kmax()), C(Options.CorrectiveC),
+      KickoffHeadroom(Options.KickoffHeadroom > 0 ? Options.KickoffHeadroom
+                                                  : 1.0),
       Obs(Obs),
       LEst(Options.SeedLFraction * static_cast<double>(HeapBytes),
            Options.SmoothingAlpha),
@@ -19,7 +21,7 @@ Pacer::Pacer(const GcOptions &Options, size_t HeapBytes, GcObserver *Obs)
 
 size_t Pacer::kickoffThresholdBytes() const {
   SpinLockGuard Guard(Lock);
-  double Threshold = (LEst.value() + MEst.value()) / K0;
+  double Threshold = (LEst.value() + MEst.value()) / K0 * KickoffHeadroom;
   return Threshold <= 0 ? 0 : static_cast<size_t>(Threshold);
 }
 

@@ -43,7 +43,8 @@ public:
   Pacer(const GcOptions &Options, size_t HeapBytes, GcObserver *Obs = nullptr);
 
   /// Free-memory threshold that triggers a new concurrent phase:
-  /// (L + M) / K0.
+  /// (L + M) / K0, scaled by GcOptions::KickoffHeadroom (> 1 starts
+  /// cycles earlier for request-latency headroom).
   size_t kickoffThresholdBytes() const;
 
   /// Kickoff decision. \p RefillableFreeBytes must be the free bytes
@@ -97,6 +98,7 @@ private:
   const double K0;
   const double Kmax;
   const double C;
+  const double KickoffHeadroom;
   GcObserver *Obs;
   mutable SpinLock Lock;
   ExponentialAverage LEst CGC_GUARDED_BY(Lock);

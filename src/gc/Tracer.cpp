@@ -90,9 +90,11 @@ size_t Tracer::traceWork(TraceContext &Ctx, size_t BudgetBytes,
     uint32_t N = In->count();
     if (CheckAllocBits) {
       // Section 5.2 tracer steps 2-3: sample every entry's allocation
-      // bit, then one fence for the whole batch.
+      // bit, then one fence for the whole batch. The acquire sample
+      // pairs with the allocator's release publication so the ordering
+      // is also visible to TSan (see BitVector8::testAcquire).
       for (uint32_t I = 0; I < N; ++I)
-        Safe[I] = Heap.allocBits().test(In->peek(I));
+        Safe[I] = Heap.allocBits().testAcquire(In->peek(I));
       fence(FenceSite::TracerBatch);
     }
     // Consume this batch (budget permitting). scanObject can trigger the

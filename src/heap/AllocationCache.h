@@ -86,7 +86,10 @@ public:
     uint8_t *P = FlushedTo;
     while (P < Cur) {
       Object *Obj = reinterpret_cast<Object *>(P);
-      AllocBits.set(Obj);
+      // Release publication (pairs with the tracer's acquire sample):
+      // redundant with the batch fence above on hardware, but TSan
+      // cannot see fence ordering — see BitVector8::setRelease.
+      AllocBits.setRelease(Obj);
       P += Obj->sizeBytes();
       ++Published;
     }

@@ -42,10 +42,33 @@ public:
     wordFor(Addr, Mask).fetch_or(Mask, std::memory_order_relaxed);
   }
 
+  /// Atomically sets the bit for \p Addr with release ordering: every
+  /// store program-ordered before this call (an object's initializing
+  /// writes) becomes visible to any thread that testAcquire()s the bit.
+  /// This is the publication half of the Section 5.2 allocation-bit
+  /// protocol. The batch fence in AllocationCache::flushAllocBits
+  /// already provides this ordering on hardware; the release RMW costs
+  /// nothing extra on TSO and, unlike a thread fence, is understood by
+  /// ThreadSanitizer (GCC's TSan has no atomic_thread_fence support).
+  void setRelease(const void *Addr) {
+    uint64_t Mask;
+    wordFor(Addr, Mask).fetch_or(Mask, std::memory_order_release);
+  }
+
   /// Reads the bit for \p Addr (relaxed).
   bool test(const void *Addr) const {
     uint64_t Mask;
     return wordFor(Addr, Mask).load(std::memory_order_relaxed) & Mask;
+  }
+
+  /// Reads the bit for \p Addr with acquire ordering — the consumption
+  /// half of the Section 5.2 protocol: a tracer that observes the bit
+  /// set is guaranteed to see the object's initializing stores (pairs
+  /// with setRelease; see that comment for why this exists alongside
+  /// the tracer's batch fence).
+  bool testAcquire(const void *Addr) const {
+    uint64_t Mask;
+    return wordFor(Addr, Mask).load(std::memory_order_acquire) & Mask;
   }
 
   /// Atomically clears the bit for \p Addr.

@@ -79,6 +79,10 @@ const char *cgc::pauseMetricName(PauseMetric Metric) {
     return "stw_entry";
   case PauseMetric::FenceHandshake:
     return "fence_handshake";
+  case PauseMetric::RequestLatency:
+    return "request_latency";
+  case PauseMetric::RequestService:
+    return "request_service";
   case PauseMetric::NumMetrics:
     break;
   }

@@ -105,6 +105,16 @@ enum class PauseMetric : uint8_t {
   /// Ragged fence-handshake completion latency (successful handshakes
   /// only; timeouts are counted separately by the registry).
   FenceHandshake,
+  /// End-to-end request latency of a server workload, measured from the
+  /// request's *scheduled* start time on an open-loop arrival schedule
+  /// (DESIGN.md §15) — a request whose slot was delayed by a pause is
+  /// charged the queueing it caused, so coordinated omission is
+  /// accounted for rather than hidden.
+  RequestLatency,
+  /// Pure service time of the same requests (actual send to completion,
+  /// no queueing): the gap between this and RequestLatency is the
+  /// scheduling delay GC pauses impose on an open-loop client.
+  RequestService,
   NumMetrics
 };
 
@@ -151,6 +161,44 @@ struct CycleGauges {
   uint64_t CompactionFailedMoves = 0;
 };
 
+/// Request-level counters for the open-loop server workloads
+/// (DESIGN.md §15). Recording is lock-free relaxed adds from client
+/// threads; snapshot() reads racily (reports read quiescent counters).
+struct RequestCounters {
+  CGC_ATOMIC_DOC("clients add relaxed; reporting reads racily")
+  std::atomic<uint64_t> Scheduled{0};
+  CGC_ATOMIC_DOC("clients add relaxed; reporting reads racily")
+  std::atomic<uint64_t> Completed{0};
+  CGC_ATOMIC_DOC("clients add relaxed; reporting reads racily")
+  std::atomic<uint64_t> Failed{0};
+  /// Requests that missed their scheduled slot (the client was still
+  /// serving an earlier request when the slot came due).
+  CGC_ATOMIC_DOC("clients add relaxed; reporting reads racily")
+  std::atomic<uint64_t> LateStarts{0};
+  /// Latency samples dropped because a client's pre-sized buffer
+  /// filled (quantiles then under-sample the tail; report it).
+  CGC_ATOMIC_DOC("clients add relaxed; reporting reads racily")
+  std::atomic<uint64_t> DroppedSamples{0};
+
+  /// Plain-value snapshot for reporting.
+  struct Snapshot {
+    uint64_t Scheduled = 0;
+    uint64_t Completed = 0;
+    uint64_t Failed = 0;
+    uint64_t LateStarts = 0;
+    uint64_t DroppedSamples = 0;
+  };
+  Snapshot snapshot() const {
+    Snapshot S;
+    S.Scheduled = Scheduled.load(std::memory_order_relaxed);
+    S.Completed = Completed.load(std::memory_order_relaxed);
+    S.Failed = Failed.load(std::memory_order_relaxed);
+    S.LateStarts = LateStarts.load(std::memory_order_relaxed);
+    S.DroppedSamples = DroppedSamples.load(std::memory_order_relaxed);
+    return S;
+  }
+};
+
 /// Owns every histogram and the per-cycle gauge log for one collector
 /// instance. Histogram recording is lock-free; the gauge log takes a
 /// spin lock (once per cycle, cold).
@@ -171,8 +219,13 @@ public:
   /// Snapshot of all gauge rows so far, in cycle order.
   std::vector<CycleGauges> cycleGauges() const;
 
+  /// Per-request counters (open-loop server workloads).
+  RequestCounters &requests() { return Requests; }
+  const RequestCounters &requests() const { return Requests; }
+
 private:
   PauseHistogram Histograms[static_cast<size_t>(PauseMetric::NumMetrics)];
+  RequestCounters Requests;
 
   mutable SpinLock GaugeLock;
   CGC_GUARDED_BY(GaugeLock)

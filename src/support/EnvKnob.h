@@ -1,0 +1,83 @@
+//===- EnvKnob.h - Validated environment-knob parsing -----------*- C++ -*-===//
+///
+/// \file
+/// Shared, validated parsing for the numeric `CGC_*` environment knobs
+/// the bench harnesses (and some tests) consume. The previous per-bench
+/// `strtoull` calls silently turned a mistyped value ("3OO", "-5",
+/// "2.5s") into 0 and fell back to the default — a bench sweep then ran
+/// with a configuration the operator did not ask for and no hint why.
+///
+/// parseEnvKnob() is a pure function (testable without touching the
+/// environment): it accepts only a full non-negative decimal or
+/// 0x-prefixed hex integer with no trailing junk and no overflow, and
+/// produces a human-readable error otherwise. envKnobU64() wraps it
+/// over getenv(): unset means "use the default", an invalid value is a
+/// hard error (message to stderr, exit 2) — never a silent zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_ENVKNOB_H
+#define CGC_SUPPORT_ENVKNOB_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cgc {
+
+/// Parses \p Text as a non-negative integer (decimal, or hex with a
+/// "0x"/"0X" prefix). On success stores the value in \p Out and returns
+/// true. On failure returns false and, when \p Error is non-null, fills
+/// it with the reason (empty string, leading minus, trailing junk,
+/// overflow). Leading/trailing whitespace is rejected — a knob is a
+/// bare number, and a stray space usually means a quoting mistake.
+inline bool parseEnvKnob(const char *Text, uint64_t *Out,
+                         std::string *Error = nullptr) {
+  auto fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+  if (!Text || *Text == '\0')
+    return fail("empty value");
+  if (*Text == '-')
+    return fail("negative value (knobs are non-negative integers)");
+  if (*Text == '+' || *Text == ' ' || *Text == '\t')
+    return fail("value must start with a digit (got '" +
+                std::string(1, *Text) + "')");
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(Text, &End, 0);
+  if (End == Text)
+    return fail("not a number: '" + std::string(Text) + "'");
+  if (errno == ERANGE)
+    return fail("value out of range: '" + std::string(Text) + "'");
+  if (*End != '\0')
+    return fail("trailing junk after number: '" + std::string(End) + "'");
+  *Out = static_cast<uint64_t>(Parsed);
+  return true;
+}
+
+/// Reads environment knob \p Name: unset returns \p Default, a valid
+/// value is returned as-is, an invalid value prints a clear message and
+/// exits with status 2 (the run must not silently proceed with a
+/// configuration the operator did not set).
+inline uint64_t envKnobU64(const char *Name, uint64_t Default) {
+  const char *Env = std::getenv(Name);
+  if (!Env)
+    return Default;
+  uint64_t Value = 0;
+  std::string Error;
+  if (!parseEnvKnob(Env, &Value, &Error)) {
+    std::fprintf(stderr, "error: invalid %s='%s': %s\n", Name, Env,
+                 Error.c_str());
+    std::exit(2);
+  }
+  return Value;
+}
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_ENVKNOB_H

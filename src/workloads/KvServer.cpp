@@ -1,0 +1,410 @@
+//===- KvServer.cpp - Memcache-like GC-heap key-value store -------------------//
+
+#include "workloads/KvServer.h"
+
+#include "runtime/GcHeap.h"
+#include "support/Random.h"
+#include "support/SpinLock.h"
+#include "support/Timing.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+/// Workload class ids (debugging dumps).
+enum KvClassId : uint16_t { CIdTable = 11, CIdEntry = 12, CIdValue = 13 };
+
+/// Entry reference slots.
+constexpr unsigned SlotNext = 0;
+constexpr unsigned SlotValue = 1;
+constexpr uint16_t NumEntryRefs = 2;
+
+/// Entry payload: [0,8) key hash, [8,10) key length, [10, 10+len) key.
+constexpr size_t EntryHeaderBytes = 10;
+
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+void storeU64(uint8_t *P, uint64_t V) { std::memcpy(P, &V, 8); }
+uint64_t loadU64(const uint8_t *P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+  return V;
+}
+
+/// Fills a value payload from its (key hash, nonce) stamp: the first 16
+/// bytes are the stamp itself, the rest a pseudo-random pattern derived
+/// from it, so any stray write (or a reclaimed-and-reused object) fails
+/// verification.
+void stampValue(Object *Value, uint64_t KeyHash, uint64_t Nonce) {
+  uint8_t *P = Value->payload();
+  size_t N = Value->payloadBytes();
+  assert(N >= KvStore::MinValueBytes && "value too small for the stamp");
+  storeU64(P, KeyHash);
+  storeU64(P + 8, Nonce);
+  uint64_t Pattern = mix64(KeyHash ^ Nonce);
+  for (size_t I = 16; I < N; ++I)
+    P[I] = static_cast<uint8_t>(Pattern >> ((I % 8) * 8) ^ (I * 131));
+}
+
+bool verifyValue(const Object *Value, uint64_t KeyHash) {
+  const uint8_t *P = Value->payload();
+  size_t N = Value->payloadBytes();
+  if (N < KvStore::MinValueBytes || loadU64(P) != KeyHash)
+    return false;
+  uint64_t Nonce = loadU64(P + 8);
+  uint64_t Pattern = mix64(KeyHash ^ Nonce);
+  for (size_t I = 16; I < N; ++I)
+    if (P[I] != static_cast<uint8_t>(Pattern >> ((I % 8) * 8) ^ (I * 131)))
+      return false;
+  return true;
+}
+
+/// Writes the key into a fresh entry's payload (pre-publication, raw
+/// payload writes need no barrier).
+void writeEntryKey(Object *Entry, uint64_t Hash, const char *Key,
+                   size_t KeyLen) {
+  uint8_t *P = Entry->payload();
+  storeU64(P, Hash);
+  uint16_t Len = static_cast<uint16_t>(KeyLen);
+  std::memcpy(P + 8, &Len, 2);
+  std::memcpy(P + EntryHeaderBytes, Key, KeyLen);
+}
+
+bool entryMatches(const Object *Entry, uint64_t Hash, const char *Key,
+                  size_t KeyLen) {
+  const uint8_t *P = Entry->payload();
+  if (loadU64(P) != Hash)
+    return false;
+  uint16_t Len;
+  std::memcpy(&Len, P + 8, 2);
+  return Len == KeyLen &&
+         std::memcmp(P + EntryHeaderBytes, Key, KeyLen) == 0;
+}
+
+uint64_t entryHash(const Object *Entry) { return loadU64(Entry->payload()); }
+
+unsigned roundUpPow2(unsigned V) {
+  unsigned P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+} // namespace
+
+uint64_t cgc::kvHashKey(const char *Key, size_t KeyLen) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I < KeyLen; ++I) {
+    H ^= static_cast<uint8_t>(Key[I]);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// KvStore
+//===----------------------------------------------------------------------===//
+
+KvStore::KvStore(GcHeap &Heap, MutatorContext &OwnerCtx, size_t OwnerRootSlot,
+                 const KvStoreConfig &Config)
+    : Heap(Heap), Cfg(Config),
+      NumStripes(std::min(roundUpPow2(Config.LockStripes ? Config.LockStripes
+                                                         : 1),
+                          roundUpPow2(Config.Buckets))) {
+  assert(Cfg.Buckets >= 1 && Cfg.Buckets <= 60000 &&
+         "buckets are ref slots of one object (uint16 count)");
+  assert(Cfg.MaxEntries >= 1 && "empty store");
+  Stripes.reset(new SpinLock[NumStripes]);
+  Object *T = Heap.allocate(OwnerCtx, 0, static_cast<uint16_t>(Cfg.Buckets),
+                            CIdTable);
+  assert(T && "heap too small for the kv table");
+  OwnerCtx.setRoot(OwnerRootSlot, T);
+  Table = T;
+}
+
+KvStore::~KvStore() = default;
+
+unsigned KvStore::bucketFor(uint64_t Hash) const {
+  return static_cast<unsigned>(Hash % Cfg.Buckets);
+}
+
+SpinLock &KvStore::stripe(unsigned Bucket) const {
+  return Stripes[Bucket & (NumStripes - 1)];
+}
+
+bool KvStore::set(MutatorContext &Ctx, const char *Key, size_t KeyLen,
+                  size_t ValueBytes, uint64_t Nonce) {
+  assert(KeyLen >= 1 && KeyLen <= Cfg.MaxKeyBytes && "key size out of range");
+  uint64_t Hash = kvHashKey(Key, KeyLen);
+  if (ValueBytes < MinValueBytes)
+    ValueBytes = MinValueBytes;
+
+  // Allocate value and entry BEFORE touching the table or any stripe:
+  // allocation is a GC point, so the value must be anchored across the
+  // entry's allocation (M1), and no GC point may run under a stripe
+  // lock (M3).
+  Object *Value = Heap.allocate(Ctx, ValueBytes, 0, CIdValue);
+  if (!Value)
+    return false;
+  stampValue(Value, Hash, Nonce);
+  Ctx.pushRoot(Value);
+  Object *Entry =
+      Heap.allocate(Ctx, EntryHeaderBytes + KeyLen, NumEntryRefs, CIdEntry);
+  Ctx.popRoots(1);
+  if (!Entry)
+    return false;
+  writeEntryKey(Entry, Hash, Key, KeyLen);
+  // Publish the value into the (unpublished) entry through the barrier;
+  // from here the entry subgraph is fully formed.
+  Heap.writeRef(Ctx, Entry, SlotValue, Value);
+
+  unsigned B = bucketFor(Hash);
+  bool Inserted = false;
+  {
+    SpinLockGuard Guard(stripe(B));
+    Object *Head = GcHeap::readRef(Table, B);
+    Object *Existing = nullptr;
+    for (Object *E = Head; E; E = GcHeap::readRef(E, SlotNext))
+      if (entryMatches(E, Hash, Key, KeyLen)) {
+        Existing = E;
+        break;
+      }
+    if (Existing) {
+      // Overwrite in place: the old value becomes garbage.
+      Heap.writeRef(Ctx, Existing, SlotValue, Value);
+    } else {
+      Heap.writeRef(Ctx, Entry, SlotNext, Head);
+      Heap.writeRef(Ctx, Table, B, Entry);
+      EntryCount.fetch_add(1, std::memory_order_relaxed);
+      Inserted = true;
+    }
+  }
+  if (Inserted)
+    evictOverflow(Ctx);
+  return true;
+}
+
+KvStore::GetResult KvStore::get(const char *Key, size_t KeyLen) const {
+  uint64_t Hash = kvHashKey(Key, KeyLen);
+  unsigned B = bucketFor(Hash);
+  SpinLockGuard Guard(stripe(B));
+  for (Object *E = GcHeap::readRef(Table, B); E;
+       E = GcHeap::readRef(E, SlotNext)) {
+    if (!entryMatches(E, Hash, Key, KeyLen))
+      continue;
+    Object *Value = GcHeap::readRef(E, SlotValue);
+    if (!Value || !verifyValue(Value, Hash))
+      return GetResult::Corrupt;
+    return GetResult::Hit;
+  }
+  return GetResult::Miss;
+}
+
+bool KvStore::del(MutatorContext &Ctx, const char *Key, size_t KeyLen) {
+  uint64_t Hash = kvHashKey(Key, KeyLen);
+  unsigned B = bucketFor(Hash);
+  SpinLockGuard Guard(stripe(B));
+  Object *Prev = nullptr;
+  for (Object *E = GcHeap::readRef(Table, B); E;
+       Prev = E, E = GcHeap::readRef(E, SlotNext)) {
+    if (!entryMatches(E, Hash, Key, KeyLen))
+      continue;
+    Object *Next = GcHeap::readRef(E, SlotNext);
+    if (Prev)
+      Heap.writeRef(Ctx, Prev, SlotNext, Next);
+    else
+      Heap.writeRef(Ctx, Table, B, Next);
+    EntryCount.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void KvStore::evictOverflow(MutatorContext &Ctx) {
+  // Bounded: scan at most one full round of buckets per call; other
+  // threads' concurrent evictions make up any shortfall on their sets.
+  for (unsigned Tries = 0;
+       Tries < Cfg.Buckets &&
+       EntryCount.load(std::memory_order_relaxed) > Cfg.MaxEntries;
+       ++Tries) {
+    unsigned B = EvictCursor.fetch_add(1, std::memory_order_relaxed) %
+                 Cfg.Buckets;
+    SpinLockGuard Guard(stripe(B));
+    Object *Head = GcHeap::readRef(Table, B);
+    if (!Head)
+      continue;
+    // Unlink the tail (the bucket's oldest entry).
+    Object *Prev = nullptr;
+    Object *E = Head;
+    for (Object *Next = GcHeap::readRef(E, SlotNext); Next;
+         Next = GcHeap::readRef(E, SlotNext)) {
+      Prev = E;
+      E = Next;
+    }
+    if (Prev)
+      Heap.writeRef(Ctx, Prev, SlotNext, nullptr);
+    else
+      Heap.writeRef(Ctx, Table, B, nullptr);
+    EntryCount.fetch_sub(1, std::memory_order_relaxed);
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool KvStore::verifyBucket(unsigned Bucket, size_t *LiveSeen,
+                           std::string *Error) const {
+  auto fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = "bucket " + std::to_string(Bucket) + ": " + Why;
+    return false;
+  };
+  SpinLockGuard Guard(stripe(Bucket));
+  size_t ChainLen = 0;
+  for (Object *E = GcHeap::readRef(Table, Bucket); E;
+       E = GcHeap::readRef(E, SlotNext)) {
+    if (++ChainLen > Cfg.MaxEntries + 1)
+      return fail("chain cycle or over-long chain");
+    uint64_t Hash = entryHash(E);
+    if (bucketFor(Hash) != Bucket)
+      return fail("entry hashed to bucket " +
+                  std::to_string(bucketFor(Hash)));
+    Object *Value = GcHeap::readRef(E, SlotValue);
+    if (!Value)
+      return fail("entry without value");
+    if (!verifyValue(Value, Hash))
+      return fail("value failed its integrity stamp");
+  }
+  *LiveSeen += ChainLen;
+  return true;
+}
+
+bool KvStore::verifyAll(std::string *Error) const {
+  size_t LiveSeen = 0;
+  for (unsigned B = 0; B < Cfg.Buckets; ++B)
+    if (!verifyBucket(B, &LiveSeen, Error))
+      return false;
+  size_t Counted = EntryCount.load(std::memory_order_relaxed);
+  if (LiveSeen != Counted) {
+    if (Error)
+      *Error = "entry count mismatch: walked " + std::to_string(LiveSeen) +
+               ", counter says " + std::to_string(Counted);
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// KvWorkload
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic key text for index \p K: "key-<K>" zero-padded so key
+/// lengths vary little and stay well under MaxKeyBytes.
+size_t formatKey(char *Buf, size_t BufLen, size_t K) {
+  int N = std::snprintf(Buf, BufLen, "key-%08zx", K);
+  return N > 0 ? static_cast<size_t>(N) : 0;
+}
+
+} // namespace
+
+bool cgc::kvServeOne(GcHeap &Heap, MutatorContext &Ctx, KvStore &Store,
+                     const KvWorkloadConfig &Config, Random &Rng) {
+  char Key[64];
+  size_t KeyLen = formatKey(Key, sizeof(Key), Rng.nextBelow(Config.KeySpace));
+  double Roll = Rng.nextDouble();
+  if (Roll < Config.GetFraction)
+    return Store.get(Key, KeyLen) != KvStore::GetResult::Corrupt;
+  if (Roll < Config.GetFraction + Config.DeleteFraction) {
+    Store.del(Ctx, Key, KeyLen);
+    return true;
+  }
+  size_t ValueBytes = Config.MinValueBytes == Config.MaxValueBytes
+                          ? Config.MinValueBytes
+                          : Rng.nextInRange(Config.MinValueBytes,
+                                            Config.MaxValueBytes);
+  // Allocation failure is already a reported degradation (the ladder
+  // never aborts); the request still counts as served.
+  Store.set(Ctx, Key, KeyLen, ValueBytes, Rng.next());
+  return true;
+}
+
+void KvWorkload::threadMain(unsigned Index, KvStore &Store,
+                            uint64_t DeadlineNs, WorkloadResult &Result) {
+  MutatorContext &Ctx = Heap.attachThread();
+  Random Rng(Config.Seed * 0x9e3779b9u + Index * 7919u + 1);
+  uint64_t Ops = 0;
+  uint64_t StartAllocated = Ctx.BytesAllocated.load(std::memory_order_relaxed);
+  bool Integrity = true;
+
+  while (nowNanos() < DeadlineNs) {
+    if (!kvServeOne(Heap, Ctx, Store, Config, Rng))
+      Integrity = false;
+    // Live-set bound: eviction keeps entries near MaxEntries; allow
+    // one in-flight insert per thread of slack.
+    if (Store.liveEntries() > Store.config().MaxEntries + Config.Threads)
+      Integrity = false;
+    Heap.safepointPoll(Ctx);
+    ++Ops;
+  }
+
+  uint64_t Allocated =
+      Ctx.BytesAllocated.load(std::memory_order_relaxed) - StartAllocated;
+  Heap.detachThread(Ctx);
+
+  std::atomic_ref<uint64_t>(Result.Transactions)
+      .fetch_add(Ops, std::memory_order_relaxed);
+  std::atomic_ref<uint64_t>(Result.BytesAllocated)
+      .fetch_add(Allocated, std::memory_order_relaxed);
+  if (!Integrity)
+    std::atomic_ref<bool>(Result.IntegrityFailure)
+        .store(true, std::memory_order_relaxed);
+}
+
+WorkloadResult KvWorkload::run() {
+  WorkloadResult Result;
+  Stopwatch Timer;
+
+  MutatorContext &OwnerCtx = Heap.attachThread();
+  OwnerCtx.reserveRoots(1);
+  {
+    KvStore Store(Heap, OwnerCtx, /*OwnerRootSlot=*/0, Config.Store);
+
+    uint64_t DeadlineNs = nowNanos() + Config.DurationMs * 1000000ull;
+    std::vector<std::thread> Threads;
+    Threads.reserve(Config.Threads);
+    // The owner thread parks in an idle region while serving threads
+    // run (it performs no heap accesses until they join).
+    Heap.enterIdle(OwnerCtx);
+    for (unsigned I = 0; I < Config.Threads; ++I)
+      Threads.emplace_back([this, I, &Store, DeadlineNs, &Result] {
+        threadMain(I, Store, DeadlineNs, Result);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    Heap.exitIdle(OwnerCtx);
+
+    std::string Error;
+    if (!Store.verifyAll(&Error)) {
+      std::fprintf(stderr, "kv integrity: %s\n", Error.c_str());
+      Result.IntegrityFailure = true;
+    }
+    if (Store.liveEntries() > Config.Store.MaxEntries + Config.Threads)
+      Result.IntegrityFailure = true;
+  }
+  OwnerCtx.setRoot(0, nullptr); // The table is garbage from here.
+  Heap.detachThread(OwnerCtx);
+
+  Result.DurationMs = Timer.elapsedMillis();
+  return Result;
+}

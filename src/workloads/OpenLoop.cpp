@@ -1,0 +1,193 @@
+//===- OpenLoop.cpp - Open-loop request load driver ---------------------------//
+
+#include "workloads/OpenLoop.h"
+
+#include "runtime/GcHeap.h"
+#include "support/Timing.h"
+
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+using namespace cgc;
+
+InterArrivalGen::InterArrivalGen(ArrivalKind Kind, double RatePerSec,
+                                 uint64_t Seed)
+    : Kind(Kind), MeanGap(RatePerSec > 0 ? 1e9 / RatePerSec : 1e9), Rng(Seed) {}
+
+uint64_t InterArrivalGen::nextGapNanos() {
+  double Gap = MeanGap;
+  if (Kind == ArrivalKind::Exponential) {
+    // Inverse-CDF sampling; nextDouble() is in [0,1) so the log argument
+    // stays strictly positive.
+    double U = Rng.nextDouble();
+    Gap = -std::log(1.0 - U) * MeanGap;
+  }
+  double Exact = Gap + Carry;
+  if (Exact < 0)
+    Exact = 0;
+  uint64_t Whole = static_cast<uint64_t>(Exact);
+  Carry = Exact - static_cast<double>(Whole);
+  return Whole;
+}
+
+void LatencyBuffer::drainInto(PauseHistogram &Latency,
+                              PauseHistogram &Service) const {
+  for (const RequestSample &S : Samples) {
+    Latency.record(S.DoneNanos - S.SchedNanos);
+    Service.record(S.DoneNanos - S.SendNanos);
+  }
+}
+
+std::vector<uint64_t> OpenLoopOutcome::openLoopLatencies() const {
+  std::vector<uint64_t> All;
+  for (const LatencyBuffer &B : Buffers)
+    for (size_t I = 0; I < B.size(); ++I)
+      All.push_back(B.openLoopLatencyNanos(I));
+  return All;
+}
+
+std::vector<uint64_t> OpenLoopOutcome::sendTimeLatencies() const {
+  std::vector<uint64_t> All;
+  for (const LatencyBuffer &B : Buffers)
+    for (size_t I = 0; I < B.size(); ++I)
+      All.push_back(B.sendTimeLatencyNanos(I));
+  return All;
+}
+
+void OpenLoopOutcome::drainInto(MetricsRegistry &Metrics) const {
+  PauseHistogram &Latency = Metrics.histogram(PauseMetric::RequestLatency);
+  PauseHistogram &Service = Metrics.histogram(PauseMetric::RequestService);
+  for (const LatencyBuffer &B : Buffers)
+    B.drainInto(Latency, Service);
+  RequestCounters &R = Metrics.requests();
+  R.Scheduled.fetch_add(Counters.Scheduled, std::memory_order_relaxed);
+  R.Completed.fetch_add(Counters.Completed, std::memory_order_relaxed);
+  R.Failed.fetch_add(Counters.Failed, std::memory_order_relaxed);
+  R.LateStarts.fetch_add(Counters.LateStarts, std::memory_order_relaxed);
+  R.DroppedSamples.fetch_add(Counters.DroppedSamples,
+                             std::memory_order_relaxed);
+}
+
+void OpenLoopDriver::waitUntil(uint64_t TargetNanos, MutatorContext *Ctx) {
+  for (;;) {
+    uint64_t Now = nowNanos();
+    if (Now >= TargetNanos)
+      return;
+    uint64_t Remain = TargetNanos - Now;
+    if (Heap && Ctx && Remain > Config.IdleSleepThresholdNanos) {
+      // Long wait: sleep it off as an idle (GC-stopped) thread, leaving
+      // the threshold's worth of slack to spin-absorb sleep overshoot.
+      Heap->enterIdle(*Ctx);
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(Remain - Config.IdleSleepThresholdNanos));
+      Heap->exitIdle(*Ctx);
+      continue;
+    }
+    if (Heap && Ctx)
+      Heap->safepointPoll(*Ctx);
+    else if (Remain > 200000)
+      // Heap-less (generator-test) mode: don't burn a core on megasecond
+      // spins, but keep the last stretch a spin for schedule fidelity.
+      std::this_thread::sleep_for(std::chrono::nanoseconds(Remain - 100000));
+  }
+}
+
+void OpenLoopDriver::clientMain(unsigned Index, uint64_t StartNanos,
+                                uint64_t DeadlineNanos,
+                                const ServiceFn &Service,
+                                LatencyBuffer &Buffer,
+                                RequestCounters &Counters) {
+  MutatorContext *Ctx = nullptr;
+  if (Heap)
+    Ctx = &Heap->attachThread();
+
+  unsigned Clients = Config.Clients > 0 ? Config.Clients : 1;
+  InterArrivalGen Gen(Config.Kind,
+                      Config.OfferedPerSec / static_cast<double>(Clients),
+                      Config.Seed + (Index + 1) * 0x9e3779b97f4a7c15ULL);
+
+  // The schedule advances by generator gaps only — never by service
+  // completion. A request whose slot passed while we were still serving
+  // its predecessor starts late and is charged from SchedNanos anyway;
+  // that is the whole point (coordinated omission).
+  uint64_t Sched = StartNanos + Gen.nextGapNanos();
+  uint64_t Seq = 0;
+  while (Sched < DeadlineNanos) {
+    Counters.Scheduled.fetch_add(1, std::memory_order_relaxed);
+    if (nowNanos() < Sched)
+      waitUntil(Sched, Ctx);
+    else
+      Counters.LateStarts.fetch_add(1, std::memory_order_relaxed);
+
+    RequestSample S;
+    S.SchedNanos = Sched;
+    uint64_t Send = nowNanos();
+    S.SendNanos = Send > Sched ? Send : Sched;
+    S.Ok = Service(Ctx, Index, Seq);
+    S.DoneNanos = nowNanos();
+
+    Counters.Completed.fetch_add(1, std::memory_order_relaxed);
+    if (!S.Ok)
+      Counters.Failed.fetch_add(1, std::memory_order_relaxed);
+    if (!Buffer.record(S))
+      Counters.DroppedSamples.fetch_add(1, std::memory_order_relaxed);
+
+    Sched += Gen.nextGapNanos();
+    ++Seq;
+    if (Heap && Ctx)
+      Heap->safepointPoll(*Ctx);
+  }
+
+  if (Heap)
+    Heap->detachThread(*Ctx);
+}
+
+OpenLoopOutcome OpenLoopDriver::run(const ServiceFn &Service) {
+  assert(!Clock::isFaked() &&
+         "OpenLoopDriver spin-waits on the clock; a ManualClock would hang");
+
+  unsigned Clients = Config.Clients > 0 ? Config.Clients : 1;
+  size_t Cap = Config.MaxSamplesPerClient;
+  if (Cap == 0) {
+    double PerClient = Config.OfferedPerSec / static_cast<double>(Clients);
+    double Expected =
+        PerClient * static_cast<double>(Config.DurationMs) / 1000.0;
+    double Sized = Expected * 2.0 + 1024.0;
+    if (Sized < 1024.0)
+      Sized = 1024.0;
+    if (Sized > static_cast<double>(1u << 22))
+      Sized = static_cast<double>(1u << 22);
+    Cap = static_cast<size_t>(Sized);
+  }
+
+  OpenLoopOutcome Out;
+  Out.OfferedPerSec = Config.OfferedPerSec;
+  Out.Buffers.reserve(Clients);
+  for (unsigned I = 0; I < Clients; ++I)
+    Out.Buffers.emplace_back(Cap);
+
+  RequestCounters Counters;
+  uint64_t StartNanos = nowNanos();
+  uint64_t DeadlineNanos = StartNanos + Config.DurationMs * 1000000ull;
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Clients);
+  for (unsigned I = 0; I < Clients; ++I)
+    Threads.emplace_back([this, I, StartNanos, DeadlineNanos, &Service, &Out,
+                          &Counters] {
+      clientMain(I, StartNanos, DeadlineNanos, Service, Out.Buffers[I],
+                 Counters);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  uint64_t EndNanos = nowNanos();
+  Out.Counters = Counters.snapshot();
+  Out.DurationMs = nanosToMillis(EndNanos - StartNanos);
+  double Seconds = static_cast<double>(EndNanos - StartNanos) / 1e9;
+  Out.AchievedPerSec =
+      Seconds > 0 ? static_cast<double>(Out.Counters.Completed) / Seconds : 0;
+  return Out;
+}

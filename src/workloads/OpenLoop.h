@@ -1,0 +1,198 @@
+//===- OpenLoop.h - Open-loop request load driver ---------------*- C++ -*-===//
+///
+/// \file
+/// An open-loop load driver for request-latency measurement under a GC
+/// (DESIGN.md §15): N client threads issue requests on seeded
+/// exponential or fixed inter-arrival schedules that are *decoupled
+/// from service completion*. Each request's latency is measured from
+/// its SCHEDULED start, not from when the client finally got around to
+/// sending it — a request whose slot was delayed (by a GC pause, by a
+/// slow predecessor) is charged all the queueing it suffered. This is
+/// the standard defense against coordinated omission: a closed-loop
+/// measurement silently stops sampling exactly when the system is at
+/// its worst, and tests/openloop_gen_test.cpp locks the distinction in.
+///
+/// Per-request timestamps land in pre-sized per-client buffers (no
+/// allocation, no lock on the request path) and are drained into the
+/// observability layer's PauseHistograms (RequestLatency /
+/// RequestService) after the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_WORKLOADS_OPENLOOP_H
+#define CGC_WORKLOADS_OPENLOOP_H
+
+#include "observe/MetricsRegistry.h"
+#include "support/Random.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cgc {
+
+class GcHeap;
+class MutatorContext;
+
+/// Inter-arrival schedule shapes.
+enum class ArrivalKind {
+  /// Constant gap 1/rate (deterministic pacing).
+  Fixed,
+  /// Exponential gaps with mean 1/rate (Poisson arrivals — the standard
+  /// open-server model).
+  Exponential
+};
+
+/// Seeded inter-arrival generator: a deterministic stream of gaps whose
+/// mean is 1/rate. Same seed, same schedule — the tests rely on it.
+/// Sub-nanosecond remainders are carried so the long-run rate is exact
+/// for Fixed and unbiased for Exponential.
+class InterArrivalGen {
+public:
+  InterArrivalGen(ArrivalKind Kind, double RatePerSec, uint64_t Seed);
+
+  /// The next gap in nanoseconds.
+  uint64_t nextGapNanos();
+
+  /// Mean gap the generator targets (1e9 / rate).
+  double meanGapNanos() const { return MeanGap; }
+
+private:
+  ArrivalKind Kind;
+  double MeanGap;
+  double Carry = 0;
+  Random Rng;
+};
+
+/// One request's life: scheduled slot, actual send, completion.
+/// SendNanos >= SchedNanos always (a client never sends early); the
+/// open-loop latency is Done - Sched, the pure service time Done - Send.
+struct RequestSample {
+  uint64_t SchedNanos = 0;
+  uint64_t SendNanos = 0;
+  uint64_t DoneNanos = 0;
+  bool Ok = true;
+};
+
+/// Pre-sized per-client sample buffer: record() never allocates past
+/// construction and never blocks; overflow is counted, not resized (a
+/// measurement path that allocates on the GC-free side would perturb
+/// exactly what it measures).
+class LatencyBuffer {
+public:
+  explicit LatencyBuffer(size_t Capacity) { Samples.reserve(Capacity); }
+
+  /// Appends \p S; returns false (and counts a drop) when full.
+  bool record(const RequestSample &S) {
+    if (Samples.size() == Samples.capacity()) {
+      ++DroppedV;
+      return false;
+    }
+    Samples.push_back(S);
+    return true;
+  }
+
+  size_t size() const { return Samples.size(); }
+  uint64_t dropped() const { return DroppedV; }
+  const RequestSample &operator[](size_t I) const { return Samples[I]; }
+
+  /// Open-loop latency of sample \p I (completion minus scheduled start).
+  uint64_t openLoopLatencyNanos(size_t I) const {
+    return Samples[I].DoneNanos - Samples[I].SchedNanos;
+  }
+  /// Send-time ("closed-loop-style") latency: completion minus actual
+  /// send. Kept ONLY so the coordinated-omission regression can show
+  /// what this metric hides; never report it as request latency.
+  uint64_t sendTimeLatencyNanos(size_t I) const {
+    return Samples[I].DoneNanos - Samples[I].SendNanos;
+  }
+
+  /// Drains every sample into the two histograms (open-loop latency
+  /// into \p Latency, service time into \p Service).
+  void drainInto(PauseHistogram &Latency, PauseHistogram &Service) const;
+
+private:
+  std::vector<RequestSample> Samples;
+  uint64_t DroppedV = 0;
+};
+
+/// Open-loop run configuration.
+struct OpenLoopConfig {
+  /// Client threads; the offered load is split evenly across them.
+  unsigned Clients = 2;
+  /// Aggregate offered load in requests per second.
+  double OfferedPerSec = 5000;
+  ArrivalKind Kind = ArrivalKind::Exponential;
+  /// Scheduling horizon: no request is scheduled past start + duration
+  /// (requests already scheduled still complete).
+  uint64_t DurationMs = 1000;
+  /// Per-client schedules derive from this seed.
+  uint64_t Seed = 0x09e71007;
+  /// Per-client sample-buffer capacity; 0 sizes it from the offered
+  /// rate and duration with 2x headroom (clamped to [1024, 1<<22]).
+  size_t MaxSamplesPerClient = 0;
+  /// Waits longer than this sleep inside an idle region (the thread
+  /// counts as stopped for GC handshakes); shorter waits spin with
+  /// safepoint polls. Not meaningful when no heap is attached.
+  uint64_t IdleSleepThresholdNanos = 2000000;
+};
+
+/// Everything one open-loop run produced.
+struct OpenLoopOutcome {
+  std::vector<LatencyBuffer> Buffers; // one per client
+  RequestCounters::Snapshot Counters;
+  double OfferedPerSec = 0;
+  /// Completed requests over the measured wall-clock window.
+  double AchievedPerSec = 0;
+  double DurationMs = 0;
+
+  /// All open-loop latencies, concatenated across clients (for
+  /// reference-sort checks; unsorted).
+  std::vector<uint64_t> openLoopLatencies() const;
+  /// All send-time latencies (the coordinated-omission comparison).
+  std::vector<uint64_t> sendTimeLatencies() const;
+
+  /// Drains every buffer into \p Metrics: RequestLatency and
+  /// RequestService histograms plus the request counters.
+  void drainInto(MetricsRegistry &Metrics) const;
+};
+
+/// Runs the open-loop schedule against a service callback.
+///
+/// With a non-null heap, each client thread attaches a mutator context,
+/// polls while spin-waiting for its next slot, brackets long waits with
+/// enterIdle/exitIdle, and detaches at the end; the callback does its
+/// heap work through the provided context. With a null heap (generator
+/// tests) the context is null and waits are plain spins.
+///
+/// Requires the real clock: the driver spin-waits on nowNanos(), which
+/// never advances under a test ManualClock.
+class OpenLoopDriver {
+public:
+  /// Serves one request; returns success. \p Client is the client
+  /// thread index, \p Index the per-client request sequence number.
+  using ServiceFn =
+      std::function<bool(MutatorContext *Ctx, unsigned Client,
+                         uint64_t Index)>;
+
+  OpenLoopDriver(GcHeap *Heap, const OpenLoopConfig &Config)
+      : Heap(Heap), Config(Config) {}
+
+  /// Spawns the clients, runs the schedule to its horizon, joins, and
+  /// aggregates. One run per driver instance.
+  OpenLoopOutcome run(const ServiceFn &Service);
+
+private:
+  void clientMain(unsigned Index, uint64_t StartNanos, uint64_t DeadlineNanos,
+                  const ServiceFn &Service, LatencyBuffer &Buffer,
+                  RequestCounters &Counters);
+  void waitUntil(uint64_t TargetNanos, MutatorContext *Ctx);
+
+  GcHeap *Heap;
+  OpenLoopConfig Config;
+};
+
+} // namespace cgc
+
+#endif // CGC_WORKLOADS_OPENLOOP_H

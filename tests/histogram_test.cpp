@@ -136,6 +136,10 @@ TEST(MetricsRegistryTest, PauseMetricNamesAreStable) {
   EXPECT_STREQ(pauseMetricName(PauseMetric::FinalMark), "final_mark");
   EXPECT_STREQ(pauseMetricName(PauseMetric::Sweep), "sweep");
   EXPECT_STREQ(pauseMetricName(PauseMetric::IncQuantum), "inc_quantum");
+  EXPECT_STREQ(pauseMetricName(PauseMetric::RequestLatency),
+               "request_latency");
+  EXPECT_STREQ(pauseMetricName(PauseMetric::RequestService),
+               "request_service");
 }
 
 TEST(MetricsRegistryTest, FloatingGarbageUsesLowWaterMark) {

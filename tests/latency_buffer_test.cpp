@@ -1,0 +1,175 @@
+//===- latency_buffer_test.cpp - buffer -> histogram -> JSON quantile path ----//
+///
+/// The reporting pipeline of the open-loop harness end to end: raw
+/// request samples in a LatencyBuffer, drained into the HDR-lite
+/// PauseHistograms, quantiles within the histogram's error contract of a
+/// reference sort (mirroring histogram_test's bound: one sub-bucket,
+/// 12.5% + linear granularity, exact max preserved), and the same
+/// figures surviving the BenchJsonWriter -> validateBenchJson ->
+/// JsonValue::parse round trip unaltered.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestSeed.h"
+#include "observe/BenchJsonWriter.h"
+#include "observe/Json.h"
+#include "workloads/OpenLoop.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+/// Seeded synthetic request stream: log-uniform service times (1 us ..
+/// ~1 ms) plus an occasional large scheduling delay, the shape an
+/// open-loop run under GC produces.
+struct SampleSet {
+  std::vector<RequestSample> Samples;
+  std::vector<uint64_t> OpenLoopRef; // Done - Sched, unsorted
+  std::vector<uint64_t> ServiceRef;  // Done - Send, unsorted
+};
+
+SampleSet makeSamples(uint64_t Seed, size_t N) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> LogService(10.0, 20.0); // 2^10..2^20
+  std::uniform_real_distribution<double> Uniform(0.0, 1.0);
+  SampleSet Set;
+  uint64_t Sched = 1000;
+  for (size_t I = 0; I < N; ++I) {
+    RequestSample S;
+    S.SchedNanos = Sched;
+    // 2% of requests queued behind a pause: up to 8 ms of delay.
+    uint64_t Delay = Uniform(Rng) < 0.02
+                         ? static_cast<uint64_t>(Uniform(Rng) * 8e6)
+                         : 0;
+    S.SendNanos = S.SchedNanos + Delay;
+    S.DoneNanos =
+        S.SendNanos + static_cast<uint64_t>(std::exp2(LogService(Rng)));
+    Set.Samples.push_back(S);
+    Set.OpenLoopRef.push_back(S.DoneNanos - S.SchedNanos);
+    Set.ServiceRef.push_back(S.DoneNanos - S.SendNanos);
+    Sched += 50000;
+  }
+  return Set;
+}
+
+uint64_t exactQuantile(std::vector<uint64_t> V, double Q) {
+  std::sort(V.begin(), V.end());
+  uint64_t Rank =
+      static_cast<uint64_t>(std::ceil(Q * static_cast<double>(V.size())));
+  if (Rank < 1)
+    Rank = 1;
+  return V[Rank - 1];
+}
+
+TEST(LatencyBufferDrainTest, QuantilesMatchReferenceSort) {
+  uint64_t Seed = testSeed(0x1a7b0f, "LatencyBufferDrainTest.Quantiles");
+  ScopedSeedLog SeedLog(Seed, "LatencyBufferDrainTest.Quantiles");
+  SampleSet Set = makeSamples(Seed, 20000);
+
+  LatencyBuffer Buffer(Set.Samples.size());
+  for (const RequestSample &S : Set.Samples)
+    ASSERT_TRUE(Buffer.record(S));
+
+  PauseHistogram Latency, Service;
+  Buffer.drainInto(Latency, Service);
+  ASSERT_EQ(Latency.count(), Set.Samples.size());
+  ASSERT_EQ(Service.count(), Set.Samples.size());
+
+  struct Case {
+    const PauseHistogram *H;
+    const std::vector<uint64_t> *Ref;
+    const char *Name;
+  } Cases[] = {{&Latency, &Set.OpenLoopRef, "open-loop"},
+               {&Service, &Set.ServiceRef, "service"}};
+
+  for (const Case &C : Cases) {
+    for (double Q : {0.50, 0.90, 0.99, 0.999}) {
+      uint64_t Exact = exactQuantile(*C.Ref, Q);
+      uint64_t Reported = C.H->quantile(Q);
+      // Same contract histogram_test pins for GC pauses: the reported
+      // value is the lower bound of the exact sample's bucket.
+      EXPECT_EQ(PauseHistogram::bucketFor(Reported),
+                PauseHistogram::bucketFor(Exact))
+          << C.Name << " q=" << Q;
+      EXPECT_LE(Reported, Exact) << C.Name << " q=" << Q;
+      double Error = static_cast<double>(Exact - Reported);
+      EXPECT_LE(Error, 0.125 * static_cast<double>(Exact) + 128.0)
+          << C.Name << " q=" << Q;
+    }
+    // The exact maximum survives bucketing.
+    uint64_t RefMax = *std::max_element(C.Ref->begin(), C.Ref->end());
+    EXPECT_EQ(C.H->quantile(1.0), RefMax) << C.Name;
+    EXPECT_EQ(C.H->max(), RefMax) << C.Name;
+  }
+}
+
+TEST(LatencyBufferDrainTest, OutcomeDrainAggregatesAllClients) {
+  uint64_t Seed = testSeed(0xd8a1a, "LatencyBufferDrainTest.Aggregate");
+  OpenLoopOutcome Out;
+  size_t Total = 0;
+  for (unsigned Client = 0; Client < 3; ++Client) {
+    SampleSet Set = makeSamples(Seed + Client, 500);
+    LatencyBuffer Buffer(Set.Samples.size());
+    for (const RequestSample &S : Set.Samples)
+      Buffer.record(S);
+    Total += Set.Samples.size();
+    Out.Buffers.push_back(std::move(Buffer));
+  }
+  Out.Counters.Scheduled = Total;
+  Out.Counters.Completed = Total;
+
+  MetricsRegistry Metrics;
+  Out.drainInto(Metrics);
+  EXPECT_EQ(Metrics.histogram(PauseMetric::RequestLatency).count(), Total);
+  EXPECT_EQ(Metrics.histogram(PauseMetric::RequestService).count(), Total);
+  EXPECT_EQ(Metrics.requests().snapshot().Completed, Total);
+  EXPECT_EQ(Out.openLoopLatencies().size(), Total);
+}
+
+TEST(LatencyBufferDrainTest, QuantilesSurviveBenchJsonRoundTrip) {
+  uint64_t Seed = testSeed(0xb3a9, "LatencyBufferDrainTest.JsonRoundTrip");
+  SampleSet Set = makeSamples(Seed, 4000);
+  LatencyBuffer Buffer(Set.Samples.size());
+  for (const RequestSample &S : Set.Samples)
+    Buffer.record(S);
+  PauseHistogram Latency, Service;
+  Buffer.drainInto(Latency, Service);
+
+  double P99Ms = static_cast<double>(Latency.quantile(0.99)) / 1e6;
+  double MaxMs = static_cast<double>(Latency.max()) / 1e6;
+
+  BenchJsonWriter Json("latency_buffer_roundtrip");
+  Json.beginRow("offered=1000,collector=cgc");
+  Json.addConfig("offered_per_s", 1000);
+  Json.addMetric("req_p99_ms", P99Ms, "ms");
+  Json.addMetric("req_max_ms", MaxMs, "ms");
+  std::string Text = Json.toJson();
+
+  std::string Error;
+  ASSERT_TRUE(validateBenchJson(Text, &Error)) << Error;
+
+  std::unique_ptr<JsonValue> Doc = JsonValue::parse(Text, &Error);
+  ASSERT_TRUE(Doc) << Error;
+  const JsonValue *Rows = Doc->get("rows");
+  ASSERT_TRUE(Rows);
+  ASSERT_EQ(Rows->arrayValue().size(), 1u);
+  const JsonValue *MetricsObj = Rows->arrayValue()[0].get("metrics");
+  ASSERT_TRUE(MetricsObj);
+  const JsonValue *P99 = MetricsObj->get("req_p99_ms");
+  const JsonValue *Max = MetricsObj->get("req_max_ms");
+  ASSERT_TRUE(P99 && Max);
+  // The writer prints enough digits that parse(print(x)) == x for the
+  // magnitudes latency metrics take; a lossy printf here would corrupt
+  // every published quantile.
+  EXPECT_DOUBLE_EQ(P99->numberValue(), P99Ms);
+  EXPECT_DOUBLE_EQ(Max->numberValue(), MaxMs);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+//===- openloop_gen_test.cpp - inter-arrival generators and CO regression ------//
+///
+/// The open-loop load machinery (workloads/OpenLoop.h): seeded
+/// determinism of the inter-arrival generators, exponential-mean
+/// convergence, and the coordinated-omission regression — a stalled
+/// service MUST surface in scheduled-start latencies. The regression is
+/// mutation-sensitive: replace SchedNanos with SendNanos in the latency
+/// definition (the classic closed-loop mistake) and the stall vanishes
+/// from p99, failing the test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestSeed.h"
+#include "workloads/OpenLoop.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+std::vector<uint64_t> gaps(ArrivalKind Kind, double Rate, uint64_t Seed,
+                           size_t N) {
+  InterArrivalGen Gen(Kind, Rate, Seed);
+  std::vector<uint64_t> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(Gen.nextGapNanos());
+  return Out;
+}
+
+TEST(InterArrivalGenTest, SameSeedSameSchedule) {
+  uint64_t Seed = testSeed(0x0b5eed, "InterArrivalGenTest.SameSeed");
+  for (ArrivalKind Kind : {ArrivalKind::Fixed, ArrivalKind::Exponential}) {
+    std::vector<uint64_t> A = gaps(Kind, 10000, Seed, 5000);
+    std::vector<uint64_t> B = gaps(Kind, 10000, Seed, 5000);
+    EXPECT_EQ(A, B) << "same seed must replay the identical schedule";
+  }
+}
+
+TEST(InterArrivalGenTest, DifferentSeedsDiverge) {
+  std::vector<uint64_t> A = gaps(ArrivalKind::Exponential, 10000, 1, 1000);
+  std::vector<uint64_t> B = gaps(ArrivalKind::Exponential, 10000, 2, 1000);
+  EXPECT_NE(A, B);
+}
+
+TEST(InterArrivalGenTest, FixedRateIsExactLongRun) {
+  // 3333 req/s has a non-integral nanosecond gap; the carry must keep
+  // the long-run sum exact to within one nanosecond per sample bound.
+  InterArrivalGen Gen(ArrivalKind::Fixed, 3333, 7);
+  uint64_t Sum = 0;
+  constexpr size_t N = 100000;
+  for (size_t I = 0; I < N; ++I)
+    Sum += Gen.nextGapNanos();
+  double ExpectedSum = static_cast<double>(N) * 1e9 / 3333.0;
+  EXPECT_NEAR(static_cast<double>(Sum), ExpectedSum, 2.0)
+      << "fixed schedule drifted: carry accumulation is broken";
+}
+
+TEST(InterArrivalGenTest, ExponentialMeanConverges) {
+  uint64_t Seed = testSeed(0xe9c0, "InterArrivalGenTest.ExponentialMean");
+  InterArrivalGen Gen(ArrivalKind::Exponential, 50000, Seed);
+  double Sum = 0;
+  constexpr size_t N = 200000;
+  for (size_t I = 0; I < N; ++I)
+    Sum += static_cast<double>(Gen.nextGapNanos());
+  double Mean = Sum / static_cast<double>(N);
+  // Exponential CV is 1, so the sample-mean stderr at N=200k is ~0.22%
+  // of the mean; 2% absorbs seed-to-seed variation with huge margin.
+  EXPECT_NEAR(Mean, Gen.meanGapNanos(), 0.02 * Gen.meanGapNanos());
+}
+
+TEST(LatencyBufferTest, CapacityBoundsAndDropCounting) {
+  LatencyBuffer Buffer(4);
+  RequestSample S;
+  for (int I = 0; I < 6; ++I) {
+    S.SchedNanos = static_cast<uint64_t>(I);
+    S.DoneNanos = S.SchedNanos + 100;
+    bool Recorded = Buffer.record(S);
+    EXPECT_EQ(Recorded, I < 4);
+  }
+  EXPECT_EQ(Buffer.size(), 4u);
+  EXPECT_EQ(Buffer.dropped(), 2u);
+}
+
+/// The coordinated-omission regression. One client, FIXED 2000/s
+/// schedule, ~400 ms horizon, and a service that stalls once for ~80 ms
+/// mid-run. Open-loop accounting (Done - Sched) must charge the stall to
+/// every request scheduled during it (~160 requests → p95/p99 in the
+/// tens of ms). Send-time accounting (Done - Send) sees ONE slow sample
+/// out of ~800 — invisible at p95. If someone "simplifies" the latency
+/// definition to send-time, this test fails.
+TEST(CoordinatedOmissionTest, StallSurfacesInScheduledStartQuantiles) {
+  uint64_t Seed = testSeed(0xc001, "CoordinatedOmissionTest.Stall");
+  ScopedSeedLog SeedLog(Seed, "CoordinatedOmissionTest.Stall");
+
+  OpenLoopConfig Config;
+  Config.Clients = 1;
+  Config.OfferedPerSec = 2000;
+  Config.Kind = ArrivalKind::Fixed;
+  Config.DurationMs = 400;
+  Config.Seed = Seed;
+
+  OpenLoopDriver Driver(/*Heap=*/nullptr, Config);
+  std::atomic<bool> Stalled{false};
+  OpenLoopOutcome Out =
+      Driver.run([&](MutatorContext *, unsigned, uint64_t Index) {
+        // One ~80 ms stall a third of the way in (a GC pause stand-in).
+        if (Index == 260 && !Stalled.exchange(true, std::memory_order_relaxed))
+          std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        return true;
+      });
+
+  // The schedule is decoupled from service: ~2000/s * 0.4s slots were
+  // scheduled regardless of the stall.
+  EXPECT_NEAR(static_cast<double>(Out.Counters.Scheduled), 800.0, 80.0)
+      << "schedule must advance by generator gaps, not by completions";
+  EXPECT_EQ(Out.Counters.Completed, Out.Counters.Scheduled);
+  // Every slot that came due during the stall started late.
+  EXPECT_GT(Out.Counters.LateStarts, 100u);
+
+  std::vector<uint64_t> OpenLoop = Out.openLoopLatencies();
+  std::vector<uint64_t> SendTime = Out.sendTimeLatencies();
+  ASSERT_EQ(OpenLoop.size(), SendTime.size());
+  ASSERT_GT(OpenLoop.size(), 500u);
+
+  auto quantile = [](std::vector<uint64_t> V, double Q) {
+    std::sort(V.begin(), V.end());
+    size_t Rank = static_cast<size_t>(Q * static_cast<double>(V.size() - 1));
+    return V[Rank];
+  };
+
+  uint64_t OpenP95 = quantile(OpenLoop, 0.95);
+  uint64_t OpenP99 = quantile(OpenLoop, 0.99);
+  uint64_t SendP95 = quantile(SendTime, 0.95);
+
+  // ~160 of ~800 requests queued behind the 80 ms stall: the open-loop
+  // p95 (above the ~80% mark) must carry tens of ms.
+  EXPECT_GT(OpenP95, 10u * 1000 * 1000)
+      << "scheduled-start latency hides the stall: coordinated omission";
+  EXPECT_GT(OpenP99, 30u * 1000 * 1000);
+  // Send-time accounting sees one slow request in ~800 — p95 stays tiny.
+  EXPECT_LT(SendP95, 5u * 1000 * 1000);
+  // And the two must differ wildly — this is the mutation tripwire: with
+  // latencies measured from SendNanos both sides collapse together.
+  EXPECT_GT(OpenP95, 10 * SendP95)
+      << "open-loop and send-time quantiles agree; latency is being "
+         "measured from send time, not scheduled start";
+}
+
+TEST(OpenLoopDriverTest, AchievedTracksOfferedWhenUnloaded) {
+  OpenLoopConfig Config;
+  Config.Clients = 2;
+  Config.OfferedPerSec = 4000;
+  Config.Kind = ArrivalKind::Exponential;
+  Config.DurationMs = 300;
+  Config.Seed = testSeed(0xac1eed, "OpenLoopDriverTest.Achieved");
+
+  OpenLoopDriver Driver(/*Heap=*/nullptr, Config);
+  OpenLoopOutcome Out =
+      Driver.run([](MutatorContext *, unsigned, uint64_t) { return true; });
+
+  EXPECT_EQ(Out.Counters.Completed, Out.Counters.Scheduled);
+  EXPECT_EQ(Out.Counters.Failed, 0u);
+  EXPECT_EQ(Out.Counters.DroppedSamples, 0u);
+  // A no-op service keeps up: achieved within 15% of offered.
+  EXPECT_NEAR(Out.AchievedPerSec, Out.OfferedPerSec,
+              0.15 * Out.OfferedPerSec);
+  // SendNanos never precedes SchedNanos (the invariant quantile math
+  // leans on: open-loop latency >= service latency, sample by sample).
+  for (const LatencyBuffer &B : Out.Buffers)
+    for (size_t I = 0; I < B.size(); ++I)
+      EXPECT_GE(B.openLoopLatencyNanos(I), B.sendTimeLatencyNanos(I));
+}
+
+} // namespace

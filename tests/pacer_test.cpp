@@ -29,6 +29,24 @@ TEST(PacerTest, KickoffThresholdFromSeeds) {
             static_cast<size_t>((L + M) / 8.0));
 }
 
+TEST(PacerTest, KickoffHeadroomScalesThreshold) {
+  GcOptions Opts = baseOptions();
+  Pacer Base(Opts, Opts.HeapBytes);
+  Opts.KickoffHeadroom = 2.0;
+  Pacer Early(Opts, Opts.HeapBytes);
+  // Headroom 2 starts the cycle at twice the free-memory threshold:
+  // earlier kickoff buys request-latency headroom in the SLO benches.
+  EXPECT_EQ(Early.kickoffThresholdBytes(), 2 * Base.kickoffThresholdBytes());
+  size_t Between =
+      Base.kickoffThresholdBytes() + (Base.kickoffThresholdBytes() / 2);
+  EXPECT_FALSE(Base.shouldKickoff(Between));
+  EXPECT_TRUE(Early.shouldKickoff(Between));
+  // Zero/negative headroom is nonsense; the pacer normalizes it to 1.
+  Opts.KickoffHeadroom = 0.0;
+  Pacer Degenerate(Opts, Opts.HeapBytes);
+  EXPECT_EQ(Degenerate.kickoffThresholdBytes(), Base.kickoffThresholdBytes());
+}
+
 TEST(PacerTest, ProgressFormulaBasic) {
   GcOptions Opts = baseOptions();
   Pacer P(Opts, Opts.HeapBytes);

@@ -1,5 +1,6 @@
 //===- support_test.cpp - support library units --------------------------------//
 
+#include "support/EnvKnob.h"
 #include "support/Fences.h"
 #include "support/Random.h"
 #include "support/SampleSeries.h"
@@ -203,4 +204,46 @@ TEST(TablePrinterTest, PrintsAlignedColumns) {
   ASSERT_GT(N, 0u);
   EXPECT_NE(std::strstr(Buf, "name"), nullptr);
   EXPECT_NE(std::strstr(Buf, "long-name"), nullptr);
+}
+
+TEST(EnvKnobTest, AcceptsPlainAndHexIntegers) {
+  uint64_t V = 0;
+  EXPECT_TRUE(parseEnvKnob("0", &V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseEnvKnob("1500", &V));
+  EXPECT_EQ(V, 1500u);
+  EXPECT_TRUE(parseEnvKnob("0x20", &V));
+  EXPECT_EQ(V, 0x20u);
+  EXPECT_TRUE(parseEnvKnob("18446744073709551615", &V));
+  EXPECT_EQ(V, UINT64_MAX);
+}
+
+TEST(EnvKnobTest, RejectsJunkWithReason) {
+  // The whole point of the shared parser: a mistyped CGC_BENCH_* knob
+  // must produce an error, never a silent strtoull zero.
+  uint64_t V = 0;
+  std::string Error;
+  EXPECT_FALSE(parseEnvKnob(nullptr, &V, &Error));
+  EXPECT_FALSE(parseEnvKnob("", &V, &Error));
+  EXPECT_NE(Error.find("empty"), std::string::npos);
+  EXPECT_FALSE(parseEnvKnob("-5", &V, &Error));
+  EXPECT_NE(Error.find("negative"), std::string::npos);
+  EXPECT_FALSE(parseEnvKnob("3OO", &V, &Error)); // the classic typo
+  EXPECT_NE(Error.find("junk"), std::string::npos);
+  EXPECT_FALSE(parseEnvKnob("2.5s", &V, &Error));
+  EXPECT_FALSE(parseEnvKnob("abc", &V, &Error));
+  EXPECT_NE(Error.find("not a number"), std::string::npos);
+  EXPECT_FALSE(parseEnvKnob(" 12", &V, &Error));
+  EXPECT_FALSE(parseEnvKnob("12 ", &V, &Error));
+  EXPECT_FALSE(parseEnvKnob("+12", &V, &Error));
+  EXPECT_FALSE(parseEnvKnob("99999999999999999999999", &V, &Error));
+  EXPECT_NE(Error.find("out of range"), std::string::npos);
+}
+
+TEST(EnvKnobTest, EnvReadFallsBackToDefaultWhenUnset) {
+  unsetenv("CGC_TEST_KNOB_UNSET");
+  EXPECT_EQ(envKnobU64("CGC_TEST_KNOB_UNSET", 42), 42u);
+  setenv("CGC_TEST_KNOB_SET", "1234", 1);
+  EXPECT_EQ(envKnobU64("CGC_TEST_KNOB_SET", 42), 1234u);
+  unsetenv("CGC_TEST_KNOB_SET");
 }

@@ -3,6 +3,7 @@
 #include "workloads/BinaryTrees.h"
 #include "workloads/Compiler.h"
 #include "workloads/GraphChurn.h"
+#include "workloads/KvServer.h"
 #include "workloads/Warehouse.h"
 
 #include "runtime/GcHeap.h"
@@ -109,6 +110,19 @@ TEST_P(WorkloadOnBothCollectors, GraphChurnStaysConsistent) {
   EXPECT_GT(Result.Transactions, 1000u);
   EXPECT_FALSE(Result.IntegrityFailure)
       << "an edge nonce mismatched: live object was reclaimed";
+}
+
+TEST_P(WorkloadOnBothCollectors, KvServerServesWithIntegrity) {
+  auto Heap = GcHeap::create(smallHeap(GetParam()));
+  KvWorkloadConfig Config;
+  Config.Threads = 3;
+  Config.DurationMs = 800;
+  KvWorkload Workload(*Heap, Config);
+  WorkloadResult Result = Workload.run();
+  EXPECT_GT(Result.Transactions, 1000u);
+  EXPECT_FALSE(Result.IntegrityFailure)
+      << "a KV value stamp mismatched: live object reclaimed or corrupted";
+  EXPECT_GE(Heap->completedCycles(), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(BothCollectors, WorkloadOnBothCollectors,
