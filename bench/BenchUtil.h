@@ -168,6 +168,30 @@ inline RunOutcome runCompiler(const GcOptions &Options,
   return Out;
 }
 
+/// Per-thread cost clock for per-operation cost metrics: raw TSC where
+/// available (cycles), a monotonic-nanosecond stand-in elsewhere. Pair
+/// with costClockUnit() when reporting.
+inline uint64_t costClock() {
+#if defined(__x86_64__)
+  unsigned Lo, Hi;
+  __asm__ __volatile__("rdtsc" : "=a"(Lo), "=d"(Hi));
+  return (static_cast<uint64_t>(Hi) << 32) | Lo;
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+inline const char *costClockUnit() {
+#if defined(__x86_64__)
+  return "cycles";
+#else
+  return "ns";
+#endif
+}
+
 /// Workload duration override: env CGC_BENCH_MILLIS (for quick CI runs)
 /// or \p Default. Malformed or zero values are a hard error (EnvKnob) —
 /// a mistyped duration must not silently run the full-length sweep.

@@ -429,7 +429,9 @@ Compactor::Stats Compactor::evacuate(ThreadRegistry &Registry,
     uint8_t *RunEnd = NextLive ? NextLive : Hi;
     if (RunEnd > Pos) {
       Heap.allocBits().clearRange(Pos, RunEnd);
-      Heap.freeList().addRange(Pos, static_cast<size_t>(RunEnd - Pos));
+      // Same routing as sweep: small rebuilt runs go to the owning
+      // shard's remote-free queue when the fast path is on.
+      Heap.releaseRange(Pos, static_cast<size_t>(RunEnd - Pos));
     }
     if (!NextLive)
       break;
@@ -454,7 +456,7 @@ Compactor::Stats Compactor::evacuate(ThreadRegistry &Registry,
         PieceEnd = std::min(PieceEnd, ChunkEnd);
       }
       if (!Sweep || !Sweep->sweepPendingAt(P))
-        Heap.freeList().addRange(P, static_cast<size_t>(PieceEnd - P));
+        Heap.releaseRange(P, static_cast<size_t>(PieceEnd - P));
       P = PieceEnd;
     }
   }

@@ -39,8 +39,10 @@ void ConcurrentCollector::onAllocationSlowPath(MutatorContext &Ctx,
     // Kickoff paces off *refillable* free bytes: raw free can stay above
     // the threshold while every shard is too fragmented to refill a
     // cache (DESIGN.md §9 stranding), which would start the cycle only
-    // at allocation failure.
-    if (C.Pace.shouldKickoff(C.Heap.refillableFreeBytes()))
+    // at allocation failure. The aggregate includes bytes parked in
+    // size-class caches and remote-free queues — allocatable memory the
+    // free lists no longer see (DESIGN.md §16).
+    if (C.Pace.shouldKickoff(C.pacerVisibleFreeBytes()))
       tryStartCycle(&Ctx);
   }
   if (C.phase() == GcPhase::Concurrent) {
@@ -85,7 +87,7 @@ void ConcurrentCollector::tryStartCycle(MutatorContext *Ctx) {
   // allocation slow path into assist mode.
   C.setPhase(GcPhase::Concurrent);
   CGC_OBS_EVENT(C.Obs, CycleKickoff, Cur.CycleNumber,
-                C.Heap.refillableFreeBytes());
+                C.pacerVisibleFreeBytes());
   C.CollectMutex.unlock();
 }
 
@@ -402,10 +404,13 @@ void ConcurrentCollector::watchdogLoop() {
       LastProgress = Progress;
     }
     double K = C.Pace.currentRate(Traced, C.Heap.freeBytes());
-    // Lag detection watches refillable free for the same reason the
-    // kickoff does: stranded fragmented shards must count as pressure.
+    // Lag detection watches the pacer-visible aggregate for the same
+    // reason the kickoff does: stranded fragmented shards must count as
+    // pressure, but bytes parked in size-class caches and remote-free
+    // queues must not — they are allocatable, and ignoring them would
+    // misdiagnose a healthy fast-path heap as a stall.
     bool Behind = K >= C.Options.kmax() - 1e-9 &&
-                  C.Heap.refillableFreeBytes() <
+                  C.pacerVisibleFreeBytes() <
                       C.Pace.kickoffThresholdBytes() / 4;
     LagTicks = Behind ? LagTicks + 1 : 0;
     if (StallTicks >= C.Options.WatchdogStallTicks ||

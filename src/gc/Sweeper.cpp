@@ -43,9 +43,10 @@ Sweeper::ChunkResult Sweeper::sweepChunk(size_t Index) {
     Heap.allocBits().clearRange(From, To);
     size_t Size = static_cast<size_t>(To - From);
     if (Size >= MinFreeRangeBytes) {
-      // Routed to (and split across) the shard(s) owning the addresses;
-      // concurrent sweepers of other shards' chunks take other locks.
-      Heap.freeList().addRange(From, Size);
+      // Routed to the shard owning the addresses: small runs go to its
+      // lock-free remote-free queue when the fast path is on, larger
+      // (or straddling) runs split across the shards' locked lists.
+      Heap.releaseRange(From, Size);
       Result.FreedBytes += Size;
     }
   };

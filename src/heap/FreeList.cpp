@@ -33,6 +33,7 @@ void FreeList::addRange(uint8_t *Start, size_t Size) {
   if (Size < BinGranuleBytes)
     return;
   SpinLockGuard Guard(Lock);
+  LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
   FreeByteCount.fetch_add(Size, std::memory_order_relaxed);
 
   if (Size < BinThresholdBytes) {
@@ -93,6 +94,7 @@ uint8_t *FreeList::takeLocked(uint8_t *Start, size_t RangeSize,
 uint8_t *FreeList::allocate(size_t Size) {
   assert(Size > 0 && "empty allocation");
   SpinLockGuard Guard(Lock);
+  LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
   // Best fit among the large ranges.
   auto BySize = LargeBySize.lower_bound(Size);
   if (BySize != LargeBySize.end()) {
@@ -134,6 +136,7 @@ uint8_t *FreeList::allocateUpTo(size_t MinSize, size_t MaxSize,
                                 size_t &OutSize) {
   assert(MinSize > 0 && MinSize <= MaxSize && "bad refill bounds");
   SpinLockGuard Guard(Lock);
+  LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
 
   // Prefer a full-size grant from the large ranges (best fit).
   auto BySize = LargeBySize.lower_bound(MaxSize);
@@ -186,6 +189,7 @@ size_t FreeList::withdrawWithin(uint8_t *Lo, uint8_t *Hi) {
   size_t Withdrawn = 0;
   {
     SpinLockGuard Guard(Lock);
+  LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
     // Large ranges: the first candidate may straddle Lo from below.
     auto It = Large.lower_bound(Lo);
     if (It != Large.begin() && std::prev(It)->first + std::prev(It)->second > Lo)
@@ -280,6 +284,7 @@ size_t FreeList::numRanges() const {
 
 void FreeList::clear() {
   SpinLockGuard Guard(Lock);
+  LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
   Large.clear();
   LargeBySize.clear();
   for (auto &Bin : Bins)

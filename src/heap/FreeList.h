@@ -108,6 +108,14 @@ public:
     return RefillableByteCount.load(std::memory_order_relaxed);
   }
 
+  /// Number of times a mutating operation (insert, allocate, refill,
+  /// withdraw, clear) acquired this shard's lock — the contention
+  /// currency the allocation fast path exists to save. Monotonic;
+  /// benches read deltas.
+  uint64_t lockAcquisitions() const {
+    return LockAcquisitions.load(std::memory_order_relaxed);
+  }
+
   /// Size of the largest single free range.
   size_t largestRange() const;
 
@@ -171,6 +179,8 @@ private:
   std::atomic<size_t> FreeByteCount{0};
   CGC_ATOMIC_DOC("written under Lock; relaxed cross-thread aggregate reads")
   std::atomic<size_t> RefillableByteCount{0};
+  CGC_ATOMIC_DOC("written under Lock; relaxed bench/aggregate reads")
+  std::atomic<uint64_t> LockAcquisitions{0};
   size_t SmallRangeCount CGC_GUARDED_BY(Lock) = 0;
   /// Immutable after construction.
   const size_t RefillThreshold;

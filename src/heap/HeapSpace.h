@@ -16,9 +16,11 @@
 #include "heap/BitVector8.h"
 #include "heap/CardTable.h"
 #include "heap/ObjectModel.h"
+#include "heap/RemoteFreeQueue.h"
 #include "heap/ShardedFreeList.h"
 
 #include <memory>
+#include <vector>
 
 namespace cgc {
 
@@ -32,9 +34,14 @@ public:
   /// free-space manager's fault-injection sites.
   /// \p RefillThresholdBytes is forwarded to the free-space manager's
   /// refillable-bytes accounting (0 = refillable == free).
+  /// \p RouteRemoteFrees enables the fast path's ownership return:
+  /// releaseRange() parks small reclaimed runs on the owning shard's
+  /// lock-free remote-free queue instead of the shared bins
+  /// (DESIGN.md §16); off, releaseRange() is plain addRange().
   explicit HeapSpace(size_t SizeBytes, unsigned FreeListShards = 1,
                      FaultInjector *FI = nullptr,
-                     size_t RefillThresholdBytes = 0);
+                     size_t RefillThresholdBytes = 0,
+                     bool RouteRemoteFrees = false);
   ~HeapSpace();
 
   HeapSpace(const HeapSpace &) = delete;
@@ -79,17 +86,75 @@ public:
   const ShardedFreeList &freeList() const { return FreeListV; }
 
   /// Free bytes currently on the free list (aggregate over all shards,
-  /// summed from the relaxed per-shard counters).
-  size_t freeBytes() const { return FreeListV.freeBytes(); }
+  /// summed from the relaxed per-shard counters) plus bytes parked in
+  /// the remote-free queues — queued chunks are free memory a refill
+  /// can drain, so hiding them would make the pacer kick off late.
+  size_t freeBytes() const {
+    return FreeListV.freeBytes() + remoteQueuedBytes();
+  }
 
   /// Free bytes in ranges big enough to serve an allocation-cache
   /// refill (the pacer's stranding-aware kickoff input; <= freeBytes()).
+  /// Remote-queued chunks count: the class-refill path consumes them
+  /// directly, so to the allocator they are as good as refillable
+  /// (see GcCore::pacerVisibleFreeBytes for the cache-side half).
   size_t refillableFreeBytes() const {
-    return FreeListV.refillableFreeBytes();
+    return FreeListV.refillableFreeBytes() + remoteQueuedBytes();
   }
 
-  /// Bytes not on the free list (allocated or unswept).
+  /// Bytes neither on the free list nor queued (allocated or unswept).
   size_t occupiedBytes() const { return Size - freeBytes(); }
+
+  /// --- Remote-free ownership return (DESIGN.md §16) -------------------
+
+  /// Whether releaseRange() routes small runs to the remote queues.
+  bool remoteRoutingEnabled() const { return RouteRemoteFreesV; }
+
+  /// The queue collecting remote frees for shard \p Shard.
+  RemoteFreeQueue &remoteQueue(size_t Shard) { return *RemoteQueuesV[Shard]; }
+
+  /// Bytes currently parked across all remote-free queues.
+  size_t remoteQueuedBytes() const {
+    size_t Sum = 0;
+    for (const auto &Q : RemoteQueuesV)
+      Sum += Q->queuedBytes();
+    return Sum;
+  }
+
+  /// Returns reclaimed memory [Start, Start + Size) to the free-space
+  /// manager. With routing enabled, runs small enough for the
+  /// segregated bins that sit wholly inside one shard are pushed onto
+  /// that shard's remote-free queue (lock-free; drained by the shard's
+  /// preferred mutator's next class refill); everything else takes the
+  /// classic locked addRange path. Sweep and compaction call this for
+  /// every reclaimed run.
+  void releaseRange(uint8_t *Start, size_t Size) {
+    if (RouteRemoteFreesV && Size >= RemoteFreeQueue::MinChunkBytes &&
+        Size < FreeList::BinThresholdBytes) {
+      size_t Shard = FreeListV.shardIndexFor(Start);
+      if (FreeListV.shardIndexFor(Start + Size - 1) == Shard) {
+        RemoteQueuesV[Shard]->push(Start, Size);
+        return;
+      }
+    }
+    FreeListV.addRange(Start, Size);
+  }
+
+  /// Drains shard \p Shard's remote queue onto its free list (ladder
+  /// stranded-memory reclaim; detach without a successor). Returns the
+  /// bytes moved.
+  size_t drainRemoteQueue(size_t Shard);
+
+  /// Drains every remote queue onto the free lists. Returns bytes moved.
+  size_t drainAllRemoteQueues();
+
+  /// Drops all queued chunks (sweep pause only: the bitwise sweep
+  /// re-derives every parked run from the mark bits, and surviving
+  /// entries would be double-owned after the re-insert).
+  void resetRemoteQueues() {
+    for (auto &Q : RemoteQueuesV)
+      Q->reset();
+  }
 
   /// Enumerates marked objects whose header lies in [From, To): calls
   /// \p Fn(Object*) for each granule that has both its allocation bit and
@@ -111,6 +176,11 @@ private:
   BitVector8 AllocBitsV;
   CardTable CardsV;
   ShardedFreeList FreeListV;
+  /// One remote-free queue per shard (heap-owned so a queue can never
+  /// outlive or predate the chunks parked on it); heap-allocated so
+  /// queues sit on separate cache lines.
+  std::vector<std::unique_ptr<RemoteFreeQueue>> RemoteQueuesV;
+  const bool RouteRemoteFreesV;
 };
 
 } // namespace cgc

@@ -1,0 +1,112 @@
+//===- RemoteFreeQueue.h - Lock-free MPSC remote-free queue -----*- C++ -*-===//
+///
+/// \file
+/// The ownership-return half of the allocation fast path (DESIGN.md
+/// §16, llheap's remote-free design). When sweep or compaction
+/// reclaims a sub-bin-threshold free run, pushing it onto the owning
+/// shard's shared FreeList would take that shard's lock once per run —
+/// the exact convoy the per-thread caches exist to avoid. Instead the
+/// run is pushed onto the shard's RemoteFreeQueue: a Treiber-stack
+/// MPSC queue of chunk overlays written into the free memory itself.
+/// Producers are the parallel/lazy sweepers and the compactor's
+/// rebuild; the consumer is whichever mutator refills from the shard
+/// next (its class-refill drains the queue straight into its size-class
+/// cache, lock-free), the allocation ladder's stranded-memory reclaim,
+/// or a detach with no successor.
+///
+/// takeAll() is a single exchange and is safe to call from any thread;
+/// "single consumer" is a drain-affinity convention (the shard's
+/// preferred mutator), not a safety requirement. Chunk payloads are
+/// published by the release push and read after the acquire exchange.
+///
+/// The whole structure is dropped (reset()) inside every sweep pause:
+/// the bitwise sweep re-derives all free runs from the mark bits, so
+/// parked chunks must not survive into the next generation (they would
+/// be double-owned once the sweep re-inserts them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_REMOTEFREEQUEUE_H
+#define CGC_HEAP_REMOTEFREEQUEUE_H
+
+#include "support/Annotations.h"
+#include "support/Atomics.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+/// Intrusive list node written into the first bytes of a parked free
+/// chunk. The chunk's allocation and mark bits are clear, so nothing
+/// (tracer, conservative scan, verifier) reads the memory while parked.
+struct RemoteFreeChunk {
+  RemoteFreeChunk *Next;
+  size_t SizeBytes;
+};
+
+/// Lock-free Treiber stack of free chunks pending return to one shard.
+class RemoteFreeQueue {
+public:
+  /// Smallest chunk the queue accepts: must hold the overlay node and
+  /// match the free list's bin granularity (anything smaller would be
+  /// dropped by FreeList::addRange on drain anyway).
+  static constexpr size_t MinChunkBytes = 64;
+
+  RemoteFreeQueue() = default;
+  RemoteFreeQueue(const RemoteFreeQueue &) = delete;
+  RemoteFreeQueue &operator=(const RemoteFreeQueue &) = delete;
+
+  /// Parks [Start, Start + Size). Called by sweepers and the compactor
+  /// concurrently with mutators; wait-free except for CAS retries.
+  CGC_NO_SAFEPOINT void push(uint8_t *Start, size_t Size) {
+    auto *Chunk = reinterpret_cast<RemoteFreeChunk *>(Start);
+    Chunk->SizeBytes = Size;
+    atomicCasLoop(
+        Head, std::memory_order_relaxed, std::memory_order_release,
+        std::memory_order_relaxed,
+        [&](RemoteFreeChunk *Old) -> std::optional<RemoteFreeChunk *> {
+          Chunk->Next = Old;
+          return Chunk;
+        });
+    QueuedBytes.fetch_add(Size, std::memory_order_relaxed);
+  }
+
+  /// Detaches and returns the whole chunk list (LIFO order), or nullptr
+  /// when the queue is empty. The caller owns every returned chunk.
+  CGC_NO_SAFEPOINT RemoteFreeChunk *takeAll() {
+    RemoteFreeChunk *List = Head.exchange(nullptr, std::memory_order_acquire);
+    if (!List)
+      return nullptr;
+    size_t Taken = 0;
+    for (RemoteFreeChunk *C = List; C; C = C->Next)
+      Taken += C->SizeBytes;
+    QueuedBytes.fetch_sub(Taken, std::memory_order_relaxed);
+    return List;
+  }
+
+  /// Advisory bytes currently parked (pacer-visible free-space input).
+  size_t queuedBytes() const {
+    return QueuedBytes.load(std::memory_order_relaxed);
+  }
+
+  /// Drops all parked chunks without returning them (sweep pause: the
+  /// bitwise sweep re-derives the memory from the mark bits).
+  void reset() {
+    Head.store(nullptr, std::memory_order_relaxed);
+    QueuedBytes.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  CGC_ATOMIC_DOC("Treiber head; producers release-push, consumers "
+                 "acquire-exchange (publishes the chunk overlays)")
+  std::atomic<RemoteFreeChunk *> Head{nullptr};
+  CGC_ATOMIC_DOC("advisory parked-byte aggregate for the pacer; relaxed, "
+                 "momentarily overshoots during takeAll")
+  std::atomic<size_t> QueuedBytes{0};
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_REMOTEFREEQUEUE_H

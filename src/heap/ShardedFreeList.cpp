@@ -112,6 +112,13 @@ size_t ShardedFreeList::refillableFreeBytes() const {
   return Sum;
 }
 
+uint64_t ShardedFreeList::lockAcquisitions() const {
+  uint64_t Sum = 0;
+  for (const auto &S : Shards)
+    Sum += S->lockAcquisitions();
+  return Sum;
+}
+
 size_t ShardedFreeList::largestRange() const {
   size_t Largest = 0;
   for (const auto &S : Shards)

@@ -111,6 +111,10 @@ public:
   /// refill any allocation cache (DESIGN.md §9/§10).
   size_t refillableFreeBytes() const;
 
+  /// Shard-lock acquisitions summed over all shards (relaxed per-shard
+  /// counters; benches read deltas per allocation).
+  uint64_t lockAcquisitions() const;
+
   /// Largest single free range: max over the shards' O(log n) per-shard
   /// answers. Never builds a snapshot.
   size_t largestRange() const;

@@ -1,0 +1,77 @@
+//===- SizeClasses.h - Static size-class table and FASTLOOKUP ---*- C++ -*-===//
+///
+/// \file
+/// The static size-class geometry of the llheap-style allocation fast
+/// path (DESIGN.md §16). Small allocations are rounded up to one of a
+/// fixed set of class sizes and served from per-thread segregated
+/// chunk caches (AllocationCache); the mapping from a request size to
+/// its class is a single constexpr table lookup indexed by granule
+/// count — llheap's FASTLOOKUP, O(1) with no loops or branches on the
+/// allocation path.
+///
+/// Class sizes are granule multiples from the minimum object size up
+/// to MaxSizeClassBytes, spaced so internal fragmentation stays below
+/// ~33% (power-of-two steps with midpoints). Requests above the table
+/// fall back to the bump-pointer TLAB path unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_SIZECLASSES_H
+#define CGC_HEAP_SIZECLASSES_H
+
+#include "heap/ObjectModel.h"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+/// The class sizes, ascending. The smallest class is the minimum object
+/// size; each object carved from a class chunk is header-initialized to
+/// exactly the class size, so sweep's object walk stays consistent.
+inline constexpr std::array<uint16_t, 12> SizeClassSizes = {
+    16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024};
+
+inline constexpr size_t NumSizeClasses = SizeClassSizes.size();
+
+/// Largest request the class path serves; bigger small objects keep
+/// using the bump-pointer allocation cache.
+inline constexpr size_t MaxSizeClassBytes = SizeClassSizes.back();
+
+static_assert(SizeClassSizes.front() >= Object::MinObjectBytes,
+              "smallest class must hold a minimum object");
+static_assert(MaxSizeClassBytes % GranuleBytes == 0, "classes are granular");
+
+namespace size_class_detail {
+constexpr auto buildSizeClassLookup() {
+  // Entry G maps a request of G granules (G * GranuleBytes bytes) to the
+  // index of the first class that fits it.
+  std::array<uint8_t, MaxSizeClassBytes / GranuleBytes + 1> Table{};
+  size_t Class = 0;
+  for (size_t G = 0; G < Table.size(); ++G) {
+    while (Class < NumSizeClasses && SizeClassSizes[Class] < G * GranuleBytes)
+      ++Class;
+    Table[G] = static_cast<uint8_t>(Class);
+  }
+  return Table;
+}
+} // namespace size_class_detail
+
+/// FASTLOOKUP: granule-indexed request-size -> class-index table.
+inline constexpr auto SizeClassLookup = size_class_detail::buildSizeClassLookup();
+
+/// Class index for a granule-aligned request of \p TotalBytes
+/// (1 <= TotalBytes <= MaxSizeClassBytes).
+constexpr unsigned sizeClassFor(size_t TotalBytes) {
+  return SizeClassLookup[(TotalBytes + GranuleBytes - 1) / GranuleBytes];
+}
+
+/// Chunk size of class \p Class.
+constexpr size_t sizeClassBytes(unsigned Class) {
+  return SizeClassSizes[Class];
+}
+
+} // namespace cgc
+
+#endif // CGC_HEAP_SIZECLASSES_H

@@ -1,0 +1,239 @@
+//===- fastpath_lockstep_test.cpp - fast path vs legacy equivalence ------------//
+///
+/// Runs the same deterministic, seeded mutator program twice — once with
+/// FastPathSizeClasses off (the bump-pointer legacy path) and once with
+/// it on (the size-class fast path of DESIGN.md §16) — and demands that
+/// the surviving object graphs are semantically identical: same
+/// reachable-object count, and the same (ClassId, NumRefs, payload
+/// stamp, child shape) at every position of a canonical depth-first
+/// walk. Object sizes may legitimately differ (class rounding), so they
+/// are compared by request size, not by Object::sizeBytes.
+///
+/// The multi-threaded variants run the same comparison under attach/
+/// detach churn and concurrent collection; under TSan they double as a
+/// race check on the whole class-cache/remote-queue machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestSeed.h"
+#include "heap/SizeClasses.h"
+#include "runtime/GcHeap.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+GcOptions baseOptions(CollectorKind Kind, bool FastPath) {
+  GcOptions Opts;
+  Opts.HeapBytes = 16u << 20;
+  Opts.Kind = Kind;
+  Opts.FastPathSizeClasses = FastPath;
+  Opts.FreeListShards = 4;
+  return Opts;
+}
+
+/// One node's identity, independent of which allocator produced it.
+struct NodeFingerprint {
+  uint16_t ClassId;
+  uint16_t NumRefs;
+  uint64_t Stamp;
+  std::vector<size_t> Children; // DFS indices.
+
+  bool operator==(const NodeFingerprint &O) const {
+    return ClassId == O.ClassId && NumRefs == O.NumRefs && Stamp == O.Stamp &&
+           Children == O.Children;
+  }
+};
+
+uint64_t readStamp(const Object *Obj) {
+  uint64_t S = 0;
+  if (Obj->payloadBytes() >= sizeof(S))
+    std::memcpy(&S, Obj->payload(), sizeof(S));
+  return S;
+}
+
+void writeStamp(Object *Obj, uint64_t S) {
+  if (Obj->payloadBytes() >= sizeof(S))
+    std::memcpy(Obj->payload(), &S, sizeof(S));
+}
+
+/// Canonical DFS from the roots; index order is deterministic because
+/// root order and slot order are.
+std::vector<NodeFingerprint> fingerprint(MutatorContext &Ctx) {
+  std::vector<NodeFingerprint> Out;
+  std::map<const Object *, size_t> Index;
+  // Iterative DFS with explicit two-phase visit so child indices are
+  // final when recorded.
+  struct Frame {
+    Object *Obj;
+    size_t OutIndex;
+    unsigned NextSlot;
+  };
+  std::vector<Frame> Stack;
+  auto visit = [&](Object *Obj) -> size_t {
+    auto It = Index.find(Obj);
+    if (It != Index.end())
+      return It->second;
+    size_t I = Out.size();
+    Index[Obj] = I;
+    Out.push_back({Obj->classId(), Obj->numRefs(), readStamp(Obj), {}});
+    Stack.push_back({Obj, I, 0});
+    return I;
+  };
+  for (size_t R = 0; R < Ctx.numRoots(); ++R) {
+    Object *Root = Ctx.getRoot(R);
+    if (!Root)
+      continue;
+    visit(Root);
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.NextSlot >= F.Obj->numRefs()) {
+        Stack.pop_back();
+        continue;
+      }
+      // Copy out of the frame before visit(): it may grow Stack and
+      // invalidate F.
+      size_t OutIndex = F.OutIndex;
+      Object *Child = GcHeap::readRef(F.Obj, F.NextSlot++);
+      size_t ChildIndex = Child ? visit(Child) : SIZE_MAX;
+      Out[OutIndex].Children.push_back(ChildIndex);
+    }
+  }
+  return Out;
+}
+
+/// The seeded single-threaded program: builds a root forest, then churns
+/// it (allocate, link, unlink, overwrite) so garbage accrues and
+/// collections run, finishing with a verifiable survivor graph.
+std::vector<NodeFingerprint> runProgram(CollectorKind Kind, bool FastPath,
+                                        uint64_t Seed) {
+  auto Heap = GcHeap::create(baseOptions(Kind, FastPath));
+  MutatorContext &Ctx = Heap->attachThread();
+  constexpr size_t NumRoots = 16;
+  Ctx.reserveRoots(NumRoots);
+
+  Random Rng(Seed);
+  uint64_t NextStamp = 1;
+  for (unsigned Step = 0; Step < 60000; ++Step) {
+    // Sizes deliberately straddle the class-path/bump boundary so both
+    // allocators are exercised in the fast-path run.
+    size_t PayloadBytes = 8 + Rng.next() % 1500;
+    uint16_t NumRefs = static_cast<uint16_t>(Rng.next() % 4);
+    uint16_t ClassId = static_cast<uint16_t>(Rng.next() % 97);
+    Object *Obj = Heap->allocate(Ctx, PayloadBytes, NumRefs, ClassId);
+    if (!Obj) {
+      ADD_FAILURE() << "allocation failed at step " << Step;
+      return {};
+    }
+    writeStamp(Obj, NextStamp++);
+
+    size_t RootSlot = Rng.next() % NumRoots;
+    uint64_t Action = Rng.next() % 100;
+    Object *Root = Ctx.getRoot(RootSlot);
+    if (Action < 55 && Root && Root->numRefs() > 0) {
+      // Link the new object somewhere under an existing root.
+      Object *Holder = Root;
+      for (int Hop = 0; Hop < 3; ++Hop) {
+        if (Holder->numRefs() == 0)
+          break;
+        Object *Next = GcHeap::readRef(Holder, Rng.next() % Holder->numRefs());
+        if (!Next)
+          break;
+        Holder = Next;
+      }
+      if (Holder->numRefs() > 0)
+        Heap->writeRef(Ctx, Holder, Rng.next() % Holder->numRefs(), Obj);
+    } else if (Action < 85) {
+      Ctx.setRoot(RootSlot, Obj); // Replace: old subtree becomes garbage.
+    } else {
+      Ctx.setRoot(RootSlot, nullptr); // Drop a whole subtree.
+    }
+    if (Step % 4096 == 0)
+      Heap->safepointPoll(Ctx);
+  }
+
+  // Settle: finish any concurrent work, then verify before reading.
+  Heap->requestGC(&Ctx);
+  VerifyResult V = Heap->verifyNow(&Ctx);
+  EXPECT_TRUE(V.Ok) << V.Error;
+  std::vector<NodeFingerprint> FP = fingerprint(Ctx);
+  Heap->detachThread(Ctx);
+  return FP;
+}
+
+class FastPathLockstep : public ::testing::TestWithParam<CollectorKind> {};
+
+TEST_P(FastPathLockstep, SurvivorGraphsMatchLegacy) {
+  const uint64_t Seed = testSeed(0x10c357e9, "FastPathLockstep");
+  std::vector<NodeFingerprint> Legacy =
+      runProgram(GetParam(), /*FastPath=*/false, Seed);
+  std::vector<NodeFingerprint> Fast =
+      runProgram(GetParam(), /*FastPath=*/true, Seed);
+  ASSERT_FALSE(Legacy.empty()) << "program must leave survivors";
+  ASSERT_EQ(Legacy.size(), Fast.size());
+  for (size_t I = 0; I < Legacy.size(); ++I)
+    EXPECT_TRUE(Legacy[I] == Fast[I]) << "DFS position " << I << " differs";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FastPathLockstep,
+                         ::testing::Values(CollectorKind::StopTheWorld,
+                                           CollectorKind::MostlyConcurrent),
+                         [](const auto &Info) {
+                           return Info.param == CollectorKind::StopTheWorld
+                                      ? "Stw"
+                                      : "MostlyConcurrent";
+                         });
+
+/// Multi-threaded smoke: N threads run independent seeded churn with the
+/// fast path on under the concurrent collector; each thread verifies its
+/// own survivors' stamps. Under TSan this hammers the class caches,
+/// remote queues, and pacer aggregation together.
+TEST(FastPathChurn, ConcurrentChurnKeepsPerThreadGraphsIntact) {
+  auto Heap = GcHeap::create(baseOptions(CollectorKind::MostlyConcurrent, true));
+  constexpr unsigned NumThreads = 4;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      MutatorContext &Ctx = Heap->attachThread();
+      Ctx.reserveRoots(8);
+      Random Rng(testSeed(0xfa57, "FastPathChurn") + T);
+      std::map<const Object *, uint64_t> Expected;
+      uint64_t NextStamp = uint64_t(T) << 32;
+      for (unsigned Step = 0; Step < 30000; ++Step) {
+        size_t PayloadBytes = 8 + Rng.next() % 900;
+        Object *Obj = Heap->allocate(Ctx, PayloadBytes, 0, 7);
+        ASSERT_NE(Obj, nullptr);
+        writeStamp(Obj, ++NextStamp);
+        size_t Slot = Rng.next() % 8;
+        Expected.erase(Ctx.getRoot(Slot));
+        if (Rng.next() % 8 != 0) {
+          Ctx.setRoot(Slot, Obj);
+          Expected[Obj] = NextStamp;
+        } else {
+          Ctx.setRoot(Slot, nullptr);
+        }
+        if (Step % 1024 == 0)
+          Heap->safepointPoll(Ctx);
+      }
+      for (size_t R = 0; R < Ctx.numRoots(); ++R)
+        if (const Object *Root = Ctx.getRoot(R))
+          EXPECT_EQ(readStamp(Root), Expected.at(Root))
+              << "rooted object corrupted on thread " << T;
+      Heap->detachThread(Ctx);
+    });
+  for (auto &T : Threads)
+    T.join();
+  VerifyResult V = Heap->verifyNow(nullptr);
+  EXPECT_TRUE(V.Ok) << V.Error;
+}
+
+} // namespace

@@ -1,0 +1,38 @@
+// fixture-as: heap/RemoteFreeQueue.h
+// Rule R4 over the remote-free queue header: the Treiber head and the
+// racily-read byte ledger are the whole cross-thread protocol of the
+// ownership-return channel, so every atomic member must carry a
+// CGC_ATOMIC_DOC claim stating who writes it and at what order.
+#include "support/Annotations.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+struct ChunkFixture {
+  ChunkFixture *Next;
+  size_t SizeBytes;
+};
+
+class RemoteQueueFixture {
+public:
+  ChunkFixture *takeAll() {
+    return Head.exchange(nullptr, std::memory_order_acquire);
+  }
+
+  size_t queuedBytes() const {
+    return QueuedBytes.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<ChunkFixture *> Head{nullptr}; // expect(R4)
+
+  CGC_ATOMIC_DOC("producers fetch_add relaxed; pacer aggregation reads racily")
+  std::atomic<size_t> QueuedBytes{0};
+
+  std::atomic<uint64_t> PushCount{0}; // expect(R4)
+};
+
+} // namespace cgc

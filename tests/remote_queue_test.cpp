@@ -1,0 +1,210 @@
+//===- remote_queue_test.cpp - lock-free remote-free queue units ---------------//
+///
+/// Units for the ownership-return channel of the size-class fast path
+/// (DESIGN.md §16): the Treiber-stack MPSC RemoteFreeQueue, HeapSpace's
+/// routing of reclaimed ranges into it, and — the reason this file is in
+/// the TSan CI job — a many-producer hammer that races pushes against a
+/// draining consumer and checks that no chunk and no byte is lost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "heap/HeapSpace.h"
+#include "heap/RemoteFreeQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+struct FreeDeleter {
+  void operator()(uint8_t *P) const { std::free(P); }
+};
+using Arena = std::unique_ptr<uint8_t, FreeDeleter>;
+
+Arena makeArena(size_t Bytes) {
+  return Arena(static_cast<uint8_t *>(std::aligned_alloc(4096, Bytes)));
+}
+
+/// --- Single-threaded semantics ----------------------------------------
+
+TEST(RemoteFreeQueueTest, PushTakeAllRoundTripsChunksAndBytes) {
+  Arena Mem = makeArena(1u << 16);
+  RemoteFreeQueue Q;
+  EXPECT_EQ(Q.queuedBytes(), 0u);
+  EXPECT_EQ(Q.takeAll(), nullptr);
+
+  Q.push(Mem.get(), 128);
+  Q.push(Mem.get() + 1024, 64);
+  Q.push(Mem.get() + 4096, 256);
+  EXPECT_EQ(Q.queuedBytes(), 128u + 64u + 256u);
+
+  std::set<uint8_t *> Seen;
+  size_t Bytes = 0;
+  for (RemoteFreeChunk *C = Q.takeAll(); C;) {
+    RemoteFreeChunk *Next = C->Next;
+    Seen.insert(reinterpret_cast<uint8_t *>(C));
+    Bytes += C->SizeBytes;
+    C = Next;
+  }
+  EXPECT_EQ(Seen.size(), 3u);
+  EXPECT_EQ(Bytes, 128u + 64u + 256u);
+  EXPECT_TRUE(Seen.count(Mem.get()));
+  EXPECT_TRUE(Seen.count(Mem.get() + 1024));
+  EXPECT_TRUE(Seen.count(Mem.get() + 4096));
+
+  // The queue is empty afterwards; accounting went back to zero.
+  EXPECT_EQ(Q.queuedBytes(), 0u);
+  EXPECT_EQ(Q.takeAll(), nullptr);
+}
+
+TEST(RemoteFreeQueueTest, ResetDropsContentWithoutWalking) {
+  Arena Mem = makeArena(1u << 12);
+  RemoteFreeQueue Q;
+  Q.push(Mem.get(), 64);
+  Q.push(Mem.get() + 512, 64);
+  Q.reset();
+  EXPECT_EQ(Q.queuedBytes(), 0u);
+  EXPECT_EQ(Q.takeAll(), nullptr);
+}
+
+/// --- HeapSpace routing -------------------------------------------------
+
+TEST(RemoteFreeQueueTest, HeapSpaceRoutesEligibleRangesToOwningShard) {
+  HeapSpace Heap(1u << 20, /*FreeListShards=*/4, /*FI=*/nullptr,
+                 /*RefillThresholdBytes=*/0, /*RouteRemoteFrees=*/true);
+  ASSERT_TRUE(Heap.remoteRoutingEnabled());
+  const size_t Total = Heap.freeBytes();
+
+  // Drain all seed memory out of the locked lists in queue-eligible
+  // grabs (below the bin threshold) so every release routes.
+  std::vector<std::pair<uint8_t *, size_t>> Stolen;
+  for (unsigned S = 0; S < Heap.freeList().numShards(); ++S)
+    for (;;) {
+      size_t Granted = 0;
+      uint8_t *P = Heap.freeList().allocateUpTo(64, 2048, Granted, S);
+      if (!P)
+        break;
+      Stolen.emplace_back(P, Granted);
+    }
+  EXPECT_EQ(Heap.freeList().freeBytes(), 0u);
+
+  // Release everything back: small in-shard ranges must go to queues,
+  // and the aggregate free-byte views must see them immediately.
+  size_t Returned = 0;
+  for (auto [P, Size] : Stolen) {
+    Heap.releaseRange(P, Size);
+    Returned += Size;
+  }
+  EXPECT_EQ(Heap.freeBytes(), Total);
+  EXPECT_EQ(Heap.refillableFreeBytes(), Total);
+  EXPECT_GT(Heap.remoteQueuedBytes(), 0u) << "nothing was routed";
+  EXPECT_EQ(Heap.remoteQueuedBytes() + Heap.freeList().freeBytes(), Returned);
+
+  // Each queued chunk lives entirely inside its owning shard.
+  for (unsigned S = 0; S < Heap.freeList().numShards(); ++S) {
+    size_t QueueBytes = Heap.remoteQueue(S).queuedBytes();
+    size_t Drained = Heap.drainRemoteQueue(S);
+    EXPECT_EQ(Drained, QueueBytes);
+  }
+  EXPECT_EQ(Heap.remoteQueuedBytes(), 0u);
+  EXPECT_EQ(Heap.freeList().freeBytes(), Total);
+}
+
+TEST(RemoteFreeQueueTest, RoutingDisabledFallsBackToLockedLists) {
+  HeapSpace Heap(1u << 20, /*FreeListShards=*/4);
+  EXPECT_FALSE(Heap.remoteRoutingEnabled());
+  size_t Granted = 0;
+  uint8_t *P = Heap.freeList().allocateUpTo(64, 4096, Granted, 0);
+  ASSERT_NE(P, nullptr);
+  Heap.releaseRange(P, Granted);
+  EXPECT_EQ(Heap.remoteQueuedBytes(), 0u);
+  EXPECT_EQ(Heap.freeBytes(), Heap.freeList().freeBytes());
+}
+
+TEST(RemoteFreeQueueTest, OversizeAndStraddlingRangesBypassTheQueue) {
+  HeapSpace Heap(1u << 20, /*FreeListShards=*/4, nullptr, 0,
+                 /*RouteRemoteFrees=*/true);
+  size_t Granted = 0;
+  // A bin-threshold-sized range is too big for the queue.
+  uint8_t *P = Heap.freeList().allocateUpTo(4096, 8192, Granted, 0);
+  ASSERT_NE(P, nullptr);
+  ASSERT_GE(Granted, 4096u);
+  Heap.releaseRange(P, Granted);
+  EXPECT_EQ(Heap.remoteQueuedBytes(), 0u);
+}
+
+/// --- The TSan hammer ---------------------------------------------------
+///
+/// N producers push chunks from private arenas while one consumer
+/// drains concurrently. Every chunk must come back exactly once, with
+/// its size intact, and the byte ledger must return to zero. Under TSan
+/// this exercises the release/acquire pairing of push and takeAll.
+TEST(RemoteFreeQueueHammer, ManyProducersOneConsumerLosesNothing) {
+  constexpr unsigned NumProducers = 8;
+  constexpr unsigned ChunksPerProducer = 4000;
+  constexpr size_t ChunkStride = 128; // >= MinChunkBytes, private slots
+
+  RemoteFreeQueue Q;
+  std::vector<Arena> Arenas;
+  for (unsigned P = 0; P < NumProducers; ++P)
+    Arenas.push_back(makeArena(ChunksPerProducer * ChunkStride));
+
+  std::atomic<unsigned> ProducersDone{0};
+  std::atomic<size_t> BytesPushed{0};
+
+  auto Producer = [&](unsigned Id) {
+    uint8_t *Base = Arenas[Id].get();
+    size_t Pushed = 0;
+    for (unsigned I = 0; I < ChunksPerProducer; ++I) {
+      // Vary sizes a little so the consumer checks more than one value.
+      size_t Size = 64 + (I % 3) * 16;
+      Q.push(Base + I * ChunkStride, Size);
+      Pushed += Size;
+    }
+    BytesPushed.fetch_add(Pushed, std::memory_order_relaxed);
+    ProducersDone.fetch_add(1, std::memory_order_release);
+  };
+
+  std::set<uint8_t *> Seen;
+  size_t BytesDrained = 0;
+  auto drainOnce = [&] {
+    for (RemoteFreeChunk *C = Q.takeAll(); C;) {
+      RemoteFreeChunk *Next = C->Next;
+      uint8_t *Addr = reinterpret_cast<uint8_t *>(C);
+      EXPECT_TRUE(Seen.insert(Addr).second) << "chunk delivered twice";
+      // Size must be one of the values its producer wrote — the
+      // overlay write must be visible after the acquire takeAll.
+      EXPECT_TRUE(C->SizeBytes == 64 || C->SizeBytes == 80 ||
+                  C->SizeBytes == 96)
+          << "torn or stale chunk size: " << C->SizeBytes;
+      BytesDrained += C->SizeBytes;
+      C = Next;
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < NumProducers; ++P)
+    Threads.emplace_back(Producer, P);
+  while (ProducersDone.load(std::memory_order_acquire) < NumProducers)
+    drainOnce();
+  for (auto &T : Threads)
+    T.join();
+  drainOnce(); // Final sweep after all producers finished.
+
+  EXPECT_EQ(Seen.size(), size_t(NumProducers) * ChunksPerProducer);
+  EXPECT_EQ(BytesDrained, BytesPushed.load(std::memory_order_relaxed));
+  EXPECT_EQ(Q.queuedBytes(), 0u);
+  EXPECT_EQ(Q.takeAll(), nullptr);
+}
+
+} // namespace
